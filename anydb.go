@@ -1,0 +1,465 @@
+// Package anydb is an architecture-less DBMS: a cluster of generic
+// AnyComponents (ACs) instrumented by event and data streams, able to
+// mimic a shared-nothing system, a shared-disk system, or anything in
+// between on a per-transaction/per-query basis purely through routing —
+// a from-scratch implementation of Bang et al., "AnyDB: An
+// Architecture-less DBMS for Any Workload" (CIDR 2021).
+//
+// The public API runs the real goroutine runtime: one goroutine per AC,
+// multi-producer mailboxes as the event/data streams. The paper's
+// figures are reproduced on a deterministic virtual-time twin of this
+// runtime by cmd/anydb-bench.
+//
+// Quick start:
+//
+//	cluster, err := anydb.Open(anydb.Config{})
+//	defer cluster.Close()
+//	committed, err := cluster.Payment(anydb.Payment{Warehouse: 0, District: 1, Customer: 7, Amount: 42})
+//	open, err := cluster.OpenOrders()
+package anydb
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"anydb/internal/core"
+	"anydb/internal/olap"
+	"anydb/internal/oltp"
+	"anydb/internal/plan"
+	"anydb/internal/sim"
+	"anydb/internal/sql"
+	"anydb/internal/storage"
+	"anydb/internal/tpcc"
+)
+
+// Policy selects how transactions are routed over the ACs (the paper's
+// §3 execution strategies).
+type Policy int
+
+const (
+	// SharedNothing physically aggregates each transaction at its home
+	// partition's owner AC (Figure 4b).
+	SharedNothing Policy = iota
+	// StreamingCC routes per-record-class segments through a sequencer
+	// for lock-free pipelined execution under contention (§3.3).
+	StreamingCC
+)
+
+func (p Policy) String() string {
+	if p == SharedNothing {
+		return "shared-nothing"
+	}
+	return "streaming-cc"
+}
+
+// Config sizes the cluster and the built-in TPC-C-style database.
+type Config struct {
+	// Servers and CoresPerServer define the initial topology
+	// (default 2×4, the paper's Figure 2 layout).
+	Servers        int
+	CoresPerServer int
+	// Warehouses etc. size the database (defaults are small).
+	Warehouses            int
+	Districts             int
+	CustomersPerDistrict  int
+	Items                 int
+	InitialOrdersPerDist  int
+	Seed                  int64
+	DisableInitialOrders  bool
+	LastNamesPerDistrict  int // unused; reserved
+	PaymentsByLastAllowed bool
+}
+
+// Cluster is a running architecture-less DBMS instance.
+type Cluster struct {
+	eng  *core.Engine
+	topo *core.Topology
+	db   *storage.Database
+	cfg  tpcc.Config
+
+	execs []core.ACID
+	ctrl  []core.ACID
+
+	mu       sync.Mutex
+	policy   Policy
+	dispers  map[core.ACID]*oltp.Dispatcher
+	nextTxn  core.TxnID
+	nextQ    core.QueryID
+	txnWait  map[core.TxnID]chan bool
+	qWait    map[core.QueryID]chan *olap.QueryResult
+	inflight sync.WaitGroup
+	closed   bool
+}
+
+// Open populates the database and starts the AC goroutines.
+func Open(cfg Config) (*Cluster, error) {
+	tc := tpcc.Config{
+		Warehouses: cfg.Warehouses, Districts: cfg.Districts,
+		Customers: cfg.CustomersPerDistrict, Items: cfg.Items,
+		InitOrders: cfg.InitialOrdersPerDist, LinesPerOrder: 1, Seed: cfg.Seed,
+	}.WithDefaults()
+	if cfg.Servers == 0 {
+		cfg.Servers = 2
+	}
+	if cfg.CoresPerServer == 0 {
+		cfg.CoresPerServer = 4
+	}
+	if cfg.Servers < 2 {
+		return nil, errors.New("anydb: need at least 2 servers (executors + control)")
+	}
+	db := storage.NewDatabase(tc.Warehouses, tpcc.Schemas()...)
+	tpcc.Populate(db, tc)
+	// Statistics for the SQL planner (partition 0 is representative:
+	// population is symmetric across warehouses).
+	for _, tn := range db.Catalog.Tables() {
+		db.Catalog.SetStats(tn, storage.Analyze(db.Partition(0).Table(tn)))
+	}
+
+	c := &Cluster{
+		db: db, cfg: tc,
+		dispers: make(map[core.ACID]*oltp.Dispatcher),
+		txnWait: make(map[core.TxnID]chan bool),
+		qWait:   make(map[core.QueryID]chan *olap.QueryResult),
+	}
+	c.topo = core.NewTopology(db)
+	c.execs = c.topo.AddServer(cfg.CoresPerServer)
+	c.ctrl = c.topo.AddServer(cfg.CoresPerServer)
+	for s := 2; s < cfg.Servers; s++ {
+		c.topo.AddServer(cfg.CoresPerServer)
+	}
+	for w := 0; w < tc.Warehouses; w++ {
+		c.topo.SetOwner(w, c.execs[w%len(c.execs)])
+	}
+	c.eng = core.NewEngine(c.topo, c.setupAC)
+	c.eng.SetClient(c.onDone)
+	return c, nil
+}
+
+func (c *Cluster) setupAC(ac *core.AC) {
+	ac.Register(core.EvSegment, &oltp.Executor{DB: c.db})
+	ac.Register(core.EvInstallOp, &olap.Worker{DB: c.db})
+	ac.Register(core.EvQuery, &plan.QO{Topo: c.topo})
+	ac.Register(core.EvSeqStamp, &core.Sequencer{})
+	if len(c.ctrl) > 2 && ac.ID == c.ctrl[2] {
+		ac.Register(core.EvAck, oltp.NewCoordinator())
+		return
+	}
+	d := oltp.NewDispatcher(oltp.SharedNothing, c.db, c.routes(SharedNothing))
+	c.mu.Lock()
+	c.dispers[ac.ID] = d
+	c.mu.Unlock()
+	ac.Register(core.EvTxn, d)
+	ac.Register(core.EvAck, d)
+}
+
+func (c *Cluster) routes(p Policy) oltp.Routes {
+	r := oltp.Routes{Owner: c.topo.Owner, Seq: c.ctrl[1], Coord: core.NoAC}
+	if p == StreamingCC {
+		execs := c.execs
+		r.ClassRoute = func(w int, cl oltp.Class) core.ACID {
+			switch cl {
+			case oltp.ClassCustomer:
+				return execs[1%len(execs)]
+			case oltp.ClassHistory:
+				return execs[2%len(execs)]
+			case oltp.ClassStock:
+				return execs[3%len(execs)]
+			default:
+				return execs[0]
+			}
+		}
+		r.Coord = c.ctrl[2]
+	}
+	return r
+}
+
+// SetPolicy reroutes subsequent transactions. It waits for in-flight
+// transactions to finish first, so conflicting work never straddles two
+// routings — the architecture shift itself is instantaneous (§2.1: no
+// reconfiguration downtime).
+func (c *Cluster) SetPolicy(p Policy) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return errors.New("anydb: cluster closed")
+	}
+	c.mu.Unlock()
+	c.inflight.Wait()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.policy = p
+	routes := c.routes(p)
+	pol := oltp.SharedNothing
+	if p == StreamingCC {
+		pol = oltp.StreamingCC
+	}
+	for _, d := range c.dispers {
+		d.SetConfig(pol, routes)
+	}
+	return nil
+}
+
+// Payment identifies a TPC-C payment (§2.5).
+type Payment struct {
+	Warehouse, District int     // paying warehouse/district
+	Customer            int     // customer id (ignored when ByLastName)
+	ByLastName          bool    // select customer by last name
+	LastName            string  // TPC-C syllable name, e.g. "BARBARBAR"
+	Amount              float64 // payment amount
+	// CustomerWarehouse/District default to the paying ones.
+	CustomerWarehouse, CustomerDistrict int
+}
+
+// OrderLine is one new-order line.
+type OrderLine struct {
+	Item, Qty, SupplyWarehouse int
+}
+
+// NewOrder identifies a TPC-C new-order (§2.4).
+type NewOrder struct {
+	Warehouse, District, Customer int
+	Lines                         []OrderLine
+}
+
+// Payment executes a payment transaction and reports whether it
+// committed.
+func (c *Cluster) Payment(p Payment) (bool, error) {
+	cw, cd := p.CustomerWarehouse, p.CustomerDistrict
+	if cw == 0 && cd == 0 {
+		cw, cd = p.Warehouse, p.District
+	}
+	t := tpcc.Txn{Kind: tpcc.TxnPayment, Payment: tpcc.Payment{
+		W: p.Warehouse, D: p.District, CW: cw, CD: cd,
+		C: p.Customer, ByLast: p.ByLastName, Amount: p.Amount,
+	}}
+	if p.ByLastName {
+		num := tpcc.LastNameNum(p.LastName)
+		if num < 0 {
+			return false, fmt.Errorf("anydb: %q is not a TPC-C last name", p.LastName)
+		}
+		t.Payment.Last = num
+	}
+	return c.exec(&t)
+}
+
+// NewOrder executes a new-order transaction; false means the transaction
+// rolled back (invalid item).
+func (c *Cluster) NewOrder(no NewOrder) (bool, error) {
+	t := tpcc.Txn{Kind: tpcc.TxnNewOrder, NewOrder: tpcc.NewOrder{
+		W: no.Warehouse, D: no.District, C: no.Customer,
+	}}
+	for _, l := range no.Lines {
+		t.NewOrder.Lines = append(t.NewOrder.Lines, tpcc.NewOrderLine{
+			Item: l.Item, Qty: l.Qty, SupplyW: l.SupplyWarehouse,
+		})
+	}
+	return c.exec(&t)
+}
+
+func (c *Cluster) exec(t *tpcc.Txn) (bool, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return false, errors.New("anydb: cluster closed")
+	}
+	c.nextTxn++
+	id := c.nextTxn
+	ch := make(chan bool, 1)
+	c.txnWait[id] = ch
+	pol := c.policy
+	c.mu.Unlock()
+
+	c.inflight.Add(1)
+	entry := c.ctrl[0]
+	if pol == SharedNothing {
+		entry = c.topo.Owner(t.HomeWarehouse())
+	}
+	c.eng.Inject(entry, &core.Event{Kind: core.EvTxn, Txn: id, Payload: t})
+	committed := <-ch
+	return committed, nil
+}
+
+// QueryOptions tunes analytical query execution.
+type QueryOptions struct {
+	// Beam initiates data streams at query arrival so transfers overlap
+	// the compile window (§4 data beaming). Default off here; the
+	// zero-argument OpenOrders enables it.
+	Beam bool
+	// CompileDelay models the query-optimizer compile window (the paper
+	// cites ~30ms for a commercial DBMS). With Beam set, scans push
+	// data during this window.
+	CompileDelay time.Duration
+}
+
+// OpenOrders runs the paper's analytical query (§4: all open orders for
+// customers from states 'A%' since 2007) with full data beaming.
+func (c *Cluster) OpenOrders() (int64, error) {
+	return c.OpenOrdersOpts(QueryOptions{Beam: true})
+}
+
+// OpenOrdersOpts runs the analytical query with explicit options. Joins
+// are placed on the newest server — disaggregated from the OLTP owners —
+// so AddServer immediately gives analytics fresh compute (§5 elasticity).
+//
+// Scans execute at each partition's owner AC, interleaved with that
+// partition's transactions, so concurrent OLTP is safe under the
+// SharedNothing policy (all access to a partition serializes at its
+// owner). Under StreamingCC, writes run on record-class ACs instead;
+// run analytics only while OLTP is quiescent in that mode.
+func (c *Cluster) OpenOrdersOpts(o QueryOptions) (int64, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return 0, errors.New("anydb: cluster closed")
+	}
+	c.nextQ++
+	qid := c.nextQ
+	ch := make(chan *olap.QueryResult, 1)
+	c.qWait[qid] = ch
+	c.mu.Unlock()
+
+	parts := make([]int, c.cfg.Warehouses)
+	for i := range parts {
+		parts[i] = i
+	}
+	beam := plan.BeamNone
+	if o.Beam {
+		beam = plan.BeamAll
+	}
+	computeACs := c.topo.ACs(c.topo.NumServers() - 1)
+	p := &plan.Q3Plan{
+		Query: qid, Beam: beam, CompileTime: sim.Time(o.CompileDelay.Nanoseconds()),
+		Parts:   parts,
+		Join1AC: computeACs[0], Join2AC: computeACs[1%len(computeACs)],
+		Notify: core.ClientAC,
+	}
+	c.eng.Inject(c.ctrl[3], &core.Event{Kind: core.EvQuery, Query: qid, Payload: p})
+	return (<-ch).Rows, nil
+}
+
+// Query executes a read-only SQL query — SELECT COUNT(*) or a projection
+// over inner equi-joins with AND-composed predicates (see internal/sql
+// for the grammar). It returns the row count and, for projections, the
+// materialized rows (int64/float64/string cells, capped at
+// olap-internal CollectCap). Scans execute at partition owners and joins
+// on the newest server with full beaming, like OpenOrders.
+func (c *Cluster) Query(text string) (int64, [][]any, error) {
+	q, err := sql.Parse(text)
+	if err != nil {
+		return 0, nil, err
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return 0, nil, errors.New("anydb: cluster closed")
+	}
+	c.nextQ++
+	qid := c.nextQ
+	c.mu.Unlock()
+
+	parts := make([]int, c.cfg.Warehouses)
+	for i := range parts {
+		parts[i] = i
+	}
+	compute := c.topo.ACs(c.topo.NumServers() - 1)
+	p, err := plan.CompileSQL(c.db.Catalog, q, qid, parts, compute, core.ClientAC)
+	if err != nil {
+		return 0, nil, err
+	}
+	p.Beam = true
+
+	ch := make(chan *olap.QueryResult, 1)
+	c.mu.Lock()
+	c.qWait[qid] = ch
+	c.mu.Unlock()
+	c.eng.Inject(c.ctrl[3], &core.Event{Kind: core.EvQuery, Query: qid, Payload: p})
+	res := <-ch
+	var rows [][]any
+	for _, r := range res.Collected {
+		out := make([]any, len(r))
+		for i, v := range r {
+			switch v.Kind {
+			case storage.KInt:
+				out[i] = v.I
+			case storage.KFloat:
+				out[i] = v.F
+			default:
+				out[i] = v.S
+			}
+		}
+		rows = append(rows, out)
+	}
+	return res.Rows, rows, nil
+}
+
+// onDone resolves waiting callers.
+func (c *Cluster) onDone(ev *core.Event) {
+	switch p := ev.Payload.(type) {
+	case *oltp.DoneInfo:
+		c.mu.Lock()
+		ch := c.txnWait[ev.Txn]
+		delete(c.txnWait, ev.Txn)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- p.Committed
+			c.inflight.Done()
+		}
+	case *olap.QueryResult:
+		c.mu.Lock()
+		ch := c.qWait[p.Query]
+		delete(c.qWait, p.Query)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- p
+		}
+	}
+}
+
+// AddServer grows the cluster by one server (elasticity, §5) and returns
+// how many ACs it added.
+func (c *Cluster) AddServer(cores int) int {
+	ids := c.eng.GrowServer(cores, c.setupAC)
+	return len(ids)
+}
+
+// Verify checks the TPC-C consistency conditions over the current state.
+func (c *Cluster) Verify() error {
+	c.inflight.Wait()
+	_, err := tpcc.Verify(c.db, c.cfg)
+	return err
+}
+
+// Stats reports cluster-level counters.
+type Stats struct {
+	Servers, ACs int
+	Warehouses   int
+}
+
+// Stats returns a snapshot.
+func (c *Cluster) Stats() Stats {
+	return Stats{
+		Servers:    c.topo.NumServers(),
+		ACs:        c.topo.NumACs(),
+		Warehouses: c.cfg.Warehouses,
+	}
+}
+
+// Close stops all AC goroutines.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.inflight.Wait()
+	c.eng.Stop()
+}
+
+// Costs exposes the engine's cost model (used by the examples to print
+// the calibration).
+func (c *Cluster) Costs() sim.CostModel { return c.eng.Costs }

@@ -1,0 +1,78 @@
+// Benchmarks regenerating the paper's evaluation, one per figure (plus
+// the routing ablation). Each benchmark prints the reproduced table once
+// and reports wall time per full regeneration; the numbers inside the
+// tables are deterministic virtual-time measurements, so -benchtime=1x is
+// enough.
+//
+//	go test -bench=. -benchmem
+//	go test -bench Figure5 -run - -v
+package anydb_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"anydb/internal/bench"
+	"anydb/internal/sim"
+)
+
+var printOnce sync.Once
+
+// benchOLTP uses a shorter phase than the CLI so `go test -bench .` stays
+// fast; shapes are unchanged (the simulation is deterministic).
+func benchOLTP() bench.OLTPOpts {
+	o := bench.DefaultOLTPOpts()
+	o.PhaseDur = 10 * sim.Millisecond
+	return o
+}
+
+// BenchmarkFigure1 regenerates Figure 1: OLTP throughput across the
+// 12-phase evolving workload, DBx1000 vs AnyDB.
+func BenchmarkFigure1(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		res := bench.Figure1(benchOLTP())
+		out = bench.RenderFigure1(res, benchOLTP())
+	}
+	b.StopTimer()
+	fmt.Println(out)
+}
+
+// BenchmarkFigure5 regenerates Figure 5: the six OLTP execution-strategy
+// series over partitionable and skewed phases.
+func BenchmarkFigure5(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		series := bench.Figure5(benchOLTP())
+		out = bench.RenderFigure5(series, benchOLTP()) + "\n" + bench.Headline(series)
+	}
+	b.StopTimer()
+	fmt.Println(out)
+}
+
+// BenchmarkFigure6 regenerates Figure 6: data beaming runtimes vs query
+// compile time (scaled-down database; cmd/anydb-bench runs full scale).
+func BenchmarkFigure6(b *testing.B) {
+	opts := bench.DefaultFig6Opts()
+	opts.Cfg.Warehouses = 12
+	opts.Cfg.InitOrders = 1500
+	var out string
+	for i := 0; i < b.N; i++ {
+		res := bench.Figure6(opts)
+		out = bench.RenderFigure6(res)
+	}
+	b.StopTimer()
+	fmt.Println(out)
+}
+
+// BenchmarkAblationRouting quantifies the event cost of each routing mode
+// (Figure 4's duality measured).
+func BenchmarkAblationRouting(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = bench.RenderAblation(bench.Ablation(benchOLTP()))
+	}
+	b.StopTimer()
+	fmt.Println(out)
+}

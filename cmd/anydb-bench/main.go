@@ -1,0 +1,89 @@
+// Command anydb-bench regenerates the paper's evaluation figures on the
+// deterministic virtual-time runtime. Output is a text table per figure
+// (use -csv for plot-ready data).
+//
+// Usage:
+//
+//	anydb-bench -fig 1          # Figure 1: evolving workload
+//	anydb-bench -fig 5          # Figure 5: OLTP execution strategies
+//	anydb-bench -fig 6          # Figure 6: data beaming
+//	anydb-bench -fig all        # everything incl. the routing ablation
+//	anydb-bench -fig 5 -phase-ms 50 -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"anydb/internal/bench"
+	"anydb/internal/sim"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 1, 5, 6, ablation, all")
+	phaseMS := flag.Int("phase-ms", 20, "virtual milliseconds per workload phase (figures 1 and 5)")
+	outstanding := flag.Int("outstanding", 32, "closed-loop depth (in-flight transactions)")
+	csv := flag.Bool("csv", false, "emit CSV instead of tables")
+	flag.Parse()
+
+	opts := bench.DefaultOLTPOpts()
+	opts.PhaseDur = sim.Time(*phaseMS) * sim.Millisecond
+	opts.Outstanding = *outstanding
+
+	switch *fig {
+	case "1":
+		figure1(opts, *csv)
+	case "5":
+		figure5(opts, *csv)
+	case "6":
+		figure6(*csv)
+	case "ablation":
+		fmt.Print(bench.RenderAblation(bench.Ablation(opts)))
+	case "all":
+		figure1(opts, *csv)
+		fmt.Println()
+		figure5(opts, *csv)
+		fmt.Println()
+		figure6(*csv)
+		fmt.Println()
+		fmt.Print(bench.RenderAblation(bench.Ablation(opts)))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -fig %q (want 1, 5, 6, ablation, all)\n", *fig)
+		os.Exit(2)
+	}
+}
+
+func figure1(opts bench.OLTPOpts, csv bool) {
+	res := bench.Figure1(opts)
+	if csv {
+		fmt.Print(bench.RenderCSV("phase", bench.PhaseHeaders(12), res.Series))
+		return
+	}
+	fmt.Print(bench.RenderFigure1(res, opts))
+}
+
+func figure5(opts bench.OLTPOpts, csv bool) {
+	series := bench.Figure5(opts)
+	if csv {
+		fmt.Print(bench.RenderCSV("phase", bench.PhaseHeaders(6), series))
+		return
+	}
+	fmt.Print(bench.RenderFigure5(series, opts))
+	fmt.Println()
+	fmt.Print(bench.Headline(series))
+}
+
+func figure6(csv bool) {
+	opts := bench.DefaultFig6Opts()
+	res := bench.Figure6(opts)
+	if csv {
+		for _, metric := range []string{"total", "build", "probe"} {
+			fmt.Printf("# %s (ms)\n", metric)
+			fmt.Print(bench.RenderCSV("compile_ms", bench.CompileHeaders(res.Compile),
+				bench.Fig6Series(res, metric)))
+		}
+		return
+	}
+	fmt.Print(bench.RenderFigure6(res))
+}

@@ -1,0 +1,60 @@
+// Elasticity: grow the cluster at runtime (§5 "elasticity for free") —
+// newly added servers immediately host analytical operators, because
+// placement is just routing.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"anydb"
+)
+
+func main() {
+	cluster, err := anydb.Open(anydb.Config{
+		Warehouses:           4,
+		Districts:            6,
+		CustomersPerDistrict: 300,
+		InitialOrdersPerDist: 300,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	fmt.Printf("before: %+v\n", cluster.Stats())
+
+	// Run the analytical query on the initial topology: its joins share
+	// the control server with the dispatcher/sequencer roles.
+	start := time.Now()
+	rows, err := cluster.OpenOrders()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query on 2 servers: %d rows in %v\n", rows, time.Since(start))
+
+	// Grow: one new 4-core server joins; OpenOrders places joins on the
+	// newest server automatically, so the next query runs on hardware
+	// that did not exist a moment ago. No repartitioning, no restart —
+	// storage stays where it is, events and data are simply routed to
+	// the new ACs.
+	added := cluster.AddServer(4)
+	fmt.Printf("added a server with %d ACs: %+v\n", added, cluster.Stats())
+
+	start = time.Now()
+	rows2, err := cluster.OpenOrders()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query on 3 servers: %d rows in %v\n", rows2, time.Since(start))
+	if rows != rows2 {
+		log.Fatalf("results diverged after scale-out: %d vs %d", rows, rows2)
+	}
+
+	// OLTP keeps running against the same owners throughout.
+	ok, err := cluster.Payment(anydb.Payment{Warehouse: 3, District: 2, Customer: 9, Amount: 1})
+	if err != nil || !ok {
+		log.Fatal("payment after scale-out failed")
+	}
+	fmt.Println("post-scale-out payment committed ✓")
+}

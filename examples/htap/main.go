@@ -1,0 +1,115 @@
+// HTAP: run a skewed OLTP load concurrently with the analytical query,
+// switching the transaction routing from shared-nothing to streaming CC
+// mid-run — the architecture shift of the paper's Figure 1, on the real
+// goroutine runtime.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"anydb"
+)
+
+const (
+	warehouses = 4
+	loaders    = 4
+	window     = 400 * time.Millisecond
+)
+
+func main() {
+	cluster, err := anydb.Open(anydb.Config{
+		Warehouses:           warehouses,
+		Districts:            4,
+		CustomersPerDistrict: 200,
+		InitialOrdersPerDist: 200,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	var committed atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Closed-loop loaders issuing skewed payments: 100% on warehouse 0
+	// (the paper's §3.2 contended scenario).
+	for i := 0; i < loaders; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ok, err := cluster.Payment(anydb.Payment{
+					Warehouse: 0, District: 1 + rng.Intn(4),
+					Customer: 1 + rng.Intn(200), Amount: 5,
+				})
+				if err != nil {
+					return
+				}
+				if ok {
+					committed.Add(1)
+				}
+			}
+		}(int64(i + 1))
+	}
+
+	measure := func(label string) {
+		committed.Store(0)
+		time.Sleep(window)
+		n := committed.Load()
+		fmt.Printf("%-34s %8.0f tx/s\n", label, float64(n)/window.Seconds())
+	}
+
+	// Phase 1: shared-nothing routing — all contended payments
+	// serialize at warehouse 0's owner AC.
+	measure("shared-nothing, skewed")
+
+	// Phase 2: shift the architecture with zero downtime: streaming CC
+	// pipelines the same transactions across record-class ACs. (Note:
+	// the pipelining speedup needs real cores to run the ACs in
+	// parallel — on a single-CPU host the extra hops are pure overhead;
+	// cmd/anydb-bench shows the multi-core behavior deterministically.)
+	if err := cluster.SetPolicy(anydb.StreamingCC); err != nil {
+		log.Fatal(err)
+	}
+	measure("streaming-cc, skewed")
+
+	// Phase 3: HTAP — back to shared-nothing (scans and transactions
+	// then share each partition's owner AC, so analytics interleave
+	// with OLTP safely) and run the analytical query concurrently. The
+	// joins execute on the control server, sharing only storage
+	// with OLTP.
+	if err := cluster.SetPolicy(anydb.SharedNothing); err != nil {
+		log.Fatal(err)
+	}
+	qdone := make(chan int64, 1)
+	go func() {
+		rows, err := cluster.OpenOrdersOpts(anydb.QueryOptions{
+			Beam: true, CompileDelay: 30 * time.Millisecond,
+		})
+		if err != nil {
+			log.Print(err)
+		}
+		qdone <- rows
+	}()
+	measure("streaming-cc + concurrent OLAP")
+	fmt.Printf("%-34s %8d rows\n", "analytical query result", <-qdone)
+
+	close(stop)
+	wg.Wait()
+	if err := cluster.Verify(); err != nil {
+		log.Fatal("consistency violated: ", err)
+	}
+	fmt.Println("TPC-C consistency verified ✓")
+}

@@ -1,0 +1,111 @@
+// Quickstart: open an architecture-less cluster, run OLTP transactions,
+// run the paper's analytical query, and verify TPC-C consistency.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"anydb"
+)
+
+func main() {
+	// A 2-server × 4-core cluster (the paper's Figure 2 layout) over a
+	// small TPC-C-style database: 4 warehouses, one partition each,
+	// owned by the first server's ACs.
+	cluster, err := anydb.Open(anydb.Config{
+		Warehouses:           4,
+		Districts:            4,
+		CustomersPerDistrict: 100,
+		InitialOrdersPerDist: 50,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	fmt.Printf("cluster up: %+v\n", cluster.Stats())
+
+	// A payment by customer id...
+	committed, err := cluster.Payment(anydb.Payment{
+		Warehouse: 0, District: 1, Customer: 7, Amount: 123.45,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("payment by id committed:", committed)
+
+	// ...and one by TPC-C last name (the 60% case, a range scan).
+	committed, err = cluster.Payment(anydb.Payment{
+		Warehouse: 2, District: 3, ByLastName: true, LastName: "BARBARBAR",
+		Amount: 8.88,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("payment by last name committed:", committed)
+
+	// A new-order with three lines.
+	committed, err = cluster.NewOrder(anydb.NewOrder{
+		Warehouse: 1, District: 2, Customer: 11,
+		Lines: []anydb.OrderLine{
+			{Item: 1, Qty: 3, SupplyWarehouse: 1},
+			{Item: 5, Qty: 1, SupplyWarehouse: 1},
+			{Item: 9, Qty: 2, SupplyWarehouse: 1},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("new-order committed:", committed)
+
+	// An invalid item triggers TPC-C's 1% rollback path.
+	committed, err = cluster.NewOrder(anydb.NewOrder{
+		Warehouse: 1, District: 2, Customer: 11,
+		Lines: []anydb.OrderLine{{Item: -1, Qty: 1, SupplyWarehouse: 1}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("invalid new-order committed:", committed, "(expected false)")
+
+	// The analytical query of the paper's §4: open orders of customers
+	// from states beginning with "A", since 2007 — 3 scans, 2 joins,
+	// with all data streams beamed.
+	open, err := cluster.OpenOrders()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("open qualifying orders:", open)
+
+	// The same query in SQL: parsed, planned from table statistics, and
+	// executed through the identical event/data-stream pipeline.
+	n, _, err := cluster.Query(`SELECT COUNT(*)
+		FROM customer
+		JOIN orders ON customer.c_w_id = orders.o_w_id
+			AND customer.c_d_id = orders.o_d_id
+			AND customer.c_id = orders.o_c_id
+		JOIN new_order ON orders.o_w_id = new_order.no_w_id
+			AND orders.o_d_id = new_order.no_d_id
+			AND orders.o_id = new_order.no_o_id
+		WHERE c_state LIKE 'A%' AND o_entry_d >= 2007`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("same query via SQL: %d rows (match: %v)\n", n, n == open)
+
+	// And a small projection.
+	_, rows, err := cluster.Query(
+		"SELECT c_id, c_last FROM customer WHERE c_w_id = 0 AND c_d_id = 1 AND c_id <= 3")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range rows {
+		fmt.Printf("  customer %v: %v\n", r[0], r[1])
+	}
+
+	// TPC-C consistency must hold after all of the above.
+	if err := cluster.Verify(); err != nil {
+		log.Fatal("consistency violated: ", err)
+	}
+	fmt.Println("TPC-C consistency verified ✓")
+}

@@ -1,0 +1,312 @@
+// Package bench regenerates every figure of the paper's evaluation:
+// Figure 1 (evolving workload), Figure 5 (OLTP execution strategies) and
+// Figure 6 (data beaming), plus ablations. Engines run on the
+// virtual-time kernel; see DESIGN.md §2 for the experiment index and §3
+// for the calibration rationale.
+package bench
+
+import (
+	"anydb/internal/core"
+	"anydb/internal/olap"
+	"anydb/internal/oltp"
+	"anydb/internal/plan"
+	"anydb/internal/sim"
+	"anydb/internal/storage"
+	"anydb/internal/tpcc"
+)
+
+// AnyDB is the benchmark-side assembly of the architecture-less system:
+// the Figure 2 layout (2 servers × 4 ACs, growable), with every AC
+// registering the full generic behavior set — executor, OLAP worker,
+// query optimizer, sequencer, dispatcher — so any AC can act as anything;
+// routing alone decides who does what.
+type AnyDB struct {
+	Cl   *core.SimCluster
+	Topo *core.Topology
+	DB   *storage.Database
+	Cfg  tpcc.Config
+
+	execs   []core.ACID // server-1 ACs, partition owners
+	ctrl    []core.ACID // server-2 ACs: dispatcher, sequencer, coordinator, QO
+	extra   []core.ACID // grown servers for HTAP isolation
+	dispers map[core.ACID]*oltp.Dispatcher
+
+	gen      *tpcc.Generator
+	policy   oltp.Policy
+	routes   oltp.Routes
+	nextTxn  core.TxnID
+	nextQID  core.QueryID
+	inflight int
+	paused   bool
+
+	// Window counters, reset by TakeWindow.
+	committed int64
+	aborted   int64
+	queries   int64
+
+	olapOn   bool
+	olapPlan func(q core.QueryID) *plan.Q3Plan
+}
+
+// NewAnyDB builds the cluster over a freshly populated database.
+func NewAnyDB(db *storage.Database, cfg tpcc.Config, costs sim.CostModel) *AnyDB {
+	a := &AnyDB{DB: db, Cfg: cfg.WithDefaults(), dispers: make(map[core.ACID]*oltp.Dispatcher)}
+	a.Topo = core.NewTopology(db)
+	a.execs = a.Topo.AddServer(4)
+	a.ctrl = a.Topo.AddServer(4)
+	for w := 0; w < a.Cfg.Warehouses; w++ {
+		a.Topo.SetOwner(w, a.execs[w%len(a.execs)])
+	}
+	a.policy = oltp.SharedNothing
+	a.routes = oltp.Routes{Owner: a.Topo.Owner, Seq: a.SeqAC(), Coord: core.NoAC}
+	a.Cl = core.NewSimCluster(a.Topo, costs, a.setupAC)
+	// AnyDB's deployment uses DPI flows (§4): cross-server streams are
+	// serialized and partitioned by the NICs, not the sending cores.
+	a.Cl.DPI = true
+	a.Cl.SetClient(a.onClient)
+	return a
+}
+
+// Role accessors (server 2 layout).
+func (a *AnyDB) DispatchAC() core.ACID { return a.ctrl[0] }
+func (a *AnyDB) SeqAC() core.ACID      { return a.ctrl[1] }
+func (a *AnyDB) CoordAC() core.ACID    { return a.ctrl[2] }
+func (a *AnyDB) QOAC() core.ACID       { return a.ctrl[3] }
+
+// Execs returns the partition-owner ACs.
+func (a *AnyDB) Execs() []core.ACID { return a.execs }
+
+// setupAC registers the generic behavior set on every AC. Dispatchers
+// are per-AC instances; EvAck coordination lives with the dispatcher
+// except on the dedicated coordinator AC.
+func (a *AnyDB) setupAC(ac *core.AC) {
+	ac.Register(core.EvSegment, &oltp.Executor{DB: a.DB})
+	ac.Register(core.EvInstallOp, &olap.Worker{DB: a.DB})
+	ac.Register(core.EvQuery, &plan.QO{Topo: a.Topo})
+	ac.Register(core.EvSeqStamp, &core.Sequencer{})
+	if len(a.ctrl) > 0 && ac.ID == a.CoordAC() {
+		ac.Register(core.EvAck, oltp.NewCoordinator())
+		return
+	}
+	d := oltp.NewDispatcher(a.policy, a.DB, a.routes)
+	a.dispers[ac.ID] = d
+	ac.Register(core.EvTxn, d)
+	ac.Register(core.EvAck, d)
+}
+
+// SetWorkload installs the transaction generator.
+func (a *AnyDB) SetWorkload(gen *tpcc.Generator) { a.gen = gen }
+
+// SetPolicy reconfigures routing for subsequent transactions. Callers
+// must Drain first when switching between policies whose routings could
+// interleave conflicting events differently (the harness drains at phase
+// boundaries; in-flight work always completes under its old routing —
+// the paper's "no downtime" reconfiguration).
+func (a *AnyDB) SetPolicy(policy oltp.Policy, routes oltp.Routes) {
+	a.policy = policy
+	a.routes = routes
+	for _, d := range a.dispers {
+		d.SetConfig(policy, routes)
+	}
+}
+
+// StreamingRoutes returns the fine-grained record-class routing used by
+// the intra-transaction policies: warehouse+district+order on exec 0,
+// customer on exec 1, history on exec 2, stock on exec 3, sequencer and
+// dedicated coordinator on server 2.
+func (a *AnyDB) StreamingRoutes() oltp.Routes {
+	execs := a.execs
+	return oltp.Routes{
+		Owner: a.Topo.Owner,
+		ClassRoute: func(w int, c oltp.Class) core.ACID {
+			switch c {
+			case oltp.ClassCustomer:
+				return execs[1]
+			case oltp.ClassHistory:
+				return execs[2]
+			case oltp.ClassStock:
+				return execs[3]
+			default:
+				return execs[0]
+			}
+		},
+		Seq:   a.SeqAC(),
+		Coord: a.CoordAC(),
+	}
+}
+
+// PreciseRoutes returns the two balanced sub-sequences of Figure 4d:
+// brief updates on exec 0, the customer scan on exec 1.
+func (a *AnyDB) PreciseRoutes() oltp.Routes {
+	execs := a.execs
+	return oltp.Routes{
+		Owner: a.Topo.Owner,
+		ClassRoute: func(w int, c oltp.Class) core.ACID {
+			if c == oltp.ClassCustomer || c == oltp.ClassStock {
+				return execs[1]
+			}
+			return execs[0]
+		},
+		Seq:   a.SeqAC(),
+		Coord: core.NoAC,
+	}
+}
+
+// NaiveRoutes spreads every record class over its own AC (Figure 4c):
+// warehouse, district, customer and history each on one executor. The
+// dispatcher runs co-located on executor 3 (the history AC) so the
+// admission barrier pays local hops only — even then, per-event overhead
+// dominates (§3.2).
+func (a *AnyDB) NaiveRoutes() oltp.Routes {
+	execs := a.execs
+	return oltp.Routes{
+		Owner: a.Topo.Owner,
+		ClassRoute: func(w int, c oltp.Class) core.ACID {
+			switch c {
+			case oltp.ClassWarehouse, oltp.ClassOrder:
+				return execs[0]
+			case oltp.ClassDistrict, oltp.ClassStock:
+				return execs[1]
+			case oltp.ClassCustomer:
+				return execs[2]
+			default: // history
+				return execs[3]
+			}
+		},
+		Seq:   a.SeqAC(),
+		Coord: core.NoAC, // dispatcher coordinates (and enforces admission)
+	}
+}
+
+// SharedNothingRoutes aggregates transactions at the partition owners.
+func (a *AnyDB) SharedNothingRoutes() oltp.Routes {
+	return oltp.Routes{Owner: a.Topo.Owner, Seq: a.SeqAC(), Coord: core.NoAC}
+}
+
+// entryAC picks where a transaction enters the system: under
+// shared-nothing, the partition owner itself acts as dispatcher
+// (physically aggregated execution); naive-intra co-locates the
+// dispatcher with the executors (its admission barrier makes hop latency
+// part of every transaction); the pipelined policies use the central
+// dispatcher AC on server 2.
+func (a *AnyDB) entryAC(txn *tpcc.Txn) core.ACID {
+	switch a.policy {
+	case oltp.SharedNothing:
+		return a.Topo.Owner(txn.HomeWarehouse())
+	case oltp.NaiveIntra:
+		return a.execs[3]
+	default:
+		return a.DispatchAC()
+	}
+}
+
+// injectNext issues one transaction from the generator (closed loop).
+func (a *AnyDB) injectNext(at sim.Time) {
+	txn := a.gen.Next()
+	a.nextTxn++
+	a.inflight++
+	a.Cl.Inject(a.entryAC(&txn), &core.Event{
+		Kind: core.EvTxn, Txn: a.nextTxn, Payload: &txn,
+	}, at)
+}
+
+// Prime seeds the closed loop with n outstanding transactions.
+func (a *AnyDB) Prime(n int) {
+	a.paused = false
+	for i := 0; i < n; i++ {
+		a.injectNext(a.Cl.Sched.Now())
+	}
+}
+
+// onClient keeps the loop full and counts completions.
+func (a *AnyDB) onClient(at sim.Time, ev *core.Event) {
+	switch p := ev.Payload.(type) {
+	case *oltp.DoneInfo:
+		if p.Committed {
+			a.committed++
+		} else {
+			a.aborted++
+		}
+		a.inflight--
+		if !a.paused {
+			a.injectNext(at)
+		}
+	case *olap.QueryResult:
+		a.queries++
+		if a.olapOn {
+			a.startQuery(at)
+		}
+	case *olap.OpDone:
+		// Figure 6 instrumentation; unused in throughput runs.
+	}
+}
+
+// Drain pauses injection and runs until all in-flight transactions
+// complete (used at policy switches).
+func (a *AnyDB) Drain() {
+	a.paused = true
+	for a.inflight > 0 {
+		a.Cl.RunUntil(a.Cl.Sched.Now() + sim.Millisecond)
+	}
+}
+
+// TakeWindow returns and resets the window counters.
+func (a *AnyDB) TakeWindow() (committed, aborted, queries int64) {
+	committed, aborted, queries = a.committed, a.aborted, a.queries
+	a.committed, a.aborted, a.queries = 0, 0, 0
+	return
+}
+
+// EnableOLAP grows two extra servers (Figure 3b) on first use and starts
+// `streams` continuous Q3 chains with full data beaming, isolated from
+// the OLTP ACs: joins and the QO run on the new servers, scans stream
+// from the storage owners.
+func (a *AnyDB) EnableOLAP(streams int) {
+	if len(a.extra) == 0 {
+		a.extra = append(a.extra, a.Cl.GrowServer(4, a.setupAC)...)
+		a.extra = append(a.extra, a.Cl.GrowServer(4, a.setupAC)...)
+	}
+	if a.olapPlan == nil {
+		parts := make([]int, a.Cfg.Warehouses)
+		for i := range parts {
+			parts[i] = i
+		}
+		a.olapPlan = func(q core.QueryID) *plan.Q3Plan {
+			// Spread the query streams' operators across the extra
+			// servers' ACs.
+			base := int(q) * 2 % len(a.extra)
+			return &plan.Q3Plan{
+				Query: q, Beam: plan.BeamAll, CompileTime: 2 * sim.Millisecond,
+				Parts:   parts,
+				Join1AC: a.extra[base], Join2AC: a.extra[(base+1)%len(a.extra)],
+				Notify: core.ClientAC,
+			}
+		}
+	}
+	if !a.olapOn {
+		a.olapOn = true
+		if streams < 1 {
+			streams = 1
+		}
+		for i := 0; i < streams; i++ {
+			a.startQuery(a.Cl.Sched.Now())
+		}
+	}
+}
+
+// DisableOLAP stops issuing new queries.
+func (a *AnyDB) DisableOLAP() { a.olapOn = false }
+
+func (a *AnyDB) startQuery(at sim.Time) {
+	a.nextQID++
+	// Any AC can act as the query optimizer (Figure 2): rotate the QO
+	// role across the extra servers so concurrent query streams compile
+	// in parallel.
+	qoAC := a.QOAC()
+	if n := len(a.extra); n > 0 {
+		qoAC = a.extra[(int(a.nextQID)*3+2)%n]
+	}
+	a.Cl.Inject(qoAC, &core.Event{
+		Kind: core.EvQuery, Query: a.nextQID, Payload: a.olapPlan(a.nextQID),
+	}, at)
+}

@@ -1,0 +1,185 @@
+// Package cc provides the concurrency-control substrate for the static
+// baseline: a no-wait two-phase-locking lock table over record and
+// partition resources. AnyDB's streaming concurrency control deliberately
+// does NOT use it — consistency there comes from event ordering
+// (internal/core.Sequencer); this package exists so the DBx1000-style
+// baseline pays the coordination costs the paper attributes to
+// traditional CC (§3.3).
+package cc
+
+import (
+	"fmt"
+
+	"anydb/internal/storage"
+)
+
+// Mode is a lock mode.
+type Mode uint8
+
+const (
+	// Shared allows concurrent readers.
+	Shared Mode = iota
+	// Exclusive allows a single writer.
+	Exclusive
+	// IntentExclusive marks a writer's presence at a coarser
+	// granularity (a partition) without blocking other writers: IX is
+	// compatible with IX but conflicts with S and X. The baseline's
+	// OLAP scans take partition S locks; writers take partition IX plus
+	// record X locks — the classic hierarchical scheme.
+	IntentExclusive
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "X"
+	default:
+		return "IX"
+	}
+}
+
+// compatible implements the S/X/IX compatibility matrix.
+func compatible(held, want Mode) bool {
+	switch held {
+	case Shared:
+		return want == Shared
+	case IntentExclusive:
+		return want == IntentExclusive
+	default:
+		return false
+	}
+}
+
+// TxnID aliases the transaction identifier (kept local to avoid a core
+// dependency; the engines map their ids onto it).
+type TxnID uint64
+
+// Resource names a lockable object: a record (table + key) or a whole
+// partition (Table = "", Key = partition id), which is how the baseline's
+// H-Store-style partition locks and the HTAP scan locks are expressed.
+type Resource struct {
+	Table string
+	Key   storage.Key
+}
+
+// PartitionResource returns the whole-partition resource.
+func PartitionResource(p int) Resource {
+	return Resource{Table: "", Key: storage.Key(p)}
+}
+
+func (r Resource) String() string {
+	if r.Table == "" {
+		return fmt.Sprintf("partition(%d)", uint64(r.Key))
+	}
+	return fmt.Sprintf("%s(%v)", r.Table, r.Key)
+}
+
+type lockState struct {
+	mode    Mode
+	holders map[TxnID]struct{}
+}
+
+// LockManager is a no-wait lock table: conflicting requests fail
+// immediately and the caller aborts and retries (DBx1000's NO_WAIT, the
+// scheme that degrades most gracefully at high core counts per the
+// DBx1000 study). It is not safe for concurrent use; the simulation
+// runtime is single-threaded and owns it.
+type LockManager struct {
+	locks map[Resource]*lockState
+	held  map[TxnID][]Resource
+
+	// Stats.
+	Acquired  int64
+	Conflicts int64
+}
+
+// NewLockManager returns an empty lock table.
+func NewLockManager() *LockManager {
+	return &LockManager{
+		locks: make(map[Resource]*lockState),
+		held:  make(map[TxnID][]Resource),
+	}
+}
+
+// Acquire attempts to lock res in mode for txn. It returns false on
+// conflict (no waiting). Re-acquisition by the same txn succeeds;
+// upgrading S→X succeeds only for a sole holder.
+func (lm *LockManager) Acquire(txn TxnID, res Resource, mode Mode) bool {
+	st, ok := lm.locks[res]
+	if !ok {
+		st = &lockState{mode: mode, holders: map[TxnID]struct{}{txn: {}}}
+		lm.locks[res] = st
+		lm.held[txn] = append(lm.held[txn], res)
+		lm.Acquired++
+		return true
+	}
+	if _, mine := st.holders[txn]; mine {
+		if mode == Exclusive && st.mode != Exclusive {
+			// Upgrade: only a sole holder may strengthen the mode.
+			if len(st.holders) > 1 {
+				lm.Conflicts++
+				return false
+			}
+			st.mode = Exclusive
+		}
+		lm.Acquired++
+		return true
+	}
+	if compatible(st.mode, mode) {
+		st.holders[txn] = struct{}{}
+		lm.held[txn] = append(lm.held[txn], res)
+		lm.Acquired++
+		return true
+	}
+	lm.Conflicts++
+	return false
+}
+
+// Release drops txn's hold on res.
+func (lm *LockManager) Release(txn TxnID, res Resource) {
+	st, ok := lm.locks[res]
+	if !ok {
+		return
+	}
+	delete(st.holders, txn)
+	if len(st.holders) == 0 {
+		delete(lm.locks, res)
+	}
+	held := lm.held[txn]
+	for i, r := range held {
+		if r == res {
+			lm.held[txn] = append(held[:i], held[i+1:]...)
+			break
+		}
+	}
+}
+
+// ReleaseAll drops every lock txn holds (commit/abort) and returns how
+// many were released.
+func (lm *LockManager) ReleaseAll(txn TxnID) int {
+	held := lm.held[txn]
+	n := len(held)
+	for _, res := range held {
+		st := lm.locks[res]
+		if st == nil {
+			continue
+		}
+		delete(st.holders, txn)
+		if len(st.holders) == 0 {
+			delete(lm.locks, res)
+		}
+	}
+	delete(lm.held, txn)
+	return n
+}
+
+// Held returns the number of locks txn holds.
+func (lm *LockManager) Held(txn TxnID) int { return len(lm.held[txn]) }
+
+// Locked reports whether res is currently locked (any mode).
+func (lm *LockManager) Locked(res Resource) bool {
+	_, ok := lm.locks[res]
+	return ok
+}

@@ -1,0 +1,139 @@
+// Package core implements the paper's primary contribution: the
+// architecture-less execution model. A DBMS is composed of one generic
+// component type — the AnyComponent (AC) — instrumented by two kinds of
+// streams: events (what to execute) and data (the state the event needs).
+// Per-query routing of those streams decides which architecture the
+// system momentarily is: shared-nothing, shared-disk, or anything between
+// (§2.1). The same AC logic runs on two runtimes: a goroutine runtime
+// (Engine) used by the public API, and a deterministic virtual-time
+// runtime (SimCluster) used by the benchmark harness to reproduce the
+// paper's multi-core figures on any machine.
+package core
+
+import (
+	"fmt"
+
+	"anydb/internal/storage"
+)
+
+// ACID identifies an AnyComponent within a cluster.
+type ACID int
+
+// NoAC is the invalid component id.
+const NoAC ACID = -1
+
+// TxnID identifies a transaction.
+type TxnID uint64
+
+// QueryID identifies an OLAP query.
+type QueryID uint64
+
+// StreamID identifies one data stream (one producer→consumer edge of one
+// query or transaction).
+type StreamID uint64
+
+// EventKind selects the behavior an AC performs for an event — the
+// mechanism by which a generic component "acts as" a query optimizer, a
+// worker, a sequencer, or storage (Figure 2).
+type EventKind uint8
+
+const (
+	// EvTxn submits a whole transaction to a coordinator/dispatcher AC.
+	EvTxn EventKind = iota
+	// EvSegment executes a sub-sequence of transaction operations
+	// (Figure 4: the unit of physical (dis)aggregation).
+	EvSegment
+	// EvAck reports segment completion to the transaction coordinator.
+	EvAck
+	// EvTxnDone reports transaction completion to the client/harness.
+	EvTxnDone
+	// EvQuery submits an OLAP query to whichever AC should act as the
+	// query optimizer.
+	EvQuery
+	// EvInstallOp instruments an AC with a query operator (scan, join
+	// build/probe, aggregate); the operator then consumes data streams.
+	EvInstallOp
+	// EvOpDone reports operator completion to the query coordinator.
+	EvOpDone
+	// EvQueryDone reports query completion to the client/harness.
+	EvQueryDone
+	// EvSeqStamp routes an event through a sequencer for streaming CC.
+	EvSeqStamp
+	// EvControl carries cluster management commands (elasticity,
+	// draining, failure injection).
+	EvControl
+)
+
+var eventKindNames = [...]string{
+	"Txn", "Segment", "Ack", "TxnDone", "Query", "InstallOp",
+	"OpDone", "QueryDone", "SeqStamp", "Control",
+}
+
+func (k EventKind) String() string {
+	if int(k) < len(eventKindNames) {
+		return eventKindNames[k]
+	}
+	return fmt.Sprintf("EventKind(%d)", uint8(k))
+}
+
+// Event is one self-contained unit of the event stream. Events fully
+// describe what to do; required state arrives separately via data
+// streams referenced by Need.
+type Event struct {
+	Kind  EventKind
+	Txn   TxnID
+	Query QueryID
+	// Seq is the order stamp assigned by a sequencer under streaming
+	// concurrency control; zero means unordered.
+	Seq uint64
+	// Need lists data streams that must have begun delivery (and, if
+	// the payload demands, completed) before the event can execute. An
+	// AC never blocks on them: the event parks and other events run
+	// (§2.1 non-blocking execution).
+	Need []StreamID
+	// NeedClosed requires the Need streams to be fully delivered, not
+	// just opened (e.g. a hash-join build consumes its entire input).
+	NeedClosed bool
+	// Payload is the behavior-specific body (*oltp.Segment,
+	// *olap.OpSpec, query text, ...).
+	Payload any
+	// Size approximates the wire size in bytes for transfer modelling.
+	Size int64
+}
+
+// WireSize returns the modelled size of the event (header + payload).
+func (e *Event) WireSize() int64 {
+	if e.Size > 0 {
+		return 64 + e.Size
+	}
+	return 64
+}
+
+// DataMsg is one element of a data stream: a columnar batch, or a pure
+// end-of-stream marker when Batch is nil and Last is true. Data is
+// "active": producers push it toward the AC that will need it, ideally
+// before the matching event arrives (data beaming, §2.3).
+//
+// A stream may have several producers (e.g. one scan per partition
+// feeding one join). Each producer sends its own Last marker carrying
+// Producers = the fan-in; the consumer treats the stream as closed once
+// that many markers arrived. Producers == 0 means 1.
+type DataMsg struct {
+	Stream    StreamID
+	Query     QueryID
+	Batch     *storage.Batch
+	Last      bool
+	Producers int
+	// Prehashed marks batches that crossed a DPI flow: the NIC already
+	// partitioned/hashed them in flight (§4's co-processor effect), so
+	// hash-consuming operators charge reduced per-row cost.
+	Prehashed bool
+}
+
+// WireSize returns the modelled size of the message.
+func (m *DataMsg) WireSize() int64 {
+	if m.Batch == nil {
+		return 32
+	}
+	return 32 + m.Batch.Bytes()
+}

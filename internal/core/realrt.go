@@ -1,0 +1,193 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"anydb/internal/sim"
+	"anydb/internal/stream"
+)
+
+// Engine is the goroutine runtime: every AC runs as one goroutine
+// draining a multi-producer mailbox — the paper's non-blocking queues
+// realized with Go's native concurrency. The public anydb API and the
+// examples run on this engine; the figures use SimCluster (same AC logic,
+// virtual time).
+type Engine struct {
+	Topo  *Topology
+	Costs sim.CostModel
+
+	mu     sync.Mutex
+	acs    map[ACID]*AC
+	boxes  map[ACID]*stream.Mailbox[any]
+	wg     sync.WaitGroup
+	start  time.Time
+	client func(ev *Event)
+
+	nextStream  StreamID
+	nextStreamM sync.Mutex
+
+	stopped bool
+}
+
+// NewEngine starts one goroutine per AC in topo. setup registers
+// behaviors per AC before its goroutine starts.
+func NewEngine(topo *Topology, setup func(ac *AC)) *Engine {
+	e := &Engine{
+		Topo:  topo,
+		Costs: sim.DefaultCosts(),
+		acs:   make(map[ACID]*AC),
+		boxes: make(map[ACID]*stream.Mailbox[any]),
+		start: time.Now(),
+	}
+	for _, id := range topo.AllACs() {
+		e.spawn(id, setup)
+	}
+	return e
+}
+
+// spawn creates and runs one AC.
+func (e *Engine) spawn(id ACID, setup func(ac *AC)) {
+	ac := NewAC(id)
+	if setup != nil {
+		setup(ac)
+	}
+	box := stream.NewMailbox[any]()
+	e.mu.Lock()
+	e.acs[id] = ac
+	e.boxes[id] = box
+	e.mu.Unlock()
+
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		ctx := &realCtx{e: e, self: id}
+		for {
+			m, ok := box.Recv()
+			if !ok {
+				return
+			}
+			switch v := m.(type) {
+			case *Event:
+				ac.HandleEvent(ctx, v)
+			case *DataMsg:
+				ac.HandleData(ctx, v)
+			default:
+				panic(fmt.Sprintf("core: unknown message %T", m))
+			}
+		}
+	}()
+}
+
+// GrowServer adds a server and spawns its ACs at runtime (elasticity).
+func (e *Engine) GrowServer(cores int, setup func(ac *AC)) []ACID {
+	ids := e.Topo.AddServer(cores)
+	for _, id := range ids {
+		e.spawn(id, setup)
+	}
+	return ids
+}
+
+// SetClient registers the completion callback; it runs on AC goroutines
+// and must be cheap and thread-safe.
+func (e *Engine) SetClient(fn func(ev *Event)) { e.client = fn }
+
+// AC returns the component with the given id.
+func (e *Engine) AC(id ACID) *AC {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.acs[id]
+}
+
+// NewStream allocates an engine-unique stream id.
+func (e *Engine) NewStream() StreamID {
+	e.nextStreamM.Lock()
+	defer e.nextStreamM.Unlock()
+	e.nextStream++
+	return e.nextStream
+}
+
+// Inject delivers an event from outside (client requests).
+func (e *Engine) Inject(dst ACID, ev *Event) {
+	e.box(dst).Send(ev)
+}
+
+// InjectData delivers a data message from outside.
+func (e *Engine) InjectData(dst ACID, msg *DataMsg) {
+	e.box(dst).Send(msg)
+}
+
+func (e *Engine) box(id ACID) *stream.Mailbox[any] {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	b, ok := e.boxes[id]
+	if !ok {
+		panic(fmt.Sprintf("core: unknown AC %d", id))
+	}
+	return b
+}
+
+// KillAC closes an AC's mailbox, dropping all further deliveries — the
+// failure-injection hook used by the reliable-stream tests.
+func (e *Engine) KillAC(id ACID) {
+	e.box(id).Close()
+}
+
+// Stop shuts down all ACs and waits for their goroutines.
+func (e *Engine) Stop() {
+	e.mu.Lock()
+	if e.stopped {
+		e.mu.Unlock()
+		return
+	}
+	e.stopped = true
+	boxes := make([]*stream.Mailbox[any], 0, len(e.boxes))
+	for _, b := range e.boxes {
+		boxes = append(boxes, b)
+	}
+	e.mu.Unlock()
+	for _, b := range boxes {
+		b.Close()
+	}
+	e.wg.Wait()
+}
+
+// realCtx implements Context on wall-clock time.
+type realCtx struct {
+	e    *Engine
+	self ACID
+}
+
+func (c *realCtx) Self() ACID    { return c.self }
+func (c *realCtx) Now() sim.Time { return sim.Time(time.Since(c.e.start).Nanoseconds()) }
+
+// Charge is a no-op for operation-scale costs (the real work already
+// took real time), but large modelled windows — a query optimizer's
+// compile time — occupy the AC for real, so beaming genuinely overlaps
+// transfers with compilation on this runtime too.
+func (c *realCtx) Charge(d sim.Time) {
+	if d >= sim.Millisecond {
+		time.Sleep(time.Duration(d))
+	}
+}
+func (c *realCtx) Costs() *sim.CostModel { return &c.e.Costs }
+func (c *realCtx) Topology() *Topology   { return c.e.Topo }
+func (c *realCtx) Offloaded(ACID) bool   { return false }
+
+func (c *realCtx) Send(dst ACID, ev *Event) {
+	if dst == ClientAC {
+		if c.e.client != nil {
+			c.e.client(ev)
+		}
+		return
+	}
+	c.e.box(dst).Send(ev)
+}
+
+func (c *realCtx) SendData(dst ACID, msg *DataMsg) {
+	if dst == ClientAC {
+		return
+	}
+	c.e.box(dst).Send(msg)
+}

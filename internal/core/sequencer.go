@@ -1,0 +1,43 @@
+package core
+
+// Outbound pairs an event with its routed destination.
+type Outbound struct {
+	Dst ACID
+	Ev  *Event
+}
+
+// SeqBatch is the payload of EvSeqStamp: the events of one transaction,
+// already routed, to be stamped and forwarded in a consistent total
+// order.
+type SeqBatch struct {
+	Events []Outbound
+}
+
+// Sequencer implements streaming concurrency control's ordering side
+// (§3.3): conflicting transactions route their events through one
+// sequencer AC, which stamps a monotone sequence number and forwards
+// them. Because every executor receives its events through FIFO streams
+// from the same sequencer, all executors observe conflicting operations
+// in the same order — consistency without locks or active
+// synchronization. Events of different transactions interleave freely at
+// different executors, which is exactly what lets execution pipeline.
+type Sequencer struct {
+	next uint64
+	// Stamped counts stamped events (observability/tests).
+	Stamped int64
+}
+
+// OnEvent implements Behavior for EvSeqStamp.
+func (s *Sequencer) OnEvent(ctx Context, _ *AC, ev *Event) {
+	batch, ok := ev.Payload.(*SeqBatch)
+	if !ok {
+		panic("core: EvSeqStamp payload must be *SeqBatch")
+	}
+	for _, o := range batch.Events {
+		s.next++
+		o.Ev.Seq = s.next
+		s.Stamped++
+		ctx.Charge(ctx.Costs().SeqStamp)
+		ctx.Send(o.Dst, o.Ev)
+	}
+}

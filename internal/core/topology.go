@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+
+	"anydb/internal/storage"
+)
+
+// Topology describes the physical layout the streams are routed over:
+// servers, the ACs pinned to their cores, and which AC currently owns
+// each storage partition. Ownership is the mechanism behind the paper's
+// "physically aggregated" execution (§3.1): events for a partition's
+// records routed to its owner execute with full locality and no
+// concurrency control.
+type Topology struct {
+	serverOf   map[ACID]int
+	acsOf      map[int][]ACID
+	nextAC     ACID
+	owner      map[int]ACID // partition -> owning AC
+	db         *storage.Database
+	numServers int
+}
+
+// NewTopology returns a topology over db with no servers yet.
+func NewTopology(db *storage.Database) *Topology {
+	return &Topology{
+		serverOf: make(map[ACID]int),
+		acsOf:    make(map[int][]ACID),
+		owner:    make(map[int]ACID),
+		db:       db,
+	}
+}
+
+// AddServer adds a server with cores ACs and returns their ids. Servers
+// model the paper's Figure 2 layout (e.g. 2 servers × 4 cores); adding
+// servers at runtime is the elasticity mechanism of §5.
+func (t *Topology) AddServer(cores int) []ACID {
+	sid := t.numServers
+	t.numServers++
+	ids := make([]ACID, cores)
+	for i := range ids {
+		id := t.nextAC
+		t.nextAC++
+		t.serverOf[id] = sid
+		t.acsOf[sid] = append(t.acsOf[sid], id)
+		ids[i] = id
+	}
+	return ids
+}
+
+// NumServers returns the server count.
+func (t *Topology) NumServers() int { return t.numServers }
+
+// NumACs returns the total AC count.
+func (t *Topology) NumACs() int { return int(t.nextAC) }
+
+// ACs returns the ACs of one server.
+func (t *Topology) ACs(server int) []ACID { return t.acsOf[server] }
+
+// AllACs returns every AC id in order.
+func (t *Topology) AllACs() []ACID {
+	out := make([]ACID, 0, t.nextAC)
+	for i := ACID(0); i < t.nextAC; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// ServerOf returns the server hosting an AC.
+func (t *Topology) ServerOf(ac ACID) int { return t.serverOf[ac] }
+
+// SameServer reports whether two ACs share a server (local shared-memory
+// hop vs network hop).
+func (t *Topology) SameServer(a, b ACID) bool { return t.serverOf[a] == t.serverOf[b] }
+
+// SetOwner assigns a storage partition to an AC. Re-assignment is
+// allowed (repartitioning/elastic handoff) — callers are responsible for
+// quiescing in-flight events, which the engines do by draining.
+func (t *Topology) SetOwner(partition int, ac ACID) { t.owner[partition] = ac }
+
+// Owner returns the AC owning a partition.
+func (t *Topology) Owner(partition int) ACID {
+	ac, ok := t.owner[partition]
+	if !ok {
+		panic(fmt.Sprintf("core: partition %d has no owner", partition))
+	}
+	return ac
+}
+
+// OwnedPartitions returns the partitions owned by ac (ascending).
+func (t *Topology) OwnedPartitions(ac ACID) []int {
+	var out []int
+	for p := 0; p < t.db.NumPartitions(); p++ {
+		if owner, ok := t.owner[p]; ok && owner == ac {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// DB returns the shared storage layer.
+func (t *Topology) DB() *storage.Database { return t.db }
+
+// Partition is shorthand for DB().Partition.
+func (t *Topology) Partition(id int) *storage.Partition { return t.db.Partition(id) }

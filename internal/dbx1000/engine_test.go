@@ -1,0 +1,173 @@
+package dbx1000
+
+import (
+	"testing"
+
+	"anydb/internal/sim"
+	"anydb/internal/tpcc"
+)
+
+func testCfg() tpcc.Config {
+	return tpcc.Config{Warehouses: 4, Districts: 2, Customers: 40,
+		Items: 60, InitOrders: 20, Seed: 5}.WithDefaults()
+}
+
+// runEngine executes n transactions from the mix and returns the engine.
+func runEngine(t *testing.T, cfg tpcc.Config, tes, n int, mix tpcc.Mix) (*Engine, sim.Time) {
+	t.Helper()
+	db, _ := tpcc.NewDatabase(cfg)
+	sched := sim.NewScheduler()
+	e := New(sched, db, cfg, tes, sim.DefaultCosts())
+	g := tpcc.NewGenerator(cfg, mix, 77)
+	issued := 0
+	e.SetSource(func() *tpcc.Txn {
+		if issued >= n {
+			return nil
+		}
+		issued++
+		txn := g.Next()
+		return &txn
+	})
+	e.Prime(2 * tes)
+	sched.Run()
+	if got := e.Committed.Load() + e.Aborted.Load(); got != int64(n) {
+		t.Fatalf("finished %d of %d transactions", got, n)
+	}
+	if _, err := tpcc.Verify(db, cfg); err != nil {
+		t.Fatalf("consistency: %v", err)
+	}
+	return e, sched.Now()
+}
+
+func TestBaselinePaymentPartitionable(t *testing.T) {
+	e, _ := runEngine(t, testCfg(), 4, 800, tpcc.Partitionable())
+	if e.Committed.Load() != 800 {
+		t.Fatalf("committed = %d", e.Committed.Load())
+	}
+}
+
+func TestBaselineMixedWithAborts(t *testing.T) {
+	mix := tpcc.MixedOLTP()
+	mix.InvalidItemFrac = 0.15
+	e, _ := runEngine(t, testCfg(), 4, 600, mix)
+	if e.Aborted.Load() == 0 {
+		t.Fatal("expected logical aborts")
+	}
+}
+
+// TestSkewCollapsesToOneTE is the baseline's defining behavior in the
+// paper: under the skewed workload, 4 TEs perform like a single TE.
+func TestSkewCollapsesToOneTE(t *testing.T) {
+	cfg := testCfg()
+	const n = 1000
+	_, t4 := runEngine(t, cfg, 4, n, tpcc.Skewed())
+	_, t1 := runEngine(t, cfg, 1, n, tpcc.Skewed())
+	ratio := float64(t1) / float64(t4)
+	if ratio < 0.8 || ratio > 1.3 {
+		t.Fatalf("4TE/1TE skewed makespan ratio = %.2f, want ≈1 (contention collapse)", ratio)
+	}
+	// And partitionable 4TE must clearly beat skewed 4TE.
+	_, tp := runEngine(t, cfg, 4, n, tpcc.Partitionable())
+	if speedup := float64(t4) / float64(tp); speedup < 2 {
+		t.Fatalf("partitionable speedup over skew = %.2fx, want >2x", speedup)
+	}
+}
+
+// TestRecordLockConflictNoLostUpdate: two TEs hammer the same customer
+// record — TE1 locally, TE0 via remote payments. No-wait 2PL must produce
+// conflict retries, yet every payment applies exactly once (no lost
+// updates) and TPC-C consistency holds.
+func TestRecordLockConflictNoLostUpdate(t *testing.T) {
+	cfg := testCfg()
+	db, _ := tpcc.NewDatabase(cfg)
+	sched := sim.NewScheduler()
+	e := New(sched, db, cfg, 2, sim.DefaultCosts())
+	const n = 2000
+	issued := 0
+	e.SetSource(func() *tpcc.Txn {
+		if issued >= n {
+			return nil
+		}
+		issued++
+		// Alternate home warehouse; always pay customer (1,1,1).
+		home := issued % 2
+		return &tpcc.Txn{Kind: tpcc.TxnPayment, Payment: tpcc.Payment{
+			W: home, D: 1, CW: 1, CD: 1, C: 1, Amount: 1,
+		}}
+	})
+	e.Prime(4)
+	sched.Run()
+	if e.Committed.Load() != n {
+		t.Fatalf("committed %d of %d", e.Committed.Load(), n)
+	}
+	if e.Retries.Load() == 0 {
+		t.Fatal("no lock conflicts despite contended record")
+	}
+	ct := db.Partition(1).Table(tpcc.TCustomer)
+	slot, _ := ct.Lookup(tpcc.CustomerKey(1, 1, 1))
+	bal := ct.Field(slot, ct.Schema.MustCol("c_balance")).F
+	if bal != -10-float64(n) { // initial -10, minus n payments of 1
+		t.Fatalf("balance = %v, want %v (lost updates?)", bal, -10-float64(n))
+	}
+	if _, err := tpcc.Verify(db, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOLAPQueryCorrectResult(t *testing.T) {
+	cfg := testCfg()
+	db, _ := tpcc.NewDatabase(cfg)
+	sched := sim.NewScheduler()
+	e := New(sched, db, cfg, 4, sim.DefaultCosts())
+	e.StartOLAP(false, 1)
+	sched.Run()
+	if e.QueryDone != 1 {
+		t.Fatalf("QueryDone = %d", e.QueryDone)
+	}
+	// Reference: sequential evaluation of Q3.
+	want := tpcc.ReferenceQ3(db, cfg)
+	if e.LastQueryRows != want {
+		t.Fatalf("Q3 rows = %d, reference %d", e.LastQueryRows, want)
+	}
+	if want == 0 {
+		t.Fatal("reference query selected nothing — workload broken")
+	}
+	if e.QueryLast <= 0 {
+		t.Fatal("query latency not recorded")
+	}
+}
+
+// TestHTAPInterference: running continuous OLAP alongside OLTP must cost
+// OLTP throughput on the baseline (shared TEs + scan locks) — the effect
+// Figure 1's HTAP phases measure.
+func TestHTAPInterference(t *testing.T) {
+	cfg := testCfg()
+	cfg.InitOrders = 800 // the query needs scan/join volume to interfere
+	window := 20 * sim.Millisecond
+
+	run := func(olap bool) int64 {
+		db, _ := tpcc.NewDatabase(cfg)
+		sched := sim.NewScheduler()
+		e := New(sched, db, cfg, 4, sim.DefaultCosts())
+		g := tpcc.NewGenerator(cfg, tpcc.Partitionable(), 9)
+		e.SetSource(func() *tpcc.Txn { txn := g.Next(); return &txn })
+		e.Prime(8)
+		if olap {
+			e.StartOLAP(true, 4)
+		}
+		sched.RunUntil(window)
+		return e.Committed.Load()
+	}
+	base := run(false)
+	htap := run(true)
+	if base == 0 {
+		t.Fatal("no baseline throughput")
+	}
+	frac := float64(htap) / float64(base)
+	if frac > 0.95 {
+		t.Fatalf("OLAP co-running cost only %.1f%% — interference missing", 100*(1-frac))
+	}
+	if frac < 0.10 {
+		t.Fatalf("OLAP starved OLTP to %.2f of baseline — too aggressive", frac)
+	}
+}

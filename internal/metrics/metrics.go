@@ -1,0 +1,213 @@
+// Package metrics provides lightweight measurement primitives used by the
+// benchmark harness and both engines: atomic counters, windowed rate
+// series (throughput per workload phase), and log-scaled latency
+// histograms.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is an atomic event counter.
+type Counter struct {
+	n atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Add adds delta.
+func (c *Counter) Add(delta int64) { c.n.Add(delta) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.n.Load() }
+
+// Reset sets the counter to zero and returns the previous value.
+func (c *Counter) Reset() int64 { return c.n.Swap(0) }
+
+// Rate converts a count observed over an elapsed duration into events per
+// second. Durations of zero or less yield zero rather than Inf/NaN so the
+// harness can render partial phases safely.
+func Rate(count int64, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(count) / elapsed.Seconds()
+}
+
+// Series is a labeled sequence of per-phase measurements (e.g., OLTP
+// throughput per workload phase). It is not safe for concurrent use; the
+// harness owns it.
+type Series struct {
+	Label  string
+	Points []float64
+}
+
+// Append adds a measurement point.
+func (s *Series) Append(v float64) { s.Points = append(s.Points, v) }
+
+// numBuckets covers nanosecond exponents 4..63 with 16 sub-buckets each;
+// observations below 16ns share the first bucket.
+const numBuckets = 16 * 60
+
+// Histogram is a log-bucketed latency histogram with about 6% relative
+// resolution. The zero value is ready to use. It is safe for concurrent
+// recording.
+type Histogram struct {
+	buckets [numBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64 // total nanoseconds
+	max     atomic.Int64
+}
+
+// bucketOf maps a duration to a bucket index: 16 sub-buckets per power of
+// two of nanoseconds, starting at 16ns.
+func bucketOf(d time.Duration) int {
+	ns := d.Nanoseconds()
+	if ns < 16 {
+		ns = 16
+	}
+	exp := 63 - leadingZeros64(uint64(ns))
+	sub := (ns >> (uint(exp) - 4)) & 15
+	idx := (exp-4)*16 + int(sub)
+	if idx >= numBuckets {
+		idx = numBuckets - 1
+	}
+	return idx
+}
+
+func leadingZeros64(x uint64) int {
+	n := 0
+	if x == 0 {
+		return 64
+	}
+	for x&(1<<63) == 0 {
+		x <<= 1
+		n++
+	}
+	return n
+}
+
+// bucketLow returns the lower bound of bucket idx in nanoseconds.
+func bucketLow(idx int) int64 {
+	exp := idx/16 + 4
+	sub := int64(idx % 16)
+	return (16 + sub) << (uint(exp) - 4)
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(d time.Duration) {
+	h.buckets[bucketOf(d)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(d.Nanoseconds())
+	for {
+		cur := h.max.Load()
+		if d.Nanoseconds() <= cur || h.max.CompareAndSwap(cur, d.Nanoseconds()) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Mean returns the mean observation.
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Max returns the largest observation.
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max.Load()) }
+
+// Quantile returns an approximate q-quantile (0 <= q <= 1).
+func (h *Histogram) Quantile(q float64) time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(n)))
+	if target < 1 {
+		target = 1
+	}
+	var seen int64
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen >= target {
+			return time.Duration(bucketLow(i))
+		}
+	}
+	return h.Max()
+}
+
+// String renders a compact summary.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
+		h.Count(), h.Mean(), h.Quantile(0.50), h.Quantile(0.99), h.Max())
+}
+
+// Table renders labeled series as an aligned text table, one row per
+// series and one column per phase/x-value. xlabel names the column axis;
+// xs supplies the column headers (len(xs) must cover the longest series).
+func Table(xlabel string, xs []string, series []*Series, format string) string {
+	var b strings.Builder
+	w := 12
+	fmt.Fprintf(&b, "%-28s", xlabel)
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%*s", w, x)
+	}
+	b.WriteByte('\n')
+	for _, s := range series {
+		fmt.Fprintf(&b, "%-28s", s.Label)
+		for i := range xs {
+			if i < len(s.Points) {
+				fmt.Fprintf(&b, "%*s", w, fmt.Sprintf(format, s.Points[i]))
+			} else {
+				fmt.Fprintf(&b, "%*s", w, "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the same data as comma-separated values for plotting.
+func CSV(xlabel string, xs []string, series []*Series) string {
+	var b strings.Builder
+	b.WriteString(xlabel)
+	for _, s := range series {
+		b.WriteByte(',')
+		b.WriteString(s.Label)
+	}
+	b.WriteByte('\n')
+	for i, x := range xs {
+		b.WriteString(x)
+		for _, s := range series {
+			b.WriteByte(',')
+			if i < len(s.Points) {
+				fmt.Fprintf(&b, "%g", s.Points[i])
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// SortedKeys returns map keys in sorted order; a small helper for stable
+// report rendering.
+func SortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,164 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Load() != 5 {
+		t.Fatalf("Load = %d, want 5", c.Load())
+	}
+	if c.Reset() != 5 || c.Load() != 0 {
+		t.Fatal("Reset did not return previous value and zero the counter")
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 10000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Load() != 80000 {
+		t.Fatalf("Load = %d, want 80000", c.Load())
+	}
+}
+
+func TestRate(t *testing.T) {
+	if got := Rate(1000, time.Second); got != 1000 {
+		t.Fatalf("Rate = %g, want 1000", got)
+	}
+	if got := Rate(500, 250*time.Millisecond); got != 2000 {
+		t.Fatalf("Rate = %g, want 2000", got)
+	}
+	if got := Rate(5, 0); got != 0 {
+		t.Fatalf("Rate with zero elapsed = %g, want 0", got)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("zero-value histogram not empty")
+	}
+	h.Record(100 * time.Nanosecond)
+	h.Record(200 * time.Nanosecond)
+	h.Record(300 * time.Nanosecond)
+	if h.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", h.Count())
+	}
+	if h.Mean() != 200*time.Nanosecond {
+		t.Fatalf("Mean = %v, want 200ns", h.Mean())
+	}
+	if h.Max() != 300*time.Nanosecond {
+		t.Fatalf("Max = %v, want 300ns", h.Max())
+	}
+}
+
+// TestHistogramQuantileAccuracy checks that quantiles are within the
+// histogram's relative resolution of the true value.
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 10000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		got := h.Quantile(q).Seconds()
+		want := q * 10000 * 1e-6
+		if math.Abs(got-want)/want > 0.10 {
+			t.Errorf("Quantile(%g) = %gs, want within 10%% of %gs", q, got, want)
+		}
+	}
+}
+
+func TestHistogramBucketMonotone(t *testing.T) {
+	prev := -1
+	for ns := int64(1); ns < int64(1)<<40; ns *= 3 {
+		idx := bucketOf(time.Duration(ns))
+		if idx < prev {
+			t.Fatalf("bucketOf not monotone at %dns: %d < %d", ns, idx, prev)
+		}
+		prev = idx
+	}
+}
+
+// TestHistogramBucketBounds: every duration lands in a bucket whose lower
+// bound does not exceed it.
+func TestHistogramBucketBounds(t *testing.T) {
+	check := func(ns int64) bool {
+		if ns < 16 {
+			ns = 16
+		}
+		if ns > 1<<62 {
+			ns = 1 << 62
+		}
+		idx := bucketOf(time.Duration(ns))
+		return bucketLow(idx) <= ns
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 1; j <= 5000; j++ {
+				h.Record(time.Duration(j) * time.Nanosecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 20000 {
+		t.Fatalf("Count = %d, want 20000", h.Count())
+	}
+	if !strings.Contains(h.String(), "n=20000") {
+		t.Fatalf("String() = %q missing count", h.String())
+	}
+}
+
+func TestSeriesAndTable(t *testing.T) {
+	s1 := &Series{Label: "DBx1000"}
+	s1.Append(2.0)
+	s1.Append(0.7)
+	s2 := &Series{Label: "AnyDB"}
+	s2.Append(2.0)
+	out := Table("phase", []string{"0", "1"}, []*Series{s1, s2}, "%.2f")
+	if !strings.Contains(out, "DBx1000") || !strings.Contains(out, "0.70") {
+		t.Fatalf("table missing content:\n%s", out)
+	}
+	if !strings.Contains(out, "-") {
+		t.Fatalf("short series should render '-':\n%s", out)
+	}
+	csv := CSV("phase", []string{"0", "1"}, []*Series{s1, s2})
+	if !strings.HasPrefix(csv, "phase,DBx1000,AnyDB\n0,2,2\n") {
+		t.Fatalf("csv header/content wrong:\n%s", csv)
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	got := SortedKeys(m)
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Fatalf("SortedKeys = %v", got)
+	}
+}

@@ -1,0 +1,439 @@
+// Package olap implements AnyDB's analytical operators as AnyComponent
+// behaviors: chunked filtered scans that actively push columnar batches
+// into data streams, hash joins whose build and probe sides are separate
+// streams (so either can be beamed ahead of time, §4), and a counting
+// aggregate. Operators are installed by EvInstallOp events; which AC they
+// land on — co-located with storage (aggregated) or on another server
+// (disaggregated) — is purely a routing decision.
+package olap
+
+import (
+	"fmt"
+
+	"anydb/internal/core"
+	"anydb/internal/sim"
+	"anydb/internal/storage"
+)
+
+// PredKind selects a scan predicate.
+type PredKind uint8
+
+const (
+	// PredNone passes every row.
+	PredNone PredKind = iota
+	// PredPrefix keeps rows whose string column starts with Prefix.
+	PredPrefix
+	// PredGEInt keeps rows whose int column is >= MinI.
+	PredGEInt
+	// PredLTInt keeps rows whose int column is < MinI.
+	PredLTInt
+	// PredEqInt keeps rows whose int column equals MinI.
+	PredEqInt
+	// PredNeInt keeps rows whose int column differs from MinI.
+	PredNeInt
+	// PredEqStr keeps rows whose string column equals Str.
+	PredEqStr
+)
+
+// Predicate is a single-column filter (the paper's query needs prefix and
+// range predicates; richer trees live in the plan package).
+type Predicate struct {
+	Col    string
+	Kind   PredKind
+	Prefix string
+	Str    string
+	MinI   int64
+}
+
+// Matches evaluates the predicate on a row of the given schema.
+func (p Predicate) Matches(schema *storage.Schema, row storage.Row) bool {
+	switch p.Kind {
+	case PredNone:
+		return true
+	case PredPrefix:
+		v := row[schema.MustCol(p.Col)].S
+		return len(v) >= len(p.Prefix) && v[:len(p.Prefix)] == p.Prefix
+	case PredGEInt:
+		return row[schema.MustCol(p.Col)].I >= p.MinI
+	case PredLTInt:
+		return row[schema.MustCol(p.Col)].I < p.MinI
+	case PredEqInt:
+		return row[schema.MustCol(p.Col)].I == p.MinI
+	case PredNeInt:
+		return row[schema.MustCol(p.Col)].I != p.MinI
+	case PredEqStr:
+		return row[schema.MustCol(p.Col)].S == p.Str
+	default:
+		panic("olap: unknown predicate kind")
+	}
+}
+
+// ScanSpec instructs an AC to scan one partition's table, filter,
+// project, and push batches into Out toward To. The scan runs in chunks,
+// re-enqueueing itself between chunks so OLTP events interleave (the
+// non-blocking rule applied to long-running operators).
+type ScanSpec struct {
+	Query     core.QueryID
+	Table     string
+	Part      int
+	Filters   []Predicate // AND-composed
+	Cols      []string
+	Out       core.StreamID
+	To        core.ACID
+	Producers int // fan-in of Out (number of parallel scans feeding it)
+	ChunkRows int
+	BatchRows int
+
+	cursor int32
+	schema *storage.Schema
+	batch  *storage.Batch
+	cols   []int
+}
+
+// DefaultChunkRows bounds rows scanned per event; DefaultBatchRows is the
+// target batch granularity for the data stream.
+const (
+	DefaultChunkRows = 2048
+	DefaultBatchRows = 1024
+)
+
+// JoinSpec instructs an AC to hash-join two incoming streams. The build
+// side is consumed entirely first (NeedClosed semantics); probe batches
+// stream through afterwards — any probe data beamed early waits staged at
+// the AC.
+type JoinSpec struct {
+	Query    core.QueryID
+	Build    core.StreamID
+	BuildKey []string // join key columns in the build batch schema
+	Probe    core.StreamID
+	ProbeKey []string
+	// Semi emits only matching probe rows (sufficient for the paper's
+	// query); otherwise the concatenated row is produced.
+	Semi      bool
+	Out       core.StreamID
+	To        core.ACID
+	Producers int
+	// Notify receives EvOpDone events at build completion and probe
+	// completion (the harness's Figure 6 instrumentation).
+	Notify core.ACID
+	Label  string
+}
+
+// AggSpec counts rows of a stream and reports the result.
+type AggSpec struct {
+	Query core.QueryID
+	In    core.StreamID
+	// Notify receives the EvQueryDone event carrying *QueryResult.
+	Notify core.ACID
+}
+
+// QueryResult is the payload of EvQueryDone.
+type QueryResult struct {
+	Query core.QueryID
+	Rows  int64
+	// Collected carries projected result rows for CollectSpec sinks
+	// (capped at CollectCap; Truncated reports overflow).
+	Collected []storage.Row
+	Truncated bool
+}
+
+// CollectSpec gathers projected result rows of a stream and reports them
+// (small results; the sink caps at CollectCap rows).
+type CollectSpec struct {
+	Query  core.QueryID
+	In     core.StreamID
+	Cols   []string
+	Notify core.ACID
+}
+
+// CollectCap bounds collected result sets.
+const CollectCap = 16384
+
+// OpDone is the payload of EvOpDone.
+type OpDone struct {
+	Query core.QueryID
+	Label string // e.g. "join1/build", "join1/probe"
+}
+
+// Worker is the AC behavior executing installed operators; register it
+// for EvInstallOp on every AC.
+type Worker struct {
+	DB *storage.Database
+}
+
+// OnEvent implements core.Behavior.
+func (w *Worker) OnEvent(ctx core.Context, ac *core.AC, ev *core.Event) {
+	switch spec := ev.Payload.(type) {
+	case *ScanSpec:
+		w.scanChunk(ctx, ac, ev, spec)
+	case *JoinSpec:
+		newJoin(ctx, ac, spec)
+	case *AggSpec:
+		agg := &aggState{spec: spec}
+		ac.Subscribe(ctx, spec.In, agg)
+	case *CollectSpec:
+		ac.Subscribe(ctx, spec.In, &collectState{spec: spec})
+	default:
+		panic(fmt.Sprintf("olap: unknown operator spec %T", ev.Payload))
+	}
+}
+
+// scanChunk advances a scan by one chunk and re-enqueues the event until
+// the table is exhausted.
+func (w *Worker) scanChunk(ctx core.Context, _ *core.AC, ev *core.Event, s *ScanSpec) {
+	if s.schema == nil {
+		t := w.DB.Partition(s.Part).Table(s.Table)
+		s.schema = t.Schema
+		s.cols = make([]int, len(s.Cols))
+		outCols := make([]storage.Column, len(s.Cols))
+		for i, c := range s.Cols {
+			s.cols[i] = t.Schema.MustCol(c)
+			outCols[i] = t.Schema.Cols[s.cols[i]]
+		}
+		s.batch = storage.NewBatch(storage.NewSchema(s.Table+"_scan", outCols...))
+		if s.ChunkRows == 0 {
+			s.ChunkRows = DefaultChunkRows
+		}
+		if s.BatchRows == 0 {
+			s.BatchRows = DefaultBatchRows
+		}
+	}
+	t := w.DB.Partition(s.Part).Table(s.Table)
+	costs := ctx.Costs()
+	offloaded := ctx.Offloaded(s.To)
+	next, done := t.ScanRange(s.cursor, s.ChunkRows, func(_ int32, row storage.Row) bool {
+		ctx.Charge(costs.ScanRow)
+		for i := range s.Filters {
+			if !s.Filters[i].Matches(t.Schema, row) {
+				return true
+			}
+		}
+		vals := make(storage.Row, len(s.cols))
+		for i, c := range s.cols {
+			vals[i] = row[c]
+		}
+		s.batch.AppendRow(vals)
+		if !offloaded {
+			// Shuffle partitioning runs on this core unless a DPI
+			// flow carries the stream (§4's co-processor effect).
+			ctx.Charge(costs.PartitionRow)
+		}
+		if s.batch.Len() >= s.BatchRows {
+			w.flush(ctx, s, false)
+		}
+		return true
+	})
+	s.cursor = next
+	if done {
+		w.flush(ctx, s, true)
+		return
+	}
+	// Yield: re-enqueue the continuation behind whatever else queued.
+	ctx.Send(ctx.Self(), ev)
+}
+
+func (w *Worker) flush(ctx core.Context, s *ScanSpec, last bool) {
+	if s.batch.Len() > 0 || last {
+		msg := &core.DataMsg{Stream: s.Out, Query: s.Query, Last: last, Producers: s.Producers}
+		if s.batch.Len() > 0 {
+			msg.Batch = s.batch
+			s.batch = storage.NewBatch(msg.Batch.Schema)
+		}
+		ctx.SendData(s.To, msg)
+	}
+}
+
+// joinState is a two-phase hash join bound to one AC.
+type joinState struct {
+	spec  *JoinSpec
+	ht    map[joinKey][]int32 // build key -> build row indexes (inner) or presence (semi)
+	build []*storage.Batch
+	built bool
+	out   *storage.Batch
+}
+
+type joinKey struct {
+	a, b, c int64
+}
+
+func keyOf(batch *storage.Batch, row int, cols []int) joinKey {
+	var k joinKey
+	for i, c := range cols {
+		v := batch.Cols[c].Ints[row]
+		switch i {
+		case 0:
+			k.a = v
+		case 1:
+			k.b = v
+		default:
+			k.c = v
+		}
+	}
+	return k
+}
+
+func newJoin(ctx core.Context, ac *core.AC, spec *JoinSpec) {
+	j := &joinState{spec: spec, ht: make(map[joinKey][]int32)}
+	// Consume the build side first; staged (beamed) batches replay
+	// immediately inside Subscribe.
+	ac.Subscribe(ctx, spec.Build, (*joinBuildSink)(j))
+}
+
+// joinBuildSink and joinProbeSink give the two phases distinct OnData
+// methods over the same state.
+type joinBuildSink joinState
+
+func (j *joinBuildSink) OnData(ctx core.Context, ac *core.AC, msg *core.DataMsg) {
+	st := (*joinState)(j)
+	costs := ctx.Costs()
+	if msg.Batch != nil {
+		buildCost := costs.HashBuildRow
+		if msg.Prehashed {
+			// DPI flows hash rows in flight (§4 co-processor).
+			buildCost = buildCost * 3 / 4
+		}
+		cols := colIdx(msg.Batch.Schema, st.spec.BuildKey)
+		bi := len(st.build)
+		st.build = append(st.build, msg.Batch)
+		for r := 0; r < msg.Batch.Len(); r++ {
+			ctx.Charge(buildCost)
+			k := keyOf(msg.Batch, r, cols)
+			st.ht[k] = append(st.ht[k], int32(bi)<<16|int32(r))
+		}
+	}
+	if msg.Last {
+		st.built = true
+		if st.spec.Notify != core.NoAC {
+			ctx.Send(st.spec.Notify, &core.Event{
+				Kind: core.EvOpDone, Query: st.spec.Query,
+				Payload: &OpDone{Query: st.spec.Query, Label: st.spec.Label + "/build"},
+			})
+		}
+		// Now attach the probe side; beamed probe data replays here.
+		ac.Subscribe(ctx, st.spec.Probe, (*joinProbeSink)(j))
+	}
+}
+
+type joinProbeSink joinState
+
+func (j *joinProbeSink) OnData(ctx core.Context, ac *core.AC, msg *core.DataMsg) {
+	st := (*joinState)(j)
+	spec := st.spec
+	costs := ctx.Costs()
+	if msg.Batch != nil {
+		probeCost := costs.HashProbeRow
+		if msg.Prehashed {
+			probeCost = probeCost * 3 / 4
+		}
+		cols := colIdx(msg.Batch.Schema, spec.ProbeKey)
+		if st.out == nil {
+			st.out = storage.NewBatch(outSchema(st, msg.Batch.Schema))
+		}
+		for r := 0; r < msg.Batch.Len(); r++ {
+			ctx.Charge(probeCost)
+			matches := st.ht[keyOf(msg.Batch, r, cols)]
+			if len(matches) == 0 {
+				continue
+			}
+			if spec.Semi {
+				st.out.AppendRow(msg.Batch.Row(r))
+			} else {
+				for _, m := range matches {
+					b := st.build[m>>16]
+					row := append(b.Row(int(m&0xffff)), msg.Batch.Row(r)...)
+					st.out.AppendRow(row)
+				}
+			}
+			if st.out.Len() >= DefaultBatchRows {
+				st.emit(ctx, false)
+			}
+		}
+	}
+	if msg.Last {
+		if st.out == nil {
+			st.out = storage.NewBatch(storage.NewSchema("join_empty"))
+		}
+		st.emit(ctx, true)
+		if spec.Notify != core.NoAC {
+			ctx.Send(spec.Notify, &core.Event{
+				Kind: core.EvOpDone, Query: spec.Query,
+				Payload: &OpDone{Query: spec.Query, Label: spec.Label + "/probe"},
+			})
+		}
+	}
+}
+
+func (st *joinState) emit(ctx core.Context, last bool) {
+	msg := &core.DataMsg{Stream: st.spec.Out, Query: st.spec.Query, Last: last, Producers: st.spec.Producers}
+	if st.out.Len() > 0 {
+		msg.Batch = st.out
+		st.out = storage.NewBatch(msg.Batch.Schema)
+	}
+	ctx.SendData(st.spec.To, msg)
+}
+
+func outSchema(st *joinState, probe *storage.Schema) *storage.Schema {
+	if st.spec.Semi || len(st.build) == 0 {
+		return probe
+	}
+	return storage.ConcatSchema("join_out", st.build[0].Schema, probe)
+}
+
+func colIdx(s *storage.Schema, names []string) []int {
+	out := make([]int, len(names))
+	for i, n := range names {
+		out[i] = s.MustCol(n)
+	}
+	return out
+}
+
+// aggState counts rows.
+type aggState struct {
+	spec *AggSpec
+	rows int64
+}
+
+func (a *aggState) OnData(ctx core.Context, _ *core.AC, msg *core.DataMsg) {
+	if msg.Batch != nil {
+		ctx.Charge(ctx.Costs().AggRow * sim.Time(msg.Batch.Len()))
+		a.rows += int64(msg.Batch.Len())
+	}
+	if msg.Last {
+		ctx.Send(a.spec.Notify, &core.Event{
+			Kind: core.EvQueryDone, Query: a.spec.Query,
+			Payload: &QueryResult{Query: a.spec.Query, Rows: a.rows},
+		})
+	}
+}
+
+// collectState materializes projected result rows.
+type collectState struct {
+	spec      *CollectSpec
+	rows      []storage.Row
+	truncated bool
+	n         int64
+}
+
+func (c *collectState) OnData(ctx core.Context, _ *core.AC, msg *core.DataMsg) {
+	if msg.Batch != nil {
+		ctx.Charge(ctx.Costs().AggRow * sim.Time(msg.Batch.Len()))
+		c.n += int64(msg.Batch.Len())
+		proj := msg.Batch.Project(c.spec.Cols...)
+		for r := 0; r < proj.Len(); r++ {
+			if len(c.rows) >= CollectCap {
+				c.truncated = true
+				break
+			}
+			c.rows = append(c.rows, proj.Row(r))
+		}
+	}
+	if msg.Last {
+		ctx.Send(c.spec.Notify, &core.Event{
+			Kind: core.EvQueryDone, Query: c.spec.Query,
+			Payload: &QueryResult{
+				Query: c.spec.Query, Rows: c.n,
+				Collected: c.rows, Truncated: c.truncated,
+			},
+		})
+	}
+}

@@ -1,0 +1,254 @@
+package oltp
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"anydb/internal/core"
+	"anydb/internal/sim"
+	"anydb/internal/storage"
+	"anydb/internal/tpcc"
+)
+
+// Policy selects how a dispatcher lays a transaction's event stream over
+// the ACs — the paper's routing strategies:
+//
+//   - SharedNothing (Fig. 4b): all operations of a transaction aggregate
+//     into per-warehouse segments routed to the partition owners. Full
+//     locality, classic inter-transaction parallelism.
+//   - NaiveIntra (Fig. 4c): every operation is its own event, farmed out
+//     to a different AC by record class. Conservative admission — one
+//     transaction in flight per home warehouse — keeps conflicting
+//     schedules serial, which is why per-event overhead dominates.
+//   - PreciseIntra (Fig. 4d): two balanced sub-sequences — the brief
+//     updates, and the long customer scan — pipelined across two ACs.
+//   - StreamingCC (§3.3): per-record-class segments stamped by a
+//     sequencer; executors apply conflicting operations in stamp order,
+//     transactions pipeline freely, a dedicated coordinator commits.
+type Policy uint8
+
+const (
+	SharedNothing Policy = iota
+	NaiveIntra
+	PreciseIntra
+	StreamingCC
+)
+
+var policyNames = [...]string{"shared-nothing", "naive-intra", "precise-intra", "streaming-cc"}
+
+func (p Policy) String() string {
+	if int(p) < len(policyNames) {
+		return policyNames[p]
+	}
+	return fmt.Sprintf("Policy(%d)", uint8(p))
+}
+
+// Routes carries the routing tables a dispatcher needs. Owner is always
+// required; ClassRoute powers the intra-transaction policies; Seq and
+// Coord power streaming CC.
+type Routes struct {
+	// Owner maps a partition (warehouse) to the AC owning it.
+	Owner func(partition int) core.ACID
+	// ClassRoute maps (warehouse, record class) to the executing AC for
+	// fine-grained policies. nil falls back to Owner.
+	ClassRoute func(w int, c Class) core.ACID
+	// Seq is the sequencer AC (streaming CC only).
+	Seq core.ACID
+	// Coord is the commit coordinator AC; NoAC embeds coordination in
+	// the dispatcher.
+	Coord core.ACID
+}
+
+// Dispatcher is the behavior of an AC acting as the transaction entry
+// point (the "QO" role for OLTP in Figure 4): it logically disaggregates
+// the transaction into operations, groups them into segments per the
+// policy, and routes the event stream. It also embeds commit
+// coordination unless Routes.Coord redirects acks elsewhere.
+type Dispatcher struct {
+	DB *storage.Database
+	// cfg holds the active policy and routing atomically, so the engine
+	// can reroute at runtime (the paper's zero-downtime architecture
+	// shift) while AC goroutines dispatch concurrently.
+	cfg atomic.Pointer[DispatchConfig]
+
+	pending map[core.TxnID]int
+	// Naive-mode admission: one transaction in flight per home
+	// warehouse; the rest queue here.
+	busy   map[int]bool
+	queued map[int][]queuedTxn
+	homeOf map[core.TxnID]int
+
+	Committed int64
+	Aborted   int64
+}
+
+type queuedTxn struct {
+	id  core.TxnID
+	txn *tpcc.Txn
+}
+
+// DispatchConfig pairs a policy with its routing tables.
+type DispatchConfig struct {
+	Policy Policy
+	Routes Routes
+}
+
+// NewDispatcher returns a dispatcher for the given policy.
+func NewDispatcher(policy Policy, db *storage.Database, routes Routes) *Dispatcher {
+	d := &Dispatcher{
+		DB:      db,
+		pending: make(map[core.TxnID]int),
+		busy:    make(map[int]bool),
+		queued:  make(map[int][]queuedTxn),
+		homeOf:  make(map[core.TxnID]int),
+	}
+	d.cfg.Store(&DispatchConfig{Policy: policy, Routes: routes})
+	return d
+}
+
+// SetConfig atomically swaps policy and routes for subsequent
+// transactions; in-flight work completes under the old routing.
+func (d *Dispatcher) SetConfig(policy Policy, routes Routes) {
+	d.cfg.Store(&DispatchConfig{Policy: policy, Routes: routes})
+}
+
+// Config returns the active configuration.
+func (d *Dispatcher) Config() DispatchConfig { return *d.cfg.Load() }
+
+// OnEvent implements core.Behavior for EvTxn and EvAck.
+func (d *Dispatcher) OnEvent(ctx core.Context, ac *core.AC, ev *core.Event) {
+	cfg := d.cfg.Load()
+	switch ev.Kind {
+	case core.EvTxn:
+		txn, ok := ev.Payload.(*tpcc.Txn)
+		if !ok {
+			panic("oltp: EvTxn payload must be *tpcc.Txn")
+		}
+		d.admit(ctx, cfg, ev.Txn, txn)
+	case core.EvAck:
+		d.onAck(ctx, cfg, ev)
+	default:
+		panic(fmt.Sprintf("oltp: dispatcher got %v", ev.Kind))
+	}
+}
+
+func (d *Dispatcher) admit(ctx core.Context, cfg *DispatchConfig, id core.TxnID, txn *tpcc.Txn) {
+	ctx.Charge(ctx.Costs().TxnBegin)
+	// Reconnaissance (Calvin-style): validate new-order items against
+	// the replicated catalog before dispatching anything, so routed
+	// segments never need distributed undo.
+	if txn.Kind == tpcc.TxnNewOrder {
+		ctx.Charge(ctx.Costs().IndexLookup * sim.Time(len(txn.NewOrder.Lines)))
+		if !Valid(*txn) {
+			ctx.Charge(ctx.Costs().TxnCommit) // abort bookkeeping
+			d.Aborted++
+			ctx.Send(core.ClientAC, &core.Event{
+				Kind: core.EvTxnDone, Txn: id,
+				Payload: &DoneInfo{Committed: false, Home: txn.HomeWarehouse()},
+			})
+			return
+		}
+	}
+	if cfg.Policy == NaiveIntra {
+		home := txn.HomeWarehouse()
+		if d.busy[home] {
+			d.queued[home] = append(d.queued[home], queuedTxn{id: id, txn: txn})
+			return
+		}
+		d.busy[home] = true
+		d.homeOf[id] = home
+	}
+	d.dispatch(ctx, cfg, id, txn)
+}
+
+// dispatch groups the transaction's operations by destination AC and
+// emits the segment events.
+func (d *Dispatcher) dispatch(ctx core.Context, cfg *DispatchConfig, id core.TxnID, txn *tpcc.Txn) {
+	ops := Program(*txn)
+	type group struct {
+		dst core.ACID
+		ops []Op
+	}
+	var groups []group
+	idx := make(map[core.ACID]int)
+	for _, op := range ops {
+		dst := route(cfg, op)
+		gi, seen := idx[dst]
+		if !seen {
+			gi = len(groups)
+			idx[dst] = gi
+			groups = append(groups, group{dst: dst})
+		}
+		groups[gi].ops = append(groups[gi].ops, op)
+	}
+
+	coord := cfg.Routes.Coord
+	if coord == core.NoAC {
+		coord = ctx.Self()
+	}
+	total := len(groups)
+	if cfg.Policy == StreamingCC {
+		batch := &core.SeqBatch{}
+		for _, g := range groups {
+			seg := &Segment{Ops: g.ops, Coord: coord, Total: total}
+			batch.Events = append(batch.Events, core.Outbound{
+				Dst: g.dst,
+				Ev:  &core.Event{Kind: core.EvSegment, Txn: id, Payload: seg, Size: seg.wireSize()},
+			})
+		}
+		ctx.Send(cfg.Routes.Seq, &core.Event{Kind: core.EvSeqStamp, Txn: id, Payload: batch})
+		return
+	}
+	for _, g := range groups {
+		seg := &Segment{Ops: g.ops, Coord: coord, Total: total}
+		ctx.Send(g.dst, &core.Event{Kind: core.EvSegment, Txn: id, Payload: seg, Size: seg.wireSize()})
+	}
+}
+
+// route picks the destination AC for one op under the current policy.
+func route(cfg *DispatchConfig, op Op) core.ACID {
+	switch cfg.Policy {
+	case SharedNothing:
+		return cfg.Routes.Owner(op.Warehouse())
+	default:
+		if cfg.Routes.ClassRoute != nil {
+			return cfg.Routes.ClassRoute(op.Warehouse(), op.Class())
+		}
+		return cfg.Routes.Owner(op.Warehouse())
+	}
+}
+
+func (d *Dispatcher) onAck(ctx core.Context, cfg *DispatchConfig, ev *core.Event) {
+	ack := ev.Payload.(*Ack)
+	ctx.Charge(ctx.Costs().AckProcess)
+	got := d.pending[ev.Txn] + 1
+	if got < ack.Total {
+		d.pending[ev.Txn] = got
+		return
+	}
+	delete(d.pending, ev.Txn)
+	ctx.Charge(ctx.Costs().TxnCommit)
+	d.Committed++
+	ctx.Send(core.ClientAC, &core.Event{
+		Kind: core.EvTxnDone, Txn: ev.Txn,
+		Payload: &DoneInfo{Committed: true, Home: ack.Home},
+	})
+	// Naive admission: release the home warehouse and start the next
+	// queued transaction.
+	if cfg.Policy == NaiveIntra {
+		home, ok := d.homeOf[ev.Txn]
+		if !ok {
+			return
+		}
+		delete(d.homeOf, ev.Txn)
+		q := d.queued[home]
+		if len(q) == 0 {
+			d.busy[home] = false
+			return
+		}
+		next := q[0]
+		d.queued[home] = q[1:]
+		d.homeOf[next.id] = home
+		d.dispatch(ctx, cfg, next.id, next.txn)
+	}
+}

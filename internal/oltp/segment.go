@@ -1,0 +1,102 @@
+package oltp
+
+import (
+	"fmt"
+
+	"anydb/internal/core"
+	"anydb/internal/storage"
+)
+
+// Segment is the payload of core.EvSegment: a physically-aggregated
+// sub-sequence of one transaction's operations, executed atomically by
+// one AC (the unit of the duality of disaggregation, §3.1).
+type Segment struct {
+	Ops   []Op
+	Coord core.ACID // where the ack goes
+	Total int       // segments in the whole transaction
+}
+
+// wireSize approximates the event payload size.
+func (s *Segment) wireSize() int64 { return int64(len(s.Ops)) * 48 }
+
+// Ack is the payload of core.EvAck.
+type Ack struct {
+	Total int
+	Home  int // home warehouse (admission bookkeeping)
+}
+
+// DoneInfo is the payload of core.EvTxnDone toward the client.
+type DoneInfo struct {
+	Committed bool
+	Home      int
+}
+
+// Executor is the worker-side behavior: it runs segments against the
+// partitions this AC owns (or, under fine-grained routing, the record
+// classes routed to it). Owner ACs process their inbox serially, so
+// conflicting operations arriving in a consistent order — guaranteed by
+// a single dispatcher or by a sequencer — execute consistently without
+// any locking (§3.3).
+type Executor struct {
+	DB *storage.Database
+	// Executed counts segments for observability.
+	Executed int64
+}
+
+// OnEvent implements core.Behavior for EvSegment.
+func (x *Executor) OnEvent(ctx core.Context, _ *core.AC, ev *core.Event) {
+	seg, ok := ev.Payload.(*Segment)
+	if !ok {
+		panic("oltp: EvSegment payload must be *Segment")
+	}
+	var undo storage.UndoLog
+	e := NewExec(ctx, x.DB, &undo)
+	for _, op := range seg.Ops {
+		if err := op.Run(e); err != nil {
+			// AnyDB pre-validates transactions at dispatch, so a
+			// logical abort inside a routed segment is a bug.
+			panic(fmt.Sprintf("oltp: unexpected abort in routed segment: %v", err))
+		}
+	}
+	undo.Commit()
+	x.Executed++
+	ack := &Ack{Total: seg.Total}
+	if len(seg.Ops) > 0 {
+		ack.Home = seg.Ops[0].Warehouse()
+	}
+	ctx.Send(seg.Coord, &core.Event{Kind: core.EvAck, Txn: ev.Txn, Payload: ack})
+}
+
+// Coordinator is the commit-coordination behavior: it counts segment
+// acks and declares the transaction committed when all arrived. Under
+// streaming CC it runs on its own AC so ack processing stays off the
+// executors' critical path; in the other policies the dispatcher embeds
+// the same logic.
+type Coordinator struct {
+	pending map[core.TxnID]int
+	// Committed counts completed transactions.
+	Committed int64
+}
+
+// NewCoordinator returns an empty coordinator.
+func NewCoordinator() *Coordinator {
+	return &Coordinator{pending: make(map[core.TxnID]int)}
+}
+
+// OnEvent implements core.Behavior for EvAck.
+func (c *Coordinator) OnEvent(ctx core.Context, _ *core.AC, ev *core.Event) {
+	ack := ev.Payload.(*Ack)
+	ctx.Charge(ctx.Costs().AckProcess)
+	got := c.pending[ev.Txn] + 1
+	if got < ack.Total {
+		c.pending[ev.Txn] = got
+		return
+	}
+	delete(c.pending, ev.Txn)
+	ctx.Charge(ctx.Costs().TxnCommit)
+	c.Committed++
+	ctx.Send(core.ClientAC, &core.Event{
+		Kind: core.EvTxnDone, Txn: ev.Txn,
+		Payload: &DoneInfo{Committed: true, Home: ack.Home},
+	})
+}

@@ -1,0 +1,439 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+
+	"anydb/internal/core"
+	"anydb/internal/olap"
+	"anydb/internal/sim"
+	"anydb/internal/sql"
+	"anydb/internal/storage"
+)
+
+// GenericPlan is the compiled, routed form of a SQL query: a left-deep
+// chain of hash joins over filtered base-table scans, finished by a
+// counting or collecting sink. The facade compiles it client-side (so
+// errors surface synchronously) and the QO AC emits it as event/data
+// streams, beaming the scans ahead of the compile window when asked.
+type GenericPlan struct {
+	Query       core.QueryID
+	CompileTime sim.Time
+	Beam        bool
+	Parts       []int
+	Notify      core.ACID
+
+	scans   []scanTemplate
+	joins   []*olap.JoinSpec
+	joinACs []core.ACID // where each join executes
+	sinkAC  core.ACID
+	final   any // *olap.AggSpec or *olap.CollectSpec
+}
+
+type scanTemplate struct {
+	table   string
+	filters []olap.Predicate
+	cols    []string
+	out     core.StreamID
+	to      core.ACID
+}
+
+// tableInfo is the planner's view of one FROM entry.
+type tableInfo struct {
+	name     string
+	schema   *storage.Schema
+	filters  []olap.Predicate
+	estRows  float64
+	joinCols []string // columns this table contributes to join keys
+}
+
+// CompileSQL turns a parsed query into a routed plan. compute lists the
+// ACs that host the joins and the final sink (round-robin); owner
+// placement of scans happens at emission via the topology.
+func CompileSQL(cat *storage.Catalog, q *sql.Query, qid core.QueryID,
+	parts []int, compute []core.ACID, notify core.ACID) (*GenericPlan, error) {
+	if len(q.Tables) == 0 {
+		return nil, fmt.Errorf("plan: no tables")
+	}
+	if len(compute) == 0 {
+		return nil, fmt.Errorf("plan: no compute ACs")
+	}
+
+	// Resolve tables and filters.
+	infos := make(map[string]*tableInfo, len(q.Tables))
+	var order []string
+	for _, t := range q.Tables {
+		schema := cat.Schema(t)
+		if schema == nil {
+			return nil, fmt.Errorf("plan: unknown table %q", t)
+		}
+		if _, dup := infos[t]; dup {
+			return nil, fmt.Errorf("plan: table %q listed twice (self-joins unsupported)", t)
+		}
+		infos[t] = &tableInfo{name: t, schema: schema}
+		order = append(order, t)
+	}
+	for _, f := range q.Filters {
+		ti, err := resolveColumn(infos, order, f.Table, f.Col)
+		if err != nil {
+			return nil, err
+		}
+		pred, err := toPredicate(ti.schema, f)
+		if err != nil {
+			return nil, err
+		}
+		ti.filters = append(ti.filters, pred)
+	}
+	for _, jc := range q.Joins {
+		for _, side := range []struct{ t, c string }{
+			{jc.LeftTable, jc.LeftCol}, {jc.RightTable, jc.RightCol},
+		} {
+			ti, err := resolveColumn(infos, order, side.t, side.c)
+			if err != nil {
+				return nil, err
+			}
+			ti.joinCols = append(ti.joinCols, side.c)
+		}
+	}
+
+	// Estimate filtered cardinalities from catalog statistics.
+	for _, ti := range infos {
+		ti.estRows = estimateRows(cat, ti)
+	}
+
+	// Left-deep join order: start from the smallest estimate, then
+	// greedily attach the smallest table connected by a join edge.
+	joined := map[string]bool{}
+	var chain []string
+	remaining := append([]string(nil), order...)
+	sort.SliceStable(remaining, func(i, j int) bool {
+		return infos[remaining[i]].estRows < infos[remaining[j]].estRows
+	})
+	chain = append(chain, remaining[0])
+	joined[remaining[0]] = true
+	remaining = remaining[1:]
+	for len(remaining) > 0 {
+		picked := -1
+		for i, t := range remaining {
+			if connected(q.Joins, joined, t) {
+				picked = i
+				break
+			}
+		}
+		if picked < 0 {
+			return nil, fmt.Errorf("plan: table %q has no join condition to the rest (cross joins unsupported)", remaining[0])
+		}
+		chain = append(chain, remaining[picked])
+		joined[remaining[picked]] = true
+		remaining = append(remaining[:picked], remaining[picked+1:]...)
+	}
+
+	// Columns each scan must ship: join keys plus projected output.
+	needed := make(map[string]map[string]bool)
+	for _, t := range order {
+		needed[t] = make(map[string]bool)
+	}
+	for _, jc := range q.Joins {
+		needed[jc.LeftTable][jc.LeftCol] = true
+		needed[jc.RightTable][jc.RightCol] = true
+	}
+	if !q.Count {
+		for _, col := range q.Columns {
+			ti, err := resolveColumn(infos, order, qualTable(col), qualCol(col))
+			if err != nil {
+				return nil, err
+			}
+			needed[ti.name][qualCol(col)] = true
+		}
+	}
+	for t, cols := range needed {
+		if len(cols) == 0 {
+			// Ship at least one column so batches have shape.
+			needed[t][infos[t].schema.Cols[0].Name] = true
+		}
+	}
+
+	// Wire streams: scan of chain[i] → stream base+i; join_i output →
+	// stream base+16+i.
+	p := &GenericPlan{Query: qid, Parts: parts, Notify: notify}
+	base := core.StreamID(uint64(qid) * 64)
+	scanStream := func(i int) core.StreamID { return base + core.StreamID(i) + 1 }
+	joinStream := func(i int) core.StreamID { return base + 32 + core.StreamID(i) }
+
+	acOf := func(i int) core.ACID { return compute[i%len(compute)] }
+
+	if len(chain) == 1 {
+		p.scans = append(p.scans, scanTemplate{
+			table: chain[0], filters: infos[chain[0]].filters,
+			cols: setToSlice(needed[chain[0]]),
+			out:  scanStream(0), to: acOf(0),
+		})
+		p.sinkAC = acOf(0)
+		p.final = finalSpec(q, qid, scanStream(0), notify)
+		return p, nil
+	}
+
+	// Accumulated (build) side starts as chain[0]'s scan; join_i runs on
+	// compute AC J_i, builds on the accumulated stream and probes the
+	// next table's scan. The last join's output stays local to feed the
+	// sink.
+	accSchemas := []*storage.Schema{scanSchema(infos[chain[0]], needed)}
+	accStream := scanStream(0)
+	joinAC := func(i int) core.ACID { return acOf(i - 1) } // J_i for i>=1
+	p.scans = append(p.scans, scanTemplate{
+		table: chain[0], filters: infos[chain[0]].filters,
+		cols: setToSlice(needed[chain[0]]),
+		out:  accStream, to: joinAC(1),
+	})
+	for i := 1; i < len(chain); i++ {
+		t := chain[i]
+		probeStream := scanStream(i)
+		p.scans = append(p.scans, scanTemplate{
+			table: t, filters: infos[t].filters,
+			cols: setToSlice(needed[t]),
+			out:  probeStream, to: joinAC(i),
+		})
+		buildKeys, probeKeys, err := joinKeys(q.Joins, accSchemas, infos[t], joined, chain[:i])
+		if err != nil {
+			return nil, err
+		}
+		out := joinStream(i - 1)
+		outTo := joinAC(i + 1) // the next join consumes our output...
+		if i == len(chain)-1 {
+			outTo = joinAC(i) // ...except the last, which feeds the local sink
+		}
+		p.joins = append(p.joins, &olap.JoinSpec{
+			Query: qid,
+			Build: accStream, BuildKey: buildKeys,
+			Probe: probeStream, ProbeKey: probeKeys,
+			Semi: false,
+			Out:  out, To: outTo, Producers: 1,
+			Notify: core.NoAC, Label: fmt.Sprintf("join%d", i),
+		})
+		p.joinACs = append(p.joinACs, joinAC(i))
+		accSchemas = append(accSchemas, scanSchema(infos[t], needed))
+		accStream = out
+	}
+	p.sinkAC = joinAC(len(chain) - 1)
+	p.final = finalSpec(q, qid, accStream, notify)
+	return p, nil
+}
+
+// OnGenericPlan is the QO-side emission (called from QO.OnEvent).
+func (q *QO) onGenericPlan(ctx core.Context, p *GenericPlan) {
+	emitScans := func() {
+		for i := range p.scans {
+			sc := &p.scans[i]
+			for _, part := range p.Parts {
+				ctx.Send(q.Topo.Owner(part), &core.Event{
+					Kind: core.EvInstallOp, Query: p.Query,
+					Payload: &olap.ScanSpec{
+						Query: p.Query, Table: sc.table, Part: part,
+						Filters: sc.filters, Cols: sc.cols,
+						Out: sc.out, To: sc.to, Producers: len(p.Parts),
+					},
+				})
+			}
+		}
+	}
+	if p.Beam {
+		emitScans()
+	}
+	ctx.Charge(p.CompileTime)
+	if !p.Beam {
+		emitScans()
+	}
+	for i, js := range p.joins {
+		ctx.Send(p.joinACs[i], &core.Event{Kind: core.EvInstallOp, Query: p.Query, Payload: js})
+	}
+	switch f := p.final.(type) {
+	case *olap.AggSpec:
+		ctx.Send(p.sinkAC, &core.Event{Kind: core.EvInstallOp, Query: p.Query, Payload: f})
+	case *olap.CollectSpec:
+		ctx.Send(p.sinkAC, &core.Event{Kind: core.EvInstallOp, Query: p.Query, Payload: f})
+	default:
+		panic("plan: generic plan without final sink")
+	}
+}
+
+// ---- helpers ----
+
+func resolveColumn(infos map[string]*tableInfo, order []string, table, col string) (*tableInfo, error) {
+	if table != "" {
+		ti, ok := infos[table]
+		if !ok {
+			return nil, fmt.Errorf("plan: unknown table %q", table)
+		}
+		if ti.schema.Col(col) < 0 {
+			return nil, fmt.Errorf("plan: no column %q in table %q", col, table)
+		}
+		return ti, nil
+	}
+	var found *tableInfo
+	for _, t := range order {
+		if infos[t].schema.Col(col) >= 0 {
+			if found != nil {
+				return nil, fmt.Errorf("plan: column %q is ambiguous", col)
+			}
+			found = infos[t]
+		}
+	}
+	if found == nil {
+		return nil, fmt.Errorf("plan: unknown column %q", col)
+	}
+	return found, nil
+}
+
+func toPredicate(schema *storage.Schema, f sql.Filter) (olap.Predicate, error) {
+	kind := schema.Cols[schema.MustCol(f.Col)].Kind
+	switch f.Op {
+	case sql.OpLikePrefix:
+		if kind != storage.KStr {
+			return olap.Predicate{}, fmt.Errorf("plan: LIKE on non-string column %q", f.Col)
+		}
+		return olap.Predicate{Col: f.Col, Kind: olap.PredPrefix, Prefix: f.Str}, nil
+	case sql.OpGe:
+		if kind != storage.KInt {
+			return olap.Predicate{}, fmt.Errorf("plan: >= supported on int columns only (%q)", f.Col)
+		}
+		return olap.Predicate{Col: f.Col, Kind: olap.PredGEInt, MinI: int64(f.Num)}, nil
+	case sql.OpEq:
+		if f.IsStr {
+			return olap.Predicate{Col: f.Col, Kind: olap.PredEqStr, Str: f.Str}, nil
+		}
+		return olap.Predicate{Col: f.Col, Kind: olap.PredEqInt, MinI: int64(f.Num)}, nil
+	case sql.OpLt:
+		return olap.Predicate{Col: f.Col, Kind: olap.PredLTInt, MinI: int64(f.Num)}, nil
+	case sql.OpGt:
+		return olap.Predicate{Col: f.Col, Kind: olap.PredGEInt, MinI: int64(f.Num) + 1}, nil
+	case sql.OpLe:
+		return olap.Predicate{Col: f.Col, Kind: olap.PredLTInt, MinI: int64(f.Num) + 1}, nil
+	case sql.OpNe:
+		return olap.Predicate{Col: f.Col, Kind: olap.PredNeInt, MinI: int64(f.Num)}, nil
+	}
+	return olap.Predicate{}, fmt.Errorf("plan: unsupported operator")
+}
+
+// estimateRows multiplies the table's row count by per-filter
+// selectivities from the catalog statistics (optimizer defaults when
+// never analyzed).
+func estimateRows(cat *storage.Catalog, ti *tableInfo) float64 {
+	st := cat.Stats(ti.name)
+	rows := 1000.0
+	if st != nil {
+		rows = float64(st.Rows)
+	}
+	for _, f := range ti.filters {
+		sel := 0.3
+		if st != nil {
+			switch f.Kind {
+			case olap.PredPrefix:
+				sel = st.SelectivityPrefix(f.Col, f.Prefix)
+			case olap.PredGEInt:
+				cs := st.Col(f.Col)
+				if cs != nil {
+					sel = st.SelectivityRange(f.Col, f.MinI, cs.MaxI)
+				}
+			case olap.PredLTInt:
+				cs := st.Col(f.Col)
+				if cs != nil {
+					sel = st.SelectivityRange(f.Col, cs.MinI, f.MinI-1)
+				}
+			case olap.PredEqInt, olap.PredEqStr:
+				sel = st.SelectivityEq(f.Col)
+			case olap.PredNeInt:
+				sel = 1 - st.SelectivityEq(f.Col)
+			}
+		}
+		rows *= sel
+	}
+	return rows
+}
+
+func connected(joins []sql.JoinCond, joined map[string]bool, t string) bool {
+	for _, jc := range joins {
+		if (joined[jc.LeftTable] && jc.RightTable == t) ||
+			(joined[jc.RightTable] && jc.LeftTable == t) {
+			return true
+		}
+	}
+	return false
+}
+
+// joinKeys collects the equi-join columns between the accumulated side
+// (tables in chainSoFar) and table ti.
+func joinKeys(joins []sql.JoinCond, accSchemas []*storage.Schema, ti *tableInfo,
+	joined map[string]bool, chainSoFar []string) (build, probe []string, err error) {
+	inChain := make(map[string]bool, len(chainSoFar))
+	for _, t := range chainSoFar {
+		inChain[t] = true
+	}
+	for _, jc := range joins {
+		switch {
+		case inChain[jc.LeftTable] && jc.RightTable == ti.name:
+			build = append(build, jc.LeftCol)
+			probe = append(probe, jc.RightCol)
+		case inChain[jc.RightTable] && jc.LeftTable == ti.name:
+			build = append(build, jc.RightCol)
+			probe = append(probe, jc.LeftCol)
+		}
+	}
+	if len(build) == 0 {
+		return nil, nil, fmt.Errorf("plan: no join keys for %q", ti.name)
+	}
+	if len(build) > 3 {
+		return nil, nil, fmt.Errorf("plan: at most 3 join key columns supported")
+	}
+	return build, probe, nil
+}
+
+func scanSchema(ti *tableInfo, needed map[string]map[string]bool) *storage.Schema {
+	cols := setToSlice(needed[ti.name])
+	out := make([]storage.Column, len(cols))
+	for i, c := range cols {
+		out[i] = ti.schema.Cols[ti.schema.MustCol(c)]
+	}
+	return storage.NewSchema(ti.name+"_scan", out...)
+}
+
+func setToSlice(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func finalSpec(q *sql.Query, qid core.QueryID, in core.StreamID, notify core.ACID) any {
+	if q.Count {
+		return &olap.AggSpec{Query: qid, In: in, Notify: notify}
+	}
+	return &olap.CollectSpec{Query: qid, In: in, Cols: unqualify(q.Columns), Notify: notify}
+}
+
+func qualTable(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '.' {
+			return s[:i]
+		}
+	}
+	return ""
+}
+
+func qualCol(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '.' {
+			return s[i+1:]
+		}
+	}
+	return s
+}
+
+func unqualify(cols []string) []string {
+	out := make([]string, len(cols))
+	for i, c := range cols {
+		out[i] = qualCol(c)
+	}
+	return out
+}

@@ -1,0 +1,243 @@
+package plan_test
+
+import (
+	"testing"
+
+	"anydb/internal/core"
+	"anydb/internal/olap"
+	"anydb/internal/plan"
+	"anydb/internal/sim"
+	"anydb/internal/sql"
+	"anydb/internal/storage"
+	"anydb/internal/tpcc"
+)
+
+func planCfg() tpcc.Config {
+	return tpcc.Config{Warehouses: 4, Districts: 2, Customers: 100,
+		Items: 40, InitOrders: 100, Seed: 8}.WithDefaults()
+}
+
+// sqlHarness runs a compiled SQL plan on a sim cluster.
+type sqlHarness struct {
+	cl     *core.SimCluster
+	topo   *core.Topology
+	db     *storage.Database
+	cfg    tpcc.Config
+	qoAC   core.ACID
+	comp   []core.ACID
+	result *olap.QueryResult
+}
+
+func newSQLHarness(t *testing.T) *sqlHarness {
+	t.Helper()
+	cfg := planCfg()
+	db, _ := tpcc.NewDatabase(cfg)
+	topo := core.NewTopology(db)
+	s1 := topo.AddServer(4)
+	s2 := topo.AddServer(4)
+	for w := 0; w < cfg.Warehouses; w++ {
+		topo.SetOwner(w, s1[w%4])
+	}
+	// Analyze tables so the planner has statistics.
+	for w := 0; w < cfg.Warehouses; w++ {
+		for _, tn := range db.Catalog.Tables() {
+			tab := db.Partition(w).Table(tn)
+			if w == 0 {
+				db.Catalog.SetStats(tn, storage.Analyze(tab))
+			}
+		}
+	}
+	h := &sqlHarness{topo: topo, db: db, cfg: cfg, qoAC: s2[3], comp: s2[:3]}
+	qo := &plan.QO{Topo: topo}
+	h.cl = core.NewSimCluster(topo, sim.DefaultCosts(), func(ac *core.AC) {
+		ac.Register(core.EvInstallOp, &olap.Worker{DB: db})
+		ac.Register(core.EvQuery, qo)
+	})
+	h.cl.SetClient(func(_ sim.Time, ev *core.Event) {
+		if r, ok := ev.Payload.(*olap.QueryResult); ok {
+			h.result = r
+		}
+	})
+	return h
+}
+
+func (h *sqlHarness) run(t *testing.T, text string) *olap.QueryResult {
+	t.Helper()
+	q, err := sql.Parse(text)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	parts := make([]int, h.cfg.Warehouses)
+	for i := range parts {
+		parts[i] = i
+	}
+	p, err := plan.CompileSQL(h.db.Catalog, q, 1, parts, h.comp, core.ClientAC)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	h.result = nil
+	h.cl.Inject(h.qoAC, &core.Event{Kind: core.EvQuery, Query: 1, Payload: p}, 0)
+	h.cl.Run()
+	if h.result == nil {
+		t.Fatal("no result")
+	}
+	return h.result
+}
+
+// TestSQLQ3MatchesOracle: the paper's query expressed in SQL produces the
+// oracle count through the full parse→plan→event-stream pipeline.
+func TestSQLQ3MatchesOracle(t *testing.T) {
+	h := newSQLHarness(t)
+	res := h.run(t, `SELECT COUNT(*)
+		FROM customer
+		JOIN orders ON customer.c_w_id = orders.o_w_id
+			AND customer.c_d_id = orders.o_d_id
+			AND customer.c_id = orders.o_c_id
+		JOIN new_order ON orders.o_w_id = new_order.no_w_id
+			AND orders.o_d_id = new_order.no_d_id
+			AND orders.o_id = new_order.no_o_id
+		WHERE c_state LIKE 'A%' AND o_entry_d >= 2007`)
+	want := tpcc.ReferenceQ3(h.db, h.cfg)
+	if want == 0 {
+		t.Fatal("oracle empty")
+	}
+	if res.Rows != want {
+		t.Fatalf("rows = %d, oracle %d", res.Rows, want)
+	}
+}
+
+func TestSQLSingleTableCount(t *testing.T) {
+	h := newSQLHarness(t)
+	res := h.run(t, "SELECT COUNT(*) FROM orders WHERE o_entry_d >= 2010")
+	// Reference.
+	var want int64
+	for w := 0; w < h.cfg.Warehouses; w++ {
+		ot := h.db.Partition(w).Table(tpcc.TOrders)
+		col := ot.Schema.MustCol("o_entry_d")
+		ot.Scan(func(_ int32, r storage.Row) bool {
+			if r[col].I >= 2010 {
+				want++
+			}
+			return true
+		})
+	}
+	if res.Rows != want || want == 0 {
+		t.Fatalf("rows = %d, want %d", res.Rows, want)
+	}
+}
+
+func TestSQLProjectionCollect(t *testing.T) {
+	h := newSQLHarness(t)
+	res := h.run(t, "SELECT c_id, c_last FROM customer WHERE c_id <= 3 AND c_w_id = 1 AND c_d_id = 1")
+	if res.Rows != 3 || len(res.Collected) != 3 {
+		t.Fatalf("rows=%d collected=%d, want 3", res.Rows, len(res.Collected))
+	}
+	if len(res.Collected[0]) != 2 {
+		t.Fatalf("projection arity = %d", len(res.Collected[0]))
+	}
+	if res.Truncated {
+		t.Fatal("tiny result truncated")
+	}
+}
+
+func TestSQLJoinWithEquality(t *testing.T) {
+	h := newSQLHarness(t)
+	// Orders of one specific customer, via join.
+	res := h.run(t, `SELECT COUNT(*)
+		FROM customer
+		JOIN orders ON customer.c_w_id = orders.o_w_id
+			AND customer.c_d_id = orders.o_d_id
+			AND customer.c_id = orders.o_c_id
+		WHERE c_w_id = 2 AND c_d_id = 1 AND c_id = 7`)
+	var want int64
+	ot := h.db.Partition(2).Table(tpcc.TOrders)
+	dc, cc2 := ot.Schema.MustCol("o_d_id"), ot.Schema.MustCol("o_c_id")
+	ot.Scan(func(_ int32, r storage.Row) bool {
+		if r[dc].I == 1 && r[cc2].I == 7 {
+			want++
+		}
+		return true
+	})
+	if res.Rows != want {
+		t.Fatalf("rows = %d, want %d", res.Rows, want)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	h := newSQLHarness(t)
+	parts := []int{0}
+	for _, text := range []string{
+		"SELECT COUNT(*) FROM nosuch",
+		"SELECT COUNT(*) FROM customer WHERE nope = 1",
+		"SELECT COUNT(*) FROM customer JOIN orders ON customer.c_id = orders.nope",
+		"SELECT COUNT(*) FROM customer JOIN item ON customer.c_id = item.i_id JOIN orders ON orders.o_w_id = orders.o_w_id", // orders unconnected to chain
+		"SELECT COUNT(*) FROM customer WHERE c_last >= 5",                                                                   // >= on string
+		"SELECT nope FROM customer",
+	} {
+		q, err := sql.Parse(text)
+		if err != nil {
+			continue // parser-level rejection also fine
+		}
+		if _, err := plan.CompileSQL(h.db.Catalog, q, 1, parts, h.comp, core.ClientAC); err == nil {
+			t.Errorf("compiled %q", text)
+		}
+	}
+}
+
+// TestPlannerOrdersBySelectivity: with stats present, the most selective
+// table becomes the first build side.
+func TestPlannerOrdersBySelectivity(t *testing.T) {
+	h := newSQLHarness(t)
+	// customer filtered to ~1/26 is far smaller than orders: the Q3
+	// oracle check above already exercises this; here assert compile
+	// succeeds when tables are listed in "wrong" order too.
+	q, err := sql.Parse(`SELECT COUNT(*)
+		FROM orders
+		JOIN customer ON customer.c_w_id = orders.o_w_id
+			AND customer.c_d_id = orders.o_d_id
+			AND customer.c_id = orders.o_c_id
+		WHERE c_state LIKE 'A%'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := make([]int, h.cfg.Warehouses)
+	for i := range parts {
+		parts[i] = i
+	}
+	p, err := plan.CompileSQL(h.db.Catalog, q, 2, parts, h.comp, core.ClientAC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = p
+	// And it runs correctly despite the reordering.
+	res := h.run(t, `SELECT COUNT(*)
+		FROM orders
+		JOIN customer ON customer.c_w_id = orders.o_w_id
+			AND customer.c_d_id = orders.o_d_id
+			AND customer.c_id = orders.o_c_id
+		WHERE c_state LIKE 'A%'`)
+	var want int64
+	for w := 0; w < h.cfg.Warehouses; w++ {
+		cust := make(map[storage.Key]bool)
+		ct := h.db.Partition(w).Table(tpcc.TCustomer)
+		sc := ct.Schema.MustCol("c_state")
+		wc, dc, cc2 := ct.Schema.MustCol("c_w_id"), ct.Schema.MustCol("c_d_id"), ct.Schema.MustCol("c_id")
+		ct.Scan(func(_ int32, r storage.Row) bool {
+			if r[sc].S[:1] == "A" {
+				cust[storage.MakeKey(int(r[wc].I), int(r[dc].I), r[cc2].I)] = true
+			}
+			return true
+		})
+		ot := h.db.Partition(w).Table(tpcc.TOrders)
+		ow, od, oc := ot.Schema.MustCol("o_w_id"), ot.Schema.MustCol("o_d_id"), ot.Schema.MustCol("o_c_id")
+		ot.Scan(func(_ int32, r storage.Row) bool {
+			if cust[storage.MakeKey(int(r[ow].I), int(r[od].I), r[oc].I)] {
+				want++
+			}
+			return true
+		})
+	}
+	if res.Rows != want || want == 0 {
+		t.Fatalf("rows = %d, want %d", res.Rows, want)
+	}
+}

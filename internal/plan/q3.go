@@ -1,0 +1,184 @@
+// Package plan contains the query-optimizer-as-AnyComponent: behaviors
+// that turn a query into an instrumented event/data-stream program —
+// operator placement (aggregated vs disaggregated), stream wiring, and
+// the data-beaming schedule of §4. The paper's key observation is that
+// the tables a query touches are known before optimization finishes, so
+// their data streams can be initiated at query arrival and push data
+// while the optimizer still "compiles" — hiding transfer latency behind
+// compile time.
+package plan
+
+import (
+	"fmt"
+
+	"anydb/internal/core"
+	"anydb/internal/olap"
+	"anydb/internal/sim"
+	"anydb/internal/storage"
+	"anydb/internal/tpcc"
+)
+
+// BeamMode selects which of the query's base-table streams are initiated
+// at query arrival (beamed) versus at compile completion.
+type BeamMode uint8
+
+const (
+	// BeamNone pulls all data only when execution starts (baseline).
+	BeamNone BeamMode = iota
+	// BeamBuild beams the join build side (the customer scan).
+	BeamBuild
+	// BeamAll beams build and probe sides (all three scans).
+	BeamAll
+)
+
+var beamNames = [...]string{"none", "build", "build+probe"}
+
+func (m BeamMode) String() string {
+	if int(m) < len(beamNames) {
+		return beamNames[m]
+	}
+	return fmt.Sprintf("BeamMode(%d)", uint8(m))
+}
+
+// Q3Plan parameterizes one execution of the paper's CH-Q3-style query:
+// customer ⋈ orders ⋈ new_order with the §4 filters, 3 scans + 2 joins.
+type Q3Plan struct {
+	Query       core.QueryID
+	Beam        BeamMode
+	CompileTime sim.Time
+	// Parts lists the partitions to scan (all warehouses).
+	Parts []int
+	// Join1AC hosts join1 (build customer, probe orders); Join2AC hosts
+	// join2 (build join1 output, probe new_order) and the final count.
+	Join1AC, Join2AC core.ACID
+	// Notify receives EvOpDone/EvQueryDone instrumentation (usually
+	// core.ClientAC).
+	Notify core.ACID
+}
+
+// QO is the query-optimizer behavior: register for EvQuery on any AC.
+// Receiving a query it (1) immediately initiates the beamed data streams,
+// (2) charges the compile time, (3) emits the remaining operator
+// installation events. Which architecture the query perceives —
+// aggregated or disaggregated — is entirely decided by the ACs named in
+// the plan.
+type QO struct {
+	Topo *core.Topology
+	// Compiled counts optimized queries.
+	Compiled int64
+}
+
+// OnEvent implements core.Behavior for EvQuery. The payload selects the
+// program: *Q3Plan (the paper's hand-routed pipeline) or *GenericPlan
+// (SQL-compiled).
+func (q *QO) OnEvent(ctx core.Context, _ *core.AC, ev *core.Event) {
+	if gp, ok := ev.Payload.(*GenericPlan); ok {
+		q.Compiled++
+		q.onGenericPlan(ctx, gp)
+		return
+	}
+	p, ok := ev.Payload.(*Q3Plan)
+	if !ok {
+		panic("plan: EvQuery payload must be *Q3Plan or *GenericPlan")
+	}
+	q.Compiled++
+	streams := q3Streams(p)
+
+	// Phase 1 — beaming: initiate data streams before compiling. The
+	// scans start pushing immediately; their data stages at the join
+	// ACs until the operators are installed.
+	if p.Beam >= BeamBuild {
+		q.installScans(ctx, p, streams, true)
+	}
+
+	// Phase 2 — compile. The QO core is busy for the whole window
+	// (the paper cites ~30ms for a commercial optimizer on this query).
+	ctx.Charge(p.CompileTime)
+
+	// Phase 3 — execution: install joins, aggregate, and whatever
+	// scans were not beamed.
+	q.installScans(ctx, p, streams, false)
+	ctx.Send(p.Join1AC, &core.Event{Kind: core.EvInstallOp, Query: p.Query, Payload: &olap.JoinSpec{
+		Query: p.Query,
+		Build: streams.cust, BuildKey: []string{"c_w_id", "c_d_id", "c_id"},
+		Probe: streams.ord, ProbeKey: []string{"o_w_id", "o_d_id", "o_c_id"},
+		Semi: true,
+		Out:  streams.join1, To: p.Join2AC, Producers: 1,
+		Notify: p.Notify, Label: "join1",
+	}})
+	ctx.Send(p.Join2AC, &core.Event{Kind: core.EvInstallOp, Query: p.Query, Payload: &olap.JoinSpec{
+		Query: p.Query,
+		Build: streams.join1, BuildKey: []string{"o_w_id", "o_d_id", "o_id"},
+		Probe: streams.no, ProbeKey: []string{"no_w_id", "no_d_id", "no_o_id"},
+		Semi: true,
+		Out:  streams.agg, To: p.Join2AC, Producers: 1,
+		Notify: p.Notify, Label: "join2",
+	}})
+	ctx.Send(p.Join2AC, &core.Event{Kind: core.EvInstallOp, Query: p.Query, Payload: &olap.AggSpec{
+		Query: p.Query, In: streams.agg, Notify: p.Notify,
+	}})
+}
+
+// q3streams derives the five stream ids of the pipeline deterministically
+// from the query id.
+type streamSet struct {
+	cust, ord, no, join1, agg core.StreamID
+}
+
+func q3Streams(p *Q3Plan) streamSet {
+	base := core.StreamID(uint64(p.Query) * 16)
+	return streamSet{
+		cust:  base + 1,
+		ord:   base + 2,
+		no:    base + 3,
+		join1: base + 4,
+		agg:   base + 5,
+	}
+}
+
+// installScans emits the scan operators; beamed selects which subset.
+func (q *QO) installScans(ctx core.Context, p *Q3Plan, s streamSet, beamed bool) {
+	type scan struct {
+		table  string
+		filter []olap.Predicate
+		cols   []string
+		out    core.StreamID
+		to     core.ACID
+		beam   bool
+	}
+	scans := []scan{
+		{tpcc.TCustomer,
+			[]olap.Predicate{{Col: "c_state", Kind: olap.PredPrefix, Prefix: tpcc.Q3StatePrefix}},
+			[]string{"c_w_id", "c_d_id", "c_id"},
+			s.cust, p.Join1AC, p.Beam >= BeamBuild},
+		{tpcc.TOrders,
+			[]olap.Predicate{{Col: "o_entry_d", Kind: olap.PredGEInt, MinI: tpcc.Q3SinceYear}},
+			[]string{"o_w_id", "o_d_id", "o_id", "o_c_id"},
+			s.ord, p.Join1AC, p.Beam >= BeamAll},
+		{tpcc.TNewOrder,
+			nil,
+			[]string{"no_w_id", "no_d_id", "no_o_id"},
+			s.no, p.Join2AC, p.Beam >= BeamAll},
+	}
+	for _, sc := range scans {
+		if sc.beam != beamed {
+			continue
+		}
+		for _, part := range p.Parts {
+			ctx.Send(q.Topo.Owner(part), &core.Event{
+				Kind: core.EvInstallOp, Query: p.Query,
+				Payload: &olap.ScanSpec{
+					Query: p.Query, Table: sc.table, Part: part,
+					Filters: sc.filter, Cols: sc.cols,
+					Out: sc.out, To: sc.to, Producers: len(p.Parts),
+				},
+			})
+		}
+	}
+}
+
+// Q3ResultOracle returns the reference result for the configured
+// database (test support).
+func Q3ResultOracle(db *storage.Database, cfg tpcc.Config) int64 {
+	return tpcc.ReferenceQ3(db, cfg)
+}

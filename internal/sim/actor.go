@@ -1,0 +1,142 @@
+package sim
+
+import "fmt"
+
+// Message is anything delivered to an actor.
+type Message any
+
+// Handler processes one message on behalf of an actor. It performs the
+// real work (data-structure mutations, emitting follow-up messages) and
+// charges the actor's virtual core for the time the work would take via
+// Actor.Charge.
+type Handler func(a *Actor, msg Message)
+
+// Actor models one virtual CPU core executing messages sequentially from
+// a FIFO inbox — the simulation-side incarnation of an AnyComponent or a
+// DBx1000 transaction executor. Messages delivered while the core is busy
+// wait in the inbox, accumulating queueing delay in virtual time, which is
+// exactly the paper's non-blocking execution model: the component never
+// blocks, work waits.
+type Actor struct {
+	Name    string
+	sched   *Scheduler
+	handler Handler
+
+	inbox     []inboxEntry
+	inboxHead int
+	busy      bool
+	// localNow is the virtual time within the currently running
+	// handler: handler start plus everything charged so far.
+	localNow Time
+
+	// Accounting.
+	BusyTime  Time  // total charged core time
+	Processed int64 // messages handled
+	QueueWait Time  // total inbox waiting time
+	MaxQueue  int   // high-water mark of inbox length
+}
+
+type inboxEntry struct {
+	msg Message
+	at  Time // enqueue time, for queue-wait accounting
+}
+
+// NewActor registers a new actor on the scheduler.
+func NewActor(s *Scheduler, name string, h Handler) *Actor {
+	if h == nil {
+		panic("sim: actor requires a handler")
+	}
+	return &Actor{Name: name, sched: s, handler: h}
+}
+
+// Scheduler returns the scheduler this actor runs on.
+func (a *Actor) Scheduler() *Scheduler { return a.sched }
+
+// Now returns the actor-local virtual time: during a handler this is the
+// handler start time plus charged work, otherwise the global clock.
+func (a *Actor) Now() Time {
+	if a.busy {
+		return a.localNow
+	}
+	return a.sched.Now()
+}
+
+// Charge advances the actor-local clock by d, modelling d nanoseconds of
+// core work. Negative charges panic.
+func (a *Actor) Charge(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative charge %v on %s", d, a.Name))
+	}
+	if !a.busy {
+		panic("sim: Charge outside handler on " + a.Name)
+	}
+	a.localNow += d
+	a.BusyTime += d
+}
+
+// Deliver enqueues msg for this actor after latency (0 = now). It may be
+// called from any handler or from outside the simulation loop before Run.
+func (a *Actor) Deliver(msg Message, latency Time) {
+	a.sched.After(latency, func() { a.enqueue(msg) })
+}
+
+// DeliverAt enqueues msg at absolute virtual time t.
+func (a *Actor) DeliverAt(msg Message, t Time) {
+	a.sched.At(t, func() { a.enqueue(msg) })
+}
+
+// Send delivers msg timed from the sending actor's local clock plus
+// latency; use it inside handlers so emission time reflects work already
+// charged.
+func (a *Actor) Send(to *Actor, msg Message, latency Time) {
+	to.DeliverAt(msg, a.Now()+latency)
+}
+
+func (a *Actor) enqueue(msg Message) {
+	a.inbox = append(a.inbox, inboxEntry{msg: msg, at: a.sched.Now()})
+	if n := a.QueueLen(); n > a.MaxQueue {
+		a.MaxQueue = n
+	}
+	if !a.busy {
+		a.startNext()
+	}
+}
+
+// QueueLen returns the current inbox length.
+func (a *Actor) QueueLen() int { return len(a.inbox) - a.inboxHead }
+
+func (a *Actor) startNext() {
+	e := a.inbox[a.inboxHead]
+	a.inboxHead++
+	// Compact the inbox once the consumed prefix dominates.
+	if a.inboxHead > 64 && a.inboxHead*2 >= len(a.inbox) {
+		n := copy(a.inbox, a.inbox[a.inboxHead:])
+		a.inbox = a.inbox[:n]
+		a.inboxHead = 0
+	}
+
+	start := a.sched.Now()
+	a.QueueWait += start - e.at
+	a.busy = true
+	a.localNow = start
+	a.handler(a, e.msg)
+	a.Processed++
+	end := a.localNow
+	// The core is occupied until `end`; completion re-examines the
+	// inbox.
+	a.sched.At(end, func() {
+		a.busy = false
+		if a.QueueLen() > 0 {
+			a.startNext()
+		}
+	})
+}
+
+// Utilization returns busy time as a fraction of elapsed virtual time.
+func (a *Actor) Utilization() float64 {
+	now := a.sched.Now()
+	if now == 0 {
+		return 0
+	}
+	return float64(a.BusyTime) / float64(now)
+}

@@ -1,0 +1,98 @@
+package sim
+
+// CostModel holds the virtual-time prices for every primitive the engines
+// execute. The constants are calibrated (DESIGN.md §3) so that a DBx1000
+// transaction executor lands near the paper's anchors — a TPC-C payment
+// costs ≈1.4µs of core time, giving ≈0.7 M tx/s per executor and ≈2 M tx/s
+// for 4 executors on a partitionable workload — and all remaining figure
+// numbers emerge from mechanisms (lock contention, event hops, pipelining,
+// transfer/compile overlap), not per-series tuning.
+type CostModel struct {
+	// Storage primitives.
+	IndexLookup  Time // hash index probe
+	IndexScanRow Time // B+tree range scan, per row visited
+	RecordRead   Time // copy a row out of the heap
+	RecordUpdate Time // in-place field update + undo record
+	RecordInsert Time // heap append + index maintenance
+	ScanRow      Time // sequential scan w/ predicate, per row
+	UndoOp       Time // applying one undo record on abort
+
+	// Concurrency control.
+	LockAcquire Time // uncontended lock-table op
+	LockRelease Time
+	LockAbort   Time // no-wait conflict: release + cleanup
+	RetryDelay  Time // backoff before a txn retry
+	TxnBegin    Time
+	TxnCommit   Time
+
+	// Event machinery (the AnyComponent tax).
+	EventCreate   Time // build + route one event
+	EventDispatch Time // dequeue + dispatch at the receiving AC
+	SeqStamp      Time // sequencer stamping one event
+	AckProcess    Time // commit coordinator consuming one ack
+
+	// Query processing (per row unless noted).
+	HashBuildRow  Time
+	HashProbeRow  Time
+	AggRow        Time
+	PartitionRow  Time // hash-partitioning a row for shuffle
+	BatchOverhead Time // fixed cost per data batch handled
+
+	// Transport.
+	LocalHopLatency Time  // shared-memory queue between ACs, same server
+	NetHopLatency   Time  // cross-server one-way latency
+	MemBytesPerSec  int64 // shared-memory queue bandwidth
+	NetBytesPerSec  int64 // network link bandwidth (per flow)
+	SerializePer16B Time  // CPU cost per 16 bytes for non-offloaded sends
+}
+
+// DefaultCosts returns the calibrated model. Rationale per constant:
+// point ops reflect 2020-era main-memory DBMS costs (a hash probe ≈100ns,
+// an in-place update with undo ≈100ns); lock-table operations ≈50ns
+// uncontended (DBx1000 reports locks dominating only under contention);
+// event machinery is priced like a function dispatch plus queue op
+// (≈40–90ns); shared-memory hops ≈200ns (Folly SPSC + cacheline
+// transfer); network hops 1.5µs with 2 GB/s per flow (InfiniBand-class
+// DPI flows); memory queues 8 GB/s.
+func DefaultCosts() CostModel {
+	return CostModel{
+		IndexLookup:  110 * Nanosecond,
+		IndexScanRow: 25 * Nanosecond,
+		RecordRead:   40 * Nanosecond,
+		RecordUpdate: 100 * Nanosecond,
+		RecordInsert: 180 * Nanosecond,
+		ScanRow:      6 * Nanosecond,
+		UndoOp:       60 * Nanosecond,
+
+		LockAcquire: 50 * Nanosecond,
+		LockRelease: 30 * Nanosecond,
+		LockAbort:   80 * Nanosecond,
+		RetryDelay:  300 * Nanosecond,
+		TxnBegin:    80 * Nanosecond,
+		TxnCommit:   150 * Nanosecond,
+
+		EventCreate:   40 * Nanosecond,
+		EventDispatch: 90 * Nanosecond,
+		SeqStamp:      30 * Nanosecond,
+		AckProcess:    40 * Nanosecond,
+
+		HashBuildRow:  30 * Nanosecond,
+		HashProbeRow:  12 * Nanosecond,
+		AggRow:        8 * Nanosecond,
+		PartitionRow:  10 * Nanosecond,
+		BatchOverhead: 250 * Nanosecond,
+
+		LocalHopLatency: 200 * Nanosecond,
+		NetHopLatency:   1500 * Nanosecond,
+		MemBytesPerSec:  8 << 30, // 8 GiB/s
+		NetBytesPerSec:  1 << 30, // 1 GiB/s per DPI flow
+		SerializePer16B: 1,       // 1ns per 16 bytes ≈ 16 GB/s memcpy
+	}
+}
+
+// SerializeCost returns the CPU time to serialize size bytes for a
+// non-offloaded network send. With DPI flows this work moves to the NIC
+// (charged to the link's flow processor instead).
+func (c CostModel) SerializeCost(size int64) Time {
+	return Time(size) / 16 * c.SerializePer16B
+}

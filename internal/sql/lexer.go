@@ -1,0 +1,93 @@
+// Package sql is a small SQL front end for the analytical side of the
+// public API: SELECT with COUNT(*) or a projection, inner equi-joins,
+// and AND-composed predicates — enough to express the paper's query
+// family textually. The parser produces a logical query that
+// internal/plan compiles into the same scan/join/aggregate event-stream
+// program the hand-built plans use.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol  // ( ) , . * =
+	tokCompare // < > <= >= <>
+	tokKeyword
+)
+
+type token struct {
+	kind tokKind
+	text string // keywords uppercased, identifiers lowercased
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "JOIN": true, "ON": true,
+	"AND": true, "COUNT": true, "LIKE": true, "AS": true, "INNER": true,
+}
+
+// lex splits the input into tokens.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(input) {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '\'':
+			j := i + 1
+			for j < len(input) && input[j] != '\'' {
+				j++
+			}
+			if j >= len(input) {
+				return nil, fmt.Errorf("sql: unterminated string at %d", i)
+			}
+			toks = append(toks, token{kind: tokString, text: input[i+1 : j], pos: i})
+			i = j + 1
+		case unicode.IsDigit(c):
+			j := i
+			for j < len(input) && (unicode.IsDigit(rune(input[j])) || input[j] == '.') {
+				j++
+			}
+			toks = append(toks, token{kind: tokNumber, text: input[i:j], pos: i})
+			i = j
+		case unicode.IsLetter(c) || c == '_':
+			j := i
+			for j < len(input) && (unicode.IsLetter(rune(input[j])) || unicode.IsDigit(rune(input[j])) || input[j] == '_') {
+				j++
+			}
+			word := input[i:j]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, token{kind: tokKeyword, text: up, pos: i})
+			} else {
+				toks = append(toks, token{kind: tokIdent, text: strings.ToLower(word), pos: i})
+			}
+			i = j
+		case c == '<' || c == '>':
+			j := i + 1
+			if j < len(input) && (input[j] == '=' || (c == '<' && input[j] == '>')) {
+				j++
+			}
+			toks = append(toks, token{kind: tokCompare, text: input[i:j], pos: i})
+			i = j
+		case strings.ContainsRune("(),.*=", c):
+			toks = append(toks, token{kind: tokSymbol, text: string(c), pos: i})
+			i++
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at %d", c, i)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: len(input)})
+	return toks, nil
+}

@@ -1,0 +1,308 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Query is the parsed logical form:
+//
+//	SELECT COUNT(*) | col[, col...]
+//	FROM table [JOIN table ON a.x = b.y]...
+//	[WHERE col op literal [AND ...]]
+//
+// Predicates support =, <, >, <=, >=, <> on numbers and strings, plus
+// LIKE 'prefix%'.
+type Query struct {
+	Count   bool     // COUNT(*) aggregate
+	Columns []string // projection when Count is false
+	Tables  []string // in FROM/JOIN order
+	Joins   []JoinCond
+	Filters []Filter
+}
+
+// JoinCond is one equi-join edge between two tables' columns.
+type JoinCond struct {
+	LeftTable, LeftCol   string
+	RightTable, RightCol string
+}
+
+// CmpOp enumerates filter comparisons.
+type CmpOp uint8
+
+const (
+	OpEq CmpOp = iota
+	OpLt
+	OpGt
+	OpLe
+	OpGe
+	OpNe
+	OpLikePrefix
+)
+
+var opNames = map[string]CmpOp{
+	"=": OpEq, "<": OpLt, ">": OpGt, "<=": OpLe, ">=": OpGe, "<>": OpNe,
+}
+
+// Filter is one single-table predicate.
+type Filter struct {
+	Table, Col string // Table may be empty until resolution
+	Op         CmpOp
+	IsStr      bool
+	Str        string
+	Num        float64
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.next()
+	if t.kind != tokKeyword || t.text != kw {
+		return fmt.Errorf("sql: expected %s at %d, got %q", kw, t.pos, t.text)
+	}
+	return nil
+}
+
+func (p *parser) expectSymbol(s string) error {
+	t := p.next()
+	if t.kind != tokSymbol || t.text != s {
+		return fmt.Errorf("sql: expected %q at %d, got %q", s, t.pos, t.text)
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("sql: expected identifier at %d, got %q", t.pos, t.text)
+	}
+	return t.text, nil
+}
+
+// Parse parses one SELECT statement.
+func Parse(input string) (*Query, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q := &Query{}
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	if p.peek().kind == tokKeyword && p.peek().text == "COUNT" {
+		p.next()
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("*"); err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		q.Count = true
+	} else {
+		for {
+			col, err := p.qualifiedName()
+			if err != nil {
+				return nil, err
+			}
+			q.Columns = append(q.Columns, col)
+			if p.peek().kind == tokSymbol && p.peek().text == "," {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	t0, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	q.Tables = append(q.Tables, t0)
+
+	for p.peek().kind == tokKeyword && (p.peek().text == "JOIN" || p.peek().text == "INNER") {
+		if p.next().text == "INNER" {
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+		}
+		tn, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		q.Tables = append(q.Tables, tn)
+		if err := p.expectKeyword("ON"); err != nil {
+			return nil, err
+		}
+		// ON conditions: a.x = b.y [AND a.z = b.w]...
+		for {
+			jc, err := p.joinCond()
+			if err != nil {
+				return nil, err
+			}
+			q.Joins = append(q.Joins, jc)
+			if p.peek().kind == tokKeyword && p.peek().text == "AND" &&
+				p.isJoinCondAhead() {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+
+	if p.peek().kind == tokKeyword && p.peek().text == "WHERE" {
+		p.next()
+		for {
+			f, err := p.filter()
+			if err != nil {
+				return nil, err
+			}
+			q.Filters = append(q.Filters, f)
+			if p.peek().kind == tokKeyword && p.peek().text == "AND" {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if t := p.peek(); t.kind != tokEOF {
+		return nil, fmt.Errorf("sql: trailing input at %d: %q", t.pos, t.text)
+	}
+	return q, nil
+}
+
+// qualifiedName parses ident[.ident] and returns "table.col" or "col".
+func (p *parser) qualifiedName() (string, error) {
+	a, err := p.ident()
+	if err != nil {
+		return "", err
+	}
+	if p.peek().kind == tokSymbol && p.peek().text == "." {
+		p.next()
+		b, err := p.ident()
+		if err != nil {
+			return "", err
+		}
+		return a + "." + b, nil
+	}
+	return a, nil
+}
+
+// isJoinCondAhead distinguishes `AND a.x = b.y` (join condition, both
+// sides qualified columns) from `AND col = 5` (filter) without consuming
+// tokens.
+func (p *parser) isJoinCondAhead() bool {
+	// tokens: AND ident . ident cmp ident . ident
+	j := p.i + 1 // skip AND
+	isQualified := func(k int) (int, bool) {
+		if p.toks[k].kind != tokIdent {
+			return k, false
+		}
+		if p.toks[k+1].kind == tokSymbol && p.toks[k+1].text == "." {
+			if p.toks[k+2].kind != tokIdent {
+				return k, false
+			}
+			return k + 3, true
+		}
+		return k, false
+	}
+	j2, ok := isQualified(j)
+	if !ok {
+		return false
+	}
+	if !(p.toks[j2].kind == tokSymbol && p.toks[j2].text == "=") {
+		return false
+	}
+	_, ok = isQualified(j2 + 1)
+	return ok
+}
+
+func (p *parser) joinCond() (JoinCond, error) {
+	var jc JoinCond
+	l, err := p.qualifiedName()
+	if err != nil {
+		return jc, err
+	}
+	if err := p.expectSymbol("="); err != nil {
+		return jc, err
+	}
+	r, err := p.qualifiedName()
+	if err != nil {
+		return jc, err
+	}
+	lt, lc, ok1 := splitQualified(l)
+	rt, rc, ok2 := splitQualified(r)
+	if !ok1 || !ok2 {
+		return jc, fmt.Errorf("sql: join condition requires qualified columns, got %s = %s", l, r)
+	}
+	return JoinCond{LeftTable: lt, LeftCol: lc, RightTable: rt, RightCol: rc}, nil
+}
+
+func splitQualified(s string) (table, col string, ok bool) {
+	i := strings.IndexByte(s, '.')
+	if i < 0 {
+		return "", s, false
+	}
+	return s[:i], s[i+1:], true
+}
+
+func (p *parser) filter() (Filter, error) {
+	var f Filter
+	name, err := p.qualifiedName()
+	if err != nil {
+		return f, err
+	}
+	if t, c, ok := splitQualified(name); ok {
+		f.Table, f.Col = t, c
+	} else {
+		f.Col = name
+	}
+	t := p.next()
+	switch {
+	case t.kind == tokSymbol && t.text == "=":
+		f.Op = OpEq
+	case t.kind == tokCompare:
+		f.Op = opNames[t.text]
+	case t.kind == tokKeyword && t.text == "LIKE":
+		f.Op = OpLikePrefix
+	default:
+		return f, fmt.Errorf("sql: expected comparison at %d, got %q", t.pos, t.text)
+	}
+	v := p.next()
+	switch v.kind {
+	case tokNumber:
+		if f.Op == OpLikePrefix {
+			return f, fmt.Errorf("sql: LIKE requires a string at %d", v.pos)
+		}
+		n, err := strconv.ParseFloat(v.text, 64)
+		if err != nil {
+			return f, fmt.Errorf("sql: bad number at %d: %v", v.pos, err)
+		}
+		f.Num = n
+	case tokString:
+		f.IsStr = true
+		f.Str = v.text
+		if f.Op == OpLikePrefix {
+			if !strings.HasSuffix(v.text, "%") || strings.Contains(strings.TrimSuffix(v.text, "%"), "%") {
+				return f, fmt.Errorf("sql: only prefix LIKE ('abc%%') is supported")
+			}
+			f.Str = strings.TrimSuffix(v.text, "%")
+		}
+	default:
+		return f, fmt.Errorf("sql: expected literal at %d, got %q", v.pos, v.text)
+	}
+	return f, nil
+}

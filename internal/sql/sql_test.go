@@ -1,0 +1,167 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseCountJoinWhere(t *testing.T) {
+	q, err := Parse(`SELECT COUNT(*)
+		FROM customer
+		JOIN orders ON customer.c_id = orders.o_c_id
+		JOIN new_order ON orders.o_id = new_order.no_o_id
+		WHERE c_state LIKE 'A%' AND o_entry_d >= 2007`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Count {
+		t.Fatal("COUNT not detected")
+	}
+	if len(q.Tables) != 3 || q.Tables[0] != "customer" || q.Tables[2] != "new_order" {
+		t.Fatalf("tables = %v", q.Tables)
+	}
+	if len(q.Joins) != 2 {
+		t.Fatalf("joins = %+v", q.Joins)
+	}
+	j := q.Joins[0]
+	if j.LeftTable != "customer" || j.LeftCol != "c_id" || j.RightTable != "orders" || j.RightCol != "o_c_id" {
+		t.Fatalf("join0 = %+v", j)
+	}
+	if len(q.Filters) != 2 {
+		t.Fatalf("filters = %+v", q.Filters)
+	}
+	if q.Filters[0].Op != OpLikePrefix || q.Filters[0].Str != "A" {
+		t.Fatalf("LIKE filter = %+v", q.Filters[0])
+	}
+	if q.Filters[1].Op != OpGe || q.Filters[1].Num != 2007 {
+		t.Fatalf("range filter = %+v", q.Filters[1])
+	}
+}
+
+func TestParseProjection(t *testing.T) {
+	q, err := Parse("SELECT c_id, customer.c_last FROM customer WHERE c_id < 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Count || len(q.Columns) != 2 || q.Columns[1] != "customer.c_last" {
+		t.Fatalf("q = %+v", q)
+	}
+	if q.Filters[0].Op != OpLt {
+		t.Fatal("op")
+	}
+}
+
+func TestParseMultiConditionJoin(t *testing.T) {
+	q, err := Parse(`SELECT COUNT(*) FROM a JOIN b ON a.x = b.x AND a.y = b.y WHERE a.z = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Joins) != 2 {
+		t.Fatalf("joins = %+v", q.Joins)
+	}
+	if len(q.Filters) != 1 || q.Filters[0].Table != "a" || q.Filters[0].Col != "z" {
+		t.Fatalf("filters = %+v", q.Filters)
+	}
+}
+
+func TestParseInnerJoinKeyword(t *testing.T) {
+	q, err := Parse(`SELECT COUNT(*) FROM a INNER JOIN b ON a.x = b.x`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Tables) != 2 {
+		t.Fatalf("tables = %v", q.Tables)
+	}
+}
+
+func TestParseCaseInsensitivity(t *testing.T) {
+	q, err := Parse("select count(*) from Customer where C_ID = 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Tables[0] != "customer" || q.Filters[0].Col != "c_id" {
+		t.Fatalf("case folding broken: %+v", q)
+	}
+}
+
+func TestParseStringEquality(t *testing.T) {
+	q, err := Parse("SELECT COUNT(*) FROM customer WHERE c_credit = 'GC'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := q.Filters[0]
+	if !f.IsStr || f.Str != "GC" || f.Op != OpEq {
+		t.Fatalf("filter = %+v", f)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"SELECT",
+		"SELECT * FROM t",                       // bare * not supported
+		"SELECT COUNT(*) FROM",                  // missing table
+		"SELECT COUNT(*) FROM t WHERE",          // missing predicate
+		"SELECT COUNT(*) FROM t WHERE x LIKE 5", // LIKE needs string
+		"SELECT COUNT(*) FROM t WHERE x LIKE '%abc'", // non-prefix LIKE
+		"SELECT COUNT(*) FROM t WHERE x = 'unclosed", // bad string
+		"SELECT COUNT(*) FROM a JOIN b ON x = b.y",   // unqualified join col
+		"SELECT COUNT(*) FROM t WHERE x = 1 garbage", // trailing tokens
+		"SELECT COUNT(*) FROM t WHERE x ! 1",         // bad char
+		"SELECT COUNT( FROM t",                       // broken count
+		"SELECT COUNT(*) FROM a JOIN b",              // missing ON
+		"SELECT COUNT(*) FROM t WHERE x = 1.2.3 AND", // bad number then EOF
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := lex("SELECT c FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].text != "SELECT" || toks[0].kind != tokKeyword {
+		t.Fatalf("tok0 = %+v", toks[0])
+	}
+	if toks[len(toks)-1].kind != tokEOF {
+		t.Fatal("missing EOF token")
+	}
+}
+
+func TestParseComparisons(t *testing.T) {
+	for text, op := range map[string]CmpOp{
+		"=": OpEq, "<": OpLt, ">": OpGt, "<=": OpLe, ">=": OpGe, "<>": OpNe,
+	} {
+		q, err := Parse("SELECT COUNT(*) FROM t WHERE x " + text + " 3")
+		if err != nil {
+			t.Fatalf("%s: %v", text, err)
+		}
+		if q.Filters[0].Op != op {
+			t.Fatalf("%s parsed as %v", text, q.Filters[0].Op)
+		}
+	}
+}
+
+func TestParseIsNotPanicky(t *testing.T) {
+	// Fuzz-ish: truncations of a valid query must error, never panic.
+	full := "SELECT COUNT(*) FROM a JOIN b ON a.x = b.y WHERE a.s LIKE 'Q%' AND b.n >= 7"
+	for i := 0; i < len(full); i++ {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on prefix %q: %v", full[:i], r)
+				}
+			}()
+			Parse(full[:i])
+		}()
+	}
+	if _, err := Parse(full); err != nil {
+		t.Fatalf("full query rejected: %v", err)
+	}
+	if !strings.Contains(full, "LIKE") {
+		t.Fatal("sanity")
+	}
+}

@@ -1,0 +1,128 @@
+package storage
+
+import "fmt"
+
+// ColVec is one column of a columnar batch. Only the slice matching Kind
+// is populated.
+type ColVec struct {
+	Kind   Kind
+	Ints   []int64
+	Floats []float64
+	Strs   []string
+}
+
+func (c *ColVec) appendValue(v Value) {
+	switch c.Kind {
+	case KInt:
+		c.Ints = append(c.Ints, v.I)
+	case KFloat:
+		c.Floats = append(c.Floats, v.F)
+	default:
+		c.Strs = append(c.Strs, v.S)
+	}
+}
+
+// value materializes row i of the column as a Value.
+func (c *ColVec) value(i int) Value {
+	switch c.Kind {
+	case KInt:
+		return Int(c.Ints[i])
+	case KFloat:
+		return Float(c.Floats[i])
+	default:
+		return Str(c.Strs[i])
+	}
+}
+
+// Batch is a columnar chunk of rows flowing through a data stream. OLAP
+// operators exchange batches, not rows: this is the paper's vectorized
+// query processing micro-model, and batch boundaries are where the
+// simulation charges transfer and dispatch costs.
+type Batch struct {
+	Schema *Schema
+	Cols   []ColVec
+	n      int
+	bytes  int64
+}
+
+// NewBatch returns an empty batch shaped like schema.
+func NewBatch(schema *Schema) *Batch {
+	b := &Batch{Schema: schema, Cols: make([]ColVec, schema.NumCols())}
+	for i, c := range schema.Cols {
+		b.Cols[i].Kind = c.Kind
+	}
+	return b
+}
+
+// AppendRow copies row into the batch.
+func (b *Batch) AppendRow(row Row) {
+	if len(row) != len(b.Cols) {
+		panic(fmt.Sprintf("storage: batch arity mismatch: row %d, batch %d", len(row), len(b.Cols)))
+	}
+	for i := range row {
+		b.Cols[i].appendValue(row[i])
+		b.bytes += row[i].size()
+	}
+	b.n++
+}
+
+// AppendValues appends one row given as individual values.
+func (b *Batch) AppendValues(vals ...Value) { b.AppendRow(Row(vals)) }
+
+// Row materializes row i (a copy).
+func (b *Batch) Row(i int) Row {
+	r := make(Row, len(b.Cols))
+	for c := range b.Cols {
+		r[c] = b.Cols[c].value(i)
+	}
+	return r
+}
+
+// Value returns the cell at (row, col) without materializing the row.
+func (b *Batch) Value(row, col int) Value { return b.Cols[col].value(row) }
+
+// Len returns the row count.
+func (b *Batch) Len() int { return b.n }
+
+// Bytes returns the approximate wire size.
+func (b *Batch) Bytes() int64 { return b.bytes }
+
+// Project returns a new batch containing only the named columns.
+func (b *Batch) Project(cols ...string) *Batch {
+	idxs := make([]int, len(cols))
+	outCols := make([]Column, len(cols))
+	for i, name := range cols {
+		idxs[i] = b.Schema.MustCol(name)
+		outCols[i] = b.Schema.Cols[idxs[i]]
+	}
+	out := NewBatch(NewSchema(b.Schema.Name+"_proj", outCols...))
+	for r := 0; r < b.n; r++ {
+		for i, src := range idxs {
+			v := b.Cols[src].value(r)
+			out.Cols[i].appendValue(v)
+			out.bytes += v.size()
+		}
+	}
+	out.n = b.n
+	return out
+}
+
+// ConcatSchema merges two schemas for join output, prefixing column names
+// with each side's table name when they collide.
+func ConcatSchema(name string, left, right *Schema) *Schema {
+	cols := make([]Column, 0, left.NumCols()+right.NumCols())
+	seen := make(map[string]bool)
+	for _, c := range left.Cols {
+		cols = append(cols, c)
+		seen[c.Name] = true
+	}
+	for _, c := range right.Cols {
+		n := c.Name
+		if seen[n] {
+			n = right.Name + "." + n
+		}
+		cols = append(cols, Column{Name: n, Kind: c.Kind})
+		seen[n] = true
+	}
+	return NewSchema(name, cols...)
+}

@@ -1,0 +1,204 @@
+package storage
+
+// BTree is a B+tree mapping packed Keys to row slots, used for ordered
+// secondary indexes (e.g. customers by last name, orders by entry date).
+// Leaves are chained for range scans. Deletes are lazy: the entry is
+// removed from its leaf but the tree is not rebalanced — lookups and
+// scans stay correct, space is reclaimed when the index is rebuilt. The
+// transaction mix reproduced from the paper (payment, new-order) never
+// deletes, so this trade keeps the code small without giving anything up.
+type BTree struct {
+	root *btNode
+	size int
+}
+
+// Fan-out: up to btMax keys per node; split when exceeding.
+const btMax = 64
+
+type btNode struct {
+	leaf bool
+	keys []Key
+	vals []int32   // leaf only, parallel to keys
+	kids []*btNode // inner only, len = len(keys)+1
+	next *btNode   // leaf chain
+}
+
+// NewBTree returns an empty tree.
+func NewBTree() *BTree {
+	return &BTree{root: &btNode{leaf: true}}
+}
+
+// Len returns the number of entries.
+func (t *BTree) Len() int { return t.size }
+
+// lowerBound returns the first index i in keys with keys[i] >= k.
+func lowerBound(keys []Key, k Key) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if keys[mid] < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Get returns the slot stored under key.
+func (t *BTree) Get(key Key) (int32, bool) {
+	n := t.root
+	for !n.leaf {
+		i := lowerBound(n.keys, key)
+		if i < len(n.keys) && n.keys[i] == key {
+			i++ // separators equal to the key route right
+		}
+		n = n.kids[i]
+	}
+	i := lowerBound(n.keys, key)
+	if i < len(n.keys) && n.keys[i] == key {
+		return n.vals[i], true
+	}
+	return 0, false
+}
+
+// Put inserts or replaces the slot under key.
+func (t *BTree) Put(key Key, slot int32) {
+	promoted, right, replaced := t.insert(t.root, key, slot)
+	if right != nil {
+		t.root = &btNode{
+			keys: []Key{promoted},
+			kids: []*btNode{t.root, right},
+		}
+	}
+	if !replaced {
+		t.size++
+	}
+}
+
+// insert adds key to the subtree at n. If n splits, it returns the
+// promoted separator and the new right sibling.
+func (t *BTree) insert(n *btNode, key Key, slot int32) (Key, *btNode, bool) {
+	if n.leaf {
+		i := lowerBound(n.keys, key)
+		if i < len(n.keys) && n.keys[i] == key {
+			n.vals[i] = slot
+			return 0, nil, true
+		}
+		n.keys = append(n.keys, 0)
+		n.vals = append(n.vals, 0)
+		copy(n.keys[i+1:], n.keys[i:])
+		copy(n.vals[i+1:], n.vals[i:])
+		n.keys[i] = key
+		n.vals[i] = slot
+		if len(n.keys) <= btMax {
+			return 0, nil, false
+		}
+		// Split the leaf in half; the right half's first key is
+		// promoted (and kept in the leaf, B+tree style).
+		mid := len(n.keys) / 2
+		right := &btNode{
+			leaf: true,
+			keys: append([]Key(nil), n.keys[mid:]...),
+			vals: append([]int32(nil), n.vals[mid:]...),
+			next: n.next,
+		}
+		n.keys = n.keys[:mid]
+		n.vals = n.vals[:mid]
+		n.next = right
+		return right.keys[0], right, false
+	}
+
+	i := lowerBound(n.keys, key)
+	if i < len(n.keys) && n.keys[i] == key {
+		i++
+	}
+	promoted, right, replaced := t.insert(n.kids[i], key, slot)
+	if right != nil {
+		n.keys = append(n.keys, 0)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = promoted
+		n.kids = append(n.kids, nil)
+		copy(n.kids[i+2:], n.kids[i+1:])
+		n.kids[i+1] = right
+		if len(n.keys) > btMax {
+			p, r := t.splitInner(n)
+			return p, r, replaced
+		}
+	}
+	return 0, nil, replaced
+}
+
+func (t *BTree) splitInner(n *btNode) (Key, *btNode) {
+	mid := len(n.keys) / 2
+	promoted := n.keys[mid]
+	right := &btNode{
+		keys: append([]Key(nil), n.keys[mid+1:]...),
+		kids: append([]*btNode(nil), n.kids[mid+1:]...),
+	}
+	n.keys = n.keys[:mid]
+	n.kids = n.kids[:mid+1]
+	return promoted, right
+}
+
+// Delete removes key (lazy: leaf-only). It reports presence.
+func (t *BTree) Delete(key Key) bool {
+	n := t.root
+	for !n.leaf {
+		i := lowerBound(n.keys, key)
+		if i < len(n.keys) && n.keys[i] == key {
+			i++
+		}
+		n = n.kids[i]
+	}
+	i := lowerBound(n.keys, key)
+	if i < len(n.keys) && n.keys[i] == key {
+		n.keys = append(n.keys[:i], n.keys[i+1:]...)
+		n.vals = append(n.vals[:i], n.vals[i+1:]...)
+		t.size--
+		return true
+	}
+	return false
+}
+
+// Range invokes fn for every entry with lo <= key < hi in ascending key
+// order; fn returning false stops the scan.
+func (t *BTree) Range(lo, hi Key, fn func(Key, int32) bool) {
+	n := t.root
+	for !n.leaf {
+		i := lowerBound(n.keys, lo)
+		if i < len(n.keys) && n.keys[i] == lo {
+			i++
+		}
+		n = n.kids[i]
+	}
+	for n != nil {
+		for i, k := range n.keys {
+			if k < lo {
+				continue
+			}
+			if k >= hi {
+				return
+			}
+			if !fn(k, n.vals[i]) {
+				return
+			}
+		}
+		n = n.next
+	}
+}
+
+// Min returns the smallest key, or false when empty.
+func (t *BTree) Min() (Key, bool) {
+	n := t.root
+	for !n.leaf {
+		n = n.kids[0]
+	}
+	for n != nil {
+		if len(n.keys) > 0 {
+			return n.keys[0], true
+		}
+		n = n.next
+	}
+	return 0, false
+}

@@ -1,0 +1,239 @@
+package storage
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBTreeEmpty(t *testing.T) {
+	tr := NewBTree()
+	if tr.Len() != 0 {
+		t.Fatal("empty tree has nonzero Len")
+	}
+	if _, ok := tr.Get(42); ok {
+		t.Fatal("Get on empty tree succeeded")
+	}
+	if _, ok := tr.Min(); ok {
+		t.Fatal("Min on empty tree succeeded")
+	}
+	tr.Range(0, ^Key(0), func(Key, int32) bool {
+		t.Fatal("Range on empty tree visited an entry")
+		return false
+	})
+}
+
+func TestBTreePutGet(t *testing.T) {
+	tr := NewBTree()
+	for i := 0; i < 1000; i++ {
+		tr.Put(Key(i*7%1000), int32(i))
+	}
+	if tr.Len() != 1000 {
+		t.Fatalf("Len = %d, want 1000", tr.Len())
+	}
+	for i := 0; i < 1000; i++ {
+		v, ok := tr.Get(Key(i * 7 % 1000))
+		if !ok || v != int32(i) {
+			t.Fatalf("Get(%d) = (%d,%v), want (%d,true)", i*7%1000, v, ok, i)
+		}
+	}
+	if _, ok := tr.Get(5000); ok {
+		t.Fatal("Get of absent key succeeded")
+	}
+}
+
+func TestBTreeOverwrite(t *testing.T) {
+	tr := NewBTree()
+	tr.Put(1, 10)
+	tr.Put(1, 20)
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d after overwrite, want 1", tr.Len())
+	}
+	if v, _ := tr.Get(1); v != 20 {
+		t.Fatalf("Get = %d, want 20", v)
+	}
+}
+
+func TestBTreeRangeOrder(t *testing.T) {
+	tr := NewBTree()
+	perm := rand.New(rand.NewSource(7)).Perm(5000)
+	for _, k := range perm {
+		tr.Put(Key(k), int32(k))
+	}
+	var got []Key
+	tr.Range(1000, 2000, func(k Key, v int32) bool {
+		if int32(k) != v {
+			t.Fatalf("value mismatch at %d: %d", k, v)
+		}
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 1000 {
+		t.Fatalf("range size = %d, want 1000", len(got))
+	}
+	for i, k := range got {
+		if k != Key(1000+i) {
+			t.Fatalf("range order broken at %d: %v", i, k)
+		}
+	}
+}
+
+func TestBTreeRangeEarlyStop(t *testing.T) {
+	tr := NewBTree()
+	for i := 0; i < 100; i++ {
+		tr.Put(Key(i), int32(i))
+	}
+	count := 0
+	tr.Range(0, 100, func(Key, int32) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Fatalf("early stop visited %d, want 5", count)
+	}
+}
+
+func TestBTreeDelete(t *testing.T) {
+	tr := NewBTree()
+	for i := 0; i < 500; i++ {
+		tr.Put(Key(i), int32(i))
+	}
+	for i := 0; i < 500; i += 2 {
+		if !tr.Delete(Key(i)) {
+			t.Fatalf("Delete(%d) reported absent", i)
+		}
+	}
+	if tr.Delete(Key(0)) {
+		t.Fatal("double Delete succeeded")
+	}
+	if tr.Len() != 250 {
+		t.Fatalf("Len = %d, want 250", tr.Len())
+	}
+	for i := 0; i < 500; i++ {
+		_, ok := tr.Get(Key(i))
+		if ok != (i%2 == 1) {
+			t.Fatalf("Get(%d) presence = %v", i, ok)
+		}
+	}
+	var got []Key
+	tr.Range(0, 500, func(k Key, _ int32) bool { got = append(got, k); return true })
+	if len(got) != 250 {
+		t.Fatalf("range after delete = %d entries, want 250", len(got))
+	}
+}
+
+func TestBTreeMin(t *testing.T) {
+	tr := NewBTree()
+	tr.Put(50, 1)
+	tr.Put(10, 2)
+	tr.Put(90, 3)
+	if k, ok := tr.Min(); !ok || k != 10 {
+		t.Fatalf("Min = (%v,%v), want (10,true)", k, ok)
+	}
+	tr.Delete(10)
+	if k, _ := tr.Min(); k != 50 {
+		t.Fatalf("Min after delete = %v, want 50", k)
+	}
+}
+
+// TestBTreeQuickVsMap compares random operation sequences against a map +
+// sort reference.
+func TestBTreeQuickVsMap(t *testing.T) {
+	type op struct {
+		Key Key
+		Val int32
+		Del bool
+	}
+	check := func(ops []op) bool {
+		tr := NewBTree()
+		ref := make(map[Key]int32)
+		for _, o := range ops {
+			k := o.Key % 512 // force collisions/overwrites
+			if o.Del {
+				dOK := tr.Delete(k)
+				_, rOK := ref[k]
+				if dOK != rOK {
+					return false
+				}
+				delete(ref, k)
+			} else {
+				tr.Put(k, o.Val)
+				ref[k] = o.Val
+			}
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		// Point lookups agree.
+		for k, v := range ref {
+			got, ok := tr.Get(k)
+			if !ok || got != v {
+				return false
+			}
+		}
+		// Full range agrees in order and content.
+		keys := make([]Key, 0, len(ref))
+		for k := range ref {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		i := 0
+		okScan := true
+		tr.Range(0, ^Key(0), func(k Key, v int32) bool {
+			if i >= len(keys) || k != keys[i] || v != ref[k] {
+				okScan = false
+				return false
+			}
+			i++
+			return true
+		})
+		return okScan && i == len(keys)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBTreeLargeSequential exercises deep splits.
+func TestBTreeLargeSequential(t *testing.T) {
+	tr := NewBTree()
+	const n = 200000
+	for i := 0; i < n; i++ {
+		tr.Put(Key(i), int32(i%1024))
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+	count := 0
+	prev := Key(0)
+	tr.Range(0, n, func(k Key, _ int32) bool {
+		if count > 0 && k <= prev {
+			t.Fatalf("order violated: %v after %v", k, prev)
+		}
+		prev = k
+		count++
+		return true
+	})
+	if count != n {
+		t.Fatalf("scanned %d, want %d", count, n)
+	}
+}
+
+func BenchmarkBTreePut(b *testing.B) {
+	tr := NewBTree()
+	for i := 0; i < b.N; i++ {
+		tr.Put(Key(i*2654435761), int32(i))
+	}
+}
+
+func BenchmarkBTreeGet(b *testing.B) {
+	tr := NewBTree()
+	for i := 0; i < 100000; i++ {
+		tr.Put(Key(i), int32(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(Key(i % 100000))
+	}
+}

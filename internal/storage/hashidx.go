@@ -1,0 +1,130 @@
+package storage
+
+// HashIndex is an open-addressing (linear probing) hash index mapping a
+// packed Key to a row slot in a table heap. It exists instead of a plain
+// Go map for two reasons: deletions use backward-shift (no tombstone
+// decay), and the probe sequence is deterministic, which the simulation
+// runtime relies on for reproducibility.
+type HashIndex struct {
+	keys  []Key
+	slots []int32
+	used  []bool
+	n     int
+	mask  uint64
+}
+
+const hashIdxMinCap = 16
+
+// NewHashIndex returns an index sized for capacity entries.
+func NewHashIndex(capacity int) *HashIndex {
+	n := hashIdxMinCap
+	for n < capacity*2 { // keep load factor under 0.5
+		n <<= 1
+	}
+	return &HashIndex{
+		keys:  make([]Key, n),
+		slots: make([]int32, n),
+		used:  make([]bool, n),
+		mask:  uint64(n - 1),
+	}
+}
+
+// mix is a 64-bit finalizer (splitmix64) giving a well-spread probe
+// start.
+func mix(k Key) uint64 {
+	x := uint64(k)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Len returns the number of entries.
+func (h *HashIndex) Len() int { return h.n }
+
+// Get returns the row slot for key.
+func (h *HashIndex) Get(key Key) (int32, bool) {
+	i := mix(key) & h.mask
+	for h.used[i] {
+		if h.keys[i] == key {
+			return h.slots[i], true
+		}
+		i = (i + 1) & h.mask
+	}
+	return 0, false
+}
+
+// Put inserts or overwrites the slot for key.
+func (h *HashIndex) Put(key Key, slot int32) {
+	if uint64(h.n)*2 >= uint64(len(h.keys)) {
+		h.grow()
+	}
+	i := mix(key) & h.mask
+	for h.used[i] {
+		if h.keys[i] == key {
+			h.slots[i] = slot
+			return
+		}
+		i = (i + 1) & h.mask
+	}
+	h.used[i] = true
+	h.keys[i] = key
+	h.slots[i] = slot
+	h.n++
+}
+
+// Delete removes key using backward-shift deletion, preserving probe
+// chains without tombstones. It reports whether the key was present.
+func (h *HashIndex) Delete(key Key) bool {
+	i := mix(key) & h.mask
+	for h.used[i] {
+		if h.keys[i] == key {
+			h.shiftBack(i)
+			h.n--
+			return true
+		}
+		i = (i + 1) & h.mask
+	}
+	return false
+}
+
+// shiftBack repairs the probe chain after emptying slot j: walk the
+// cluster to the right and move back the first entry whose probe path
+// crosses the hole; repeat until the cluster ends.
+func (h *HashIndex) shiftBack(j uint64) {
+	h.used[j] = false
+	k := j
+	for {
+		k = (k + 1) & h.mask
+		if !h.used[k] {
+			return
+		}
+		home := mix(h.keys[k]) & h.mask
+		// Entry at k may move into hole j iff j lies on its probe
+		// path, i.e. dist(home→j) < dist(home→k) cyclically.
+		if ((j - home) & h.mask) < ((k - home) & h.mask) {
+			h.keys[j] = h.keys[k]
+			h.slots[j] = h.slots[k]
+			h.used[j] = true
+			h.used[k] = false
+			j = k
+		}
+	}
+}
+
+func (h *HashIndex) grow() {
+	old := *h
+	n := len(old.keys) * 2
+	h.keys = make([]Key, n)
+	h.slots = make([]int32, n)
+	h.used = make([]bool, n)
+	h.mask = uint64(n - 1)
+	h.n = 0
+	for i, u := range old.used {
+		if u {
+			h.Put(old.keys[i], old.slots[i])
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHashIndexBasic(t *testing.T) {
+	h := NewHashIndex(4)
+	if _, ok := h.Get(1); ok {
+		t.Fatal("Get on empty index succeeded")
+	}
+	h.Put(1, 100)
+	h.Put(2, 200)
+	if v, ok := h.Get(1); !ok || v != 100 {
+		t.Fatalf("Get(1) = (%d,%v)", v, ok)
+	}
+	h.Put(1, 111) // overwrite
+	if v, _ := h.Get(1); v != 111 {
+		t.Fatalf("overwrite failed: %d", v)
+	}
+	if h.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", h.Len())
+	}
+}
+
+func TestHashIndexGrowth(t *testing.T) {
+	h := NewHashIndex(2)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		h.Put(Key(i), int32(i))
+	}
+	if h.Len() != n {
+		t.Fatalf("Len = %d, want %d", h.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		if v, ok := h.Get(Key(i)); !ok || v != int32(i) {
+			t.Fatalf("Get(%d) = (%d,%v)", i, v, ok)
+		}
+	}
+}
+
+func TestHashIndexDelete(t *testing.T) {
+	h := NewHashIndex(16)
+	for i := 0; i < 1000; i++ {
+		h.Put(Key(i), int32(i))
+	}
+	for i := 0; i < 1000; i += 3 {
+		if !h.Delete(Key(i)) {
+			t.Fatalf("Delete(%d) reported absent", i)
+		}
+	}
+	if h.Delete(Key(0)) {
+		t.Fatal("double delete succeeded")
+	}
+	for i := 0; i < 1000; i++ {
+		v, ok := h.Get(Key(i))
+		if (i%3 == 0) == ok {
+			t.Fatalf("Get(%d) presence = %v after deletes", i, ok)
+		}
+		if ok && v != int32(i) {
+			t.Fatalf("Get(%d) = %d", i, v)
+		}
+	}
+}
+
+// TestHashIndexDeleteChains targets backward-shift correctness by forcing
+// long probe chains (keys engineered to collide after masking).
+func TestHashIndexDeleteChains(t *testing.T) {
+	h := NewHashIndex(8) // 16 slots
+	rng := rand.New(rand.NewSource(11))
+	ref := make(map[Key]int32)
+	for step := 0; step < 20000; step++ {
+		k := Key(rng.Intn(24)) // dense key space → heavy collisions
+		switch rng.Intn(3) {
+		case 0, 1:
+			v := int32(rng.Intn(1 << 20))
+			h.Put(k, v)
+			ref[k] = v
+		case 2:
+			dOK := h.Delete(k)
+			_, rOK := ref[k]
+			if dOK != rOK {
+				t.Fatalf("step %d: Delete(%v) = %v, ref %v", step, k, dOK, rOK)
+			}
+			delete(ref, k)
+		}
+		if h.Len() != len(ref) {
+			t.Fatalf("step %d: Len = %d, ref %d", step, h.Len(), len(ref))
+		}
+	}
+	for k, v := range ref {
+		if got, ok := h.Get(k); !ok || got != v {
+			t.Fatalf("final Get(%v) = (%d,%v), want (%d,true)", k, got, ok, v)
+		}
+	}
+}
+
+func TestHashIndexQuickVsMap(t *testing.T) {
+	type op struct {
+		Key Key
+		Val int32
+		Del bool
+	}
+	check := func(ops []op) bool {
+		h := NewHashIndex(4)
+		ref := make(map[Key]int32)
+		for _, o := range ops {
+			k := o.Key % 128
+			if o.Del {
+				if h.Delete(k) != mapHas(ref, k) {
+					return false
+				}
+				delete(ref, k)
+			} else {
+				h.Put(k, o.Val)
+				ref[k] = o.Val
+			}
+		}
+		if h.Len() != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			if got, ok := h.Get(k); !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mapHas(m map[Key]int32, k Key) bool {
+	_, ok := m[k]
+	return ok
+}
+
+func BenchmarkHashIndexGet(b *testing.B) {
+	h := NewHashIndex(1 << 16)
+	for i := 0; i < 1<<16; i++ {
+		h.Put(Key(i), int32(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Get(Key(i & (1<<16 - 1)))
+	}
+}
+
+func BenchmarkGoMapGet(b *testing.B) {
+	m := make(map[Key]int32, 1<<16)
+	for i := 0; i < 1<<16; i++ {
+		m[Key(i)] = int32(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m[Key(i&(1<<16-1))]
+	}
+}

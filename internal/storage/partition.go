@@ -1,0 +1,129 @@
+package storage
+
+import "fmt"
+
+// Partition groups the table shards belonging to one partition key range
+// (one TPC-C warehouse in the reproduced workloads). A partition has a
+// single owner at any time — an AnyComponent or a baseline transaction
+// executor — which is how both engines guarantee race-free access.
+type Partition struct {
+	ID     int
+	tables map[string]*Table
+	seq    int64
+}
+
+// NextSeq returns a partition-local monotone sequence number (used to key
+// tables without a natural primary key, e.g. TPC-C history).
+func (p *Partition) NextSeq() int64 {
+	p.seq++
+	return p.seq
+}
+
+// NewPartition returns an empty partition.
+func NewPartition(id int) *Partition {
+	return &Partition{ID: id, tables: make(map[string]*Table)}
+}
+
+// CreateTable adds an empty table for schema and returns it.
+func (p *Partition) CreateTable(schema *Schema) *Table {
+	if _, dup := p.tables[schema.Name]; dup {
+		panic("storage: duplicate table " + schema.Name + " in partition")
+	}
+	t := NewTable(schema)
+	p.tables[schema.Name] = t
+	return t
+}
+
+// Table returns the named table; it panics on unknown names (schema is
+// static in both engines, a miss is a programming error).
+func (p *Partition) Table(name string) *Table {
+	t, ok := p.tables[name]
+	if !ok {
+		panic(fmt.Sprintf("storage: no table %q in partition %d", name, p.ID))
+	}
+	return t
+}
+
+// HasTable reports whether the partition holds the named table.
+func (p *Partition) HasTable(name string) bool {
+	_, ok := p.tables[name]
+	return ok
+}
+
+// Bytes returns the total approximate size of all tables.
+func (p *Partition) Bytes() int64 {
+	var s int64
+	for _, t := range p.tables {
+		s += t.Bytes()
+	}
+	return s
+}
+
+// Database is the full partitioned store: one Partition per warehouse
+// plus the catalog. Both engines share this layout; they differ only in
+// who executes against it and how access is coordinated.
+type Database struct {
+	Partitions []*Partition
+	Catalog    *Catalog
+}
+
+// NewDatabase creates n empty partitions with the given schemas
+// instantiated in each.
+func NewDatabase(n int, schemas ...*Schema) *Database {
+	db := &Database{Catalog: NewCatalog()}
+	for _, s := range schemas {
+		db.Catalog.AddSchema(s)
+	}
+	for i := 0; i < n; i++ {
+		p := NewPartition(i)
+		for _, s := range schemas {
+			p.CreateTable(s)
+		}
+		db.Partitions = append(db.Partitions, p)
+	}
+	return db
+}
+
+// Partition returns partition id, panicking on out-of-range (ownership
+// routing bugs should fail loudly).
+func (db *Database) Partition(id int) *Partition {
+	if id < 0 || id >= len(db.Partitions) {
+		panic(fmt.Sprintf("storage: partition %d out of range [0,%d)", id, len(db.Partitions)))
+	}
+	return db.Partitions[id]
+}
+
+// NumPartitions returns the partition count.
+func (db *Database) NumPartitions() int { return len(db.Partitions) }
+
+// Catalog maps table names to schemas and statistics.
+type Catalog struct {
+	schemas map[string]*Schema
+	stats   map[string]*TableStats
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{schemas: make(map[string]*Schema), stats: make(map[string]*TableStats)}
+}
+
+// AddSchema registers a schema.
+func (c *Catalog) AddSchema(s *Schema) { c.schemas[s.Name] = s }
+
+// Schema returns the schema for a table name, or nil.
+func (c *Catalog) Schema(name string) *Schema { return c.schemas[name] }
+
+// SetStats stores statistics for a table.
+func (c *Catalog) SetStats(table string, st *TableStats) { c.stats[table] = st }
+
+// Stats returns statistics for a table, or nil if never analyzed.
+func (c *Catalog) Stats(table string) *TableStats { return c.stats[table] }
+
+// Tables lists registered table names (unordered).
+func (c *Catalog) Tables() []string {
+	out := make([]string, 0, len(c.schemas))
+	for n := range c.schemas {
+		out = append(out, n)
+	}
+	return out
+}

@@ -1,0 +1,61 @@
+package storage
+
+// UndoLog collects inverse operations for one transaction so an abort can
+// restore the pre-image. Both engines use it: the DBx1000 baseline rolls
+// back on no-wait lock conflicts; AnyDB rolls back on logical aborts
+// (e.g. new-order's 1% invalid item).
+//
+// Entries apply in reverse order, so overlapping updates to the same cell
+// restore correctly.
+type UndoLog struct {
+	entries []undoEntry
+}
+
+type undoKind uint8
+
+const (
+	undoUpdate undoKind = iota
+	undoInsert
+)
+
+type undoEntry struct {
+	kind  undoKind
+	table *Table
+	key   Key // inserts
+	slot  int32
+	col   int
+	old   Value
+}
+
+// Len returns the number of recorded operations.
+func (u *UndoLog) Len() int { return len(u.entries) }
+
+// LogUpdate records the pre-image of a cell update.
+func (u *UndoLog) LogUpdate(t *Table, slot int32, col int, old Value) {
+	u.entries = append(u.entries, undoEntry{kind: undoUpdate, table: t, slot: slot, col: col, old: old})
+}
+
+// LogInsert records an insert for reversal.
+func (u *UndoLog) LogInsert(t *Table, key Key) {
+	u.entries = append(u.entries, undoEntry{kind: undoInsert, table: t, key: key})
+}
+
+// Rollback applies the log in reverse and clears it. It returns the
+// number of operations undone (the engines charge virtual time per op).
+func (u *UndoLog) Rollback() int {
+	n := len(u.entries)
+	for i := n - 1; i >= 0; i-- {
+		e := u.entries[i]
+		switch e.kind {
+		case undoUpdate:
+			e.table.rows[e.slot][e.col] = e.old
+		case undoInsert:
+			e.table.Delete(e.key)
+		}
+	}
+	u.entries = u.entries[:0]
+	return n
+}
+
+// Commit discards the log (nothing to undo anymore).
+func (u *UndoLog) Commit() { u.entries = u.entries[:0] }

@@ -1,0 +1,77 @@
+package stream
+
+import (
+	"sync/atomic"
+)
+
+// Mailbox is an unbounded multi-producer inbox with blocking receive,
+// built from an MPSC queue plus a wakeup channel. It is the delivery
+// mechanism for AC event and data streams in the goroutine runtime: many
+// upstream components push, one AC goroutine drains.
+//
+// Close is idempotent and may be called by any goroutine; after Close,
+// Recv drains the remaining elements and then reports closed.
+type Mailbox[T any] struct {
+	q      *MPSC[T]
+	wake   chan struct{}
+	closed atomic.Bool
+}
+
+// NewMailbox returns an empty open mailbox.
+func NewMailbox[T any]() *Mailbox[T] {
+	return &Mailbox[T]{q: NewMPSC[T](), wake: make(chan struct{}, 1)}
+}
+
+// Send enqueues v and wakes the receiver. Send on a closed mailbox is a
+// no-op (the element is dropped), mirroring delivery to a failed AC.
+func (m *Mailbox[T]) Send(v T) bool {
+	if m.closed.Load() {
+		return false
+	}
+	m.q.Push(v)
+	m.signal()
+	return true
+}
+
+func (m *Mailbox[T]) signal() {
+	select {
+	case m.wake <- struct{}{}:
+	default:
+	}
+}
+
+// TryRecv returns the next element without blocking.
+func (m *Mailbox[T]) TryRecv() (T, bool) { return m.q.Pop() }
+
+// Recv blocks until an element is available or the mailbox is closed and
+// drained. The second result is false only in the closed-and-drained case.
+func (m *Mailbox[T]) Recv() (T, bool) {
+	for {
+		if v, ok := m.q.Pop(); ok {
+			return v, true
+		}
+		if m.closed.Load() {
+			// Final drain: producers may have pushed between the
+			// failed Pop and the closed check.
+			if v, ok := m.q.Pop(); ok {
+				return v, true
+			}
+			var zero T
+			return zero, false
+		}
+		<-m.wake
+	}
+}
+
+// Len returns the approximate queue length.
+func (m *Mailbox[T]) Len() int { return m.q.Len() }
+
+// Close marks the mailbox closed and wakes the receiver.
+func (m *Mailbox[T]) Close() {
+	if m.closed.CompareAndSwap(false, true) {
+		m.signal()
+	}
+}
+
+// Closed reports whether Close was called.
+func (m *Mailbox[T]) Closed() bool { return m.closed.Load() }

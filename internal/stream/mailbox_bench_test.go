@@ -1,0 +1,44 @@
+package stream
+
+import (
+	"testing"
+)
+
+// BenchmarkQueueComparison is the Folly-substitute ablation (DESIGN.md
+// §2): how do the three local stream carriers compare for one
+// producer/one consumer hops? Run with:
+//
+//	go test -bench QueueComparison ./internal/stream
+func BenchmarkQueueComparison(b *testing.B) {
+	b.Run("spsc", func(b *testing.B) {
+		q := NewSPSC[int](4096)
+		for i := 0; i < b.N; i++ {
+			if !q.TryPush(i) {
+				q.TryPop()
+				q.TryPush(i)
+			}
+			q.TryPop()
+		}
+	})
+	b.Run("mpsc", func(b *testing.B) {
+		q := NewMPSC[int]()
+		for i := 0; i < b.N; i++ {
+			q.Push(i)
+			q.Pop()
+		}
+	})
+	b.Run("channel", func(b *testing.B) {
+		ch := make(chan int, 4096)
+		for i := 0; i < b.N; i++ {
+			ch <- i
+			<-ch
+		}
+	})
+	b.Run("mailbox", func(b *testing.B) {
+		m := NewMailbox[int]()
+		for i := 0; i < b.N; i++ {
+			m.Send(i)
+			m.TryRecv()
+		}
+	})
+}

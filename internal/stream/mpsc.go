@@ -1,0 +1,60 @@
+package stream
+
+import (
+	"sync/atomic"
+)
+
+// mpscNode is a link in the MPSC queue. Nodes are heap allocated; Go's GC
+// makes the classic Vyukov design safe without hazard pointers.
+type mpscNode[T any] struct {
+	next atomic.Pointer[mpscNode[T]]
+	val  T
+}
+
+// MPSC is an unbounded lock-free multi-producer/single-consumer queue
+// (Vyukov intrusive design). Any number of goroutines may Push; exactly
+// one goroutine may Pop. Create instances with NewMPSC.
+type MPSC[T any] struct {
+	head atomic.Pointer[mpscNode[T]] // producers swap here
+	_    cacheLinePad
+	tail *mpscNode[T] // consumer-owned
+	size atomic.Int64
+}
+
+// NewMPSC returns an empty queue.
+func NewMPSC[T any]() *MPSC[T] {
+	q := &MPSC[T]{}
+	stub := &mpscNode[T]{}
+	q.head.Store(stub)
+	q.tail = stub
+	return q
+}
+
+// Push appends v. Safe for concurrent producers; never blocks.
+func (q *MPSC[T]) Push(v T) {
+	n := &mpscNode[T]{val: v}
+	prev := q.head.Swap(n)
+	// Between the Swap and this Store the queue is momentarily
+	// disconnected; Pop observes that as "empty" and retries later,
+	// which preserves linearizability of the push.
+	prev.next.Store(n)
+	q.size.Add(1)
+}
+
+// Pop removes the oldest element. Consumer-only. Returns false when the
+// queue is (momentarily) empty.
+func (q *MPSC[T]) Pop() (T, bool) {
+	var zero T
+	next := q.tail.next.Load()
+	if next == nil {
+		return zero, false
+	}
+	q.tail = next
+	v := next.val
+	next.val = zero
+	q.size.Add(-1)
+	return v, true
+}
+
+// Len returns the approximate number of queued elements.
+func (q *MPSC[T]) Len() int { return int(q.size.Load()) }

@@ -1,0 +1,197 @@
+package stream
+
+import (
+	"sort"
+	"sync"
+	"testing"
+)
+
+func TestMPSCBasic(t *testing.T) {
+	q := NewMPSC[int]()
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop on empty queue succeeded")
+	}
+	for i := 0; i < 10; i++ {
+		q.Push(i)
+	}
+	if q.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", q.Len())
+	}
+	for i := 0; i < 10; i++ {
+		v, ok := q.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop = (%d,%v), want (%d,true)", v, ok, i)
+		}
+	}
+}
+
+// TestMPSCConcurrentProducers checks that no element is lost or duplicated
+// with several producers, and that per-producer order is preserved.
+func TestMPSCConcurrentProducers(t *testing.T) {
+	const producers = 8
+	const perProducer = 20000
+	q := NewMPSC[int]()
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				q.Push(p*perProducer + i)
+			}
+		}(p)
+	}
+	got := make([]int, 0, producers*perProducer)
+	lastPer := make(map[int]int) // producer -> last value seen
+	donech := make(chan struct{})
+	go func() { wg.Wait(); close(donech) }()
+	for {
+		v, ok := q.Pop()
+		if ok {
+			p := v / perProducer
+			if last, seen := lastPer[p]; seen && v <= last {
+				t.Errorf("producer %d order violated: %d after %d", p, v, last)
+			}
+			lastPer[p] = v
+			got = append(got, v)
+			if len(got) == producers*perProducer {
+				break
+			}
+			continue
+		}
+		select {
+		case <-donech:
+			// producers finished; drain whatever is left
+			for {
+				v, ok := q.Pop()
+				if !ok {
+					break
+				}
+				got = append(got, v)
+			}
+			if len(got) != producers*perProducer {
+				t.Fatalf("lost elements: got %d, want %d", len(got), producers*perProducer)
+			}
+			goto verify
+		default:
+		}
+	}
+verify:
+	sort.Ints(got)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("element set corrupted at %d: %d", i, v)
+		}
+	}
+}
+
+func TestMailboxSendRecv(t *testing.T) {
+	m := NewMailbox[string]()
+	m.Send("x")
+	m.Send("y")
+	if v, ok := m.Recv(); !ok || v != "x" {
+		t.Fatalf("Recv = (%q,%v), want (x,true)", v, ok)
+	}
+	if v, ok := m.TryRecv(); !ok || v != "y" {
+		t.Fatalf("TryRecv = (%q,%v), want (y,true)", v, ok)
+	}
+	if _, ok := m.TryRecv(); ok {
+		t.Fatal("TryRecv on empty mailbox succeeded")
+	}
+}
+
+func TestMailboxBlockingRecv(t *testing.T) {
+	m := NewMailbox[int]()
+	done := make(chan int)
+	go func() {
+		v, _ := m.Recv()
+		done <- v
+	}()
+	m.Send(42)
+	if v := <-done; v != 42 {
+		t.Fatalf("blocking Recv = %d, want 42", v)
+	}
+}
+
+func TestMailboxClose(t *testing.T) {
+	m := NewMailbox[int]()
+	m.Send(1)
+	m.Close()
+	if m.Send(2) {
+		t.Fatal("Send succeeded on closed mailbox")
+	}
+	if v, ok := m.Recv(); !ok || v != 1 {
+		t.Fatalf("Recv after close = (%d,%v), want (1,true)", v, ok)
+	}
+	if _, ok := m.Recv(); ok {
+		t.Fatal("Recv on closed drained mailbox succeeded")
+	}
+	m.Close() // idempotent
+}
+
+func TestMailboxCloseWakesReceiver(t *testing.T) {
+	m := NewMailbox[int]()
+	done := make(chan bool)
+	go func() {
+		_, ok := m.Recv()
+		done <- ok
+	}()
+	m.Close()
+	if ok := <-done; ok {
+		t.Fatal("Recv returned ok=true on closed empty mailbox")
+	}
+}
+
+// TestMailboxStress hammers a mailbox from many producers while the
+// consumer counts; every sent element must arrive exactly once.
+func TestMailboxStress(t *testing.T) {
+	const producers = 4
+	const perProducer = 25000
+	m := NewMailbox[int]()
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				m.Send(1)
+			}
+		}()
+	}
+	go func() { wg.Wait(); m.Close() }()
+	total := 0
+	for {
+		v, ok := m.Recv()
+		if !ok {
+			break
+		}
+		total += v
+	}
+	if total != producers*perProducer {
+		t.Fatalf("received %d, want %d", total, producers*perProducer)
+	}
+}
+
+func BenchmarkMPSCPushPop(b *testing.B) {
+	q := NewMPSC[int]()
+	for i := 0; i < b.N; i++ {
+		q.Push(i)
+		q.Pop()
+	}
+}
+
+func BenchmarkMailboxSendRecv(b *testing.B) {
+	m := NewMailbox[int]()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < b.N; i++ {
+			m.Recv()
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Send(i)
+	}
+	<-done
+}

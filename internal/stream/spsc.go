@@ -1,0 +1,103 @@
+// Package stream provides the queue primitives that carry event and data
+// streams between AnyComponents.
+//
+// The paper's prototype uses Folly's single-producer/single-consumer queue
+// for local data beaming (footnote 1). SPSC is the equivalent here: a
+// bounded lock-free ring buffer built on sync/atomic. MPSC is an unbounded
+// multi-producer queue used for AC inboxes, and Mailbox adds blocking
+// receive on top of it.
+package stream
+
+import (
+	"sync/atomic"
+)
+
+// cacheLinePad separates hot atomics so producer and consumer do not
+// false-share a cache line.
+type cacheLinePad struct{ _ [64]byte }
+
+// SPSC is a bounded lock-free single-producer/single-consumer ring buffer.
+// Exactly one goroutine may call the producer methods (TryPush, Close) and
+// exactly one goroutine may call the consumer methods (TryPop). The zero
+// value is not usable; create instances with NewSPSC.
+type SPSC[T any] struct {
+	buf  []T
+	mask uint64
+
+	_ cacheLinePad
+	// head is the next slot to pop (owned by the consumer, read by the
+	// producer to detect fullness).
+	head atomic.Uint64
+	// cachedHead is the producer's last-seen head, avoiding an atomic
+	// load on every push.
+	cachedHead uint64
+
+	_ cacheLinePad
+	// tail is the next slot to push (owned by the producer, read by the
+	// consumer to detect emptiness).
+	tail atomic.Uint64
+	// cachedTail is the consumer's last-seen tail.
+	cachedTail uint64
+
+	_      cacheLinePad
+	closed atomic.Bool
+}
+
+// NewSPSC returns an SPSC ring with capacity rounded up to the next power
+// of two (minimum 2).
+func NewSPSC[T any](capacity int) *SPSC[T] {
+	n := uint64(2)
+	for n < uint64(capacity) {
+		n <<= 1
+	}
+	return &SPSC[T]{buf: make([]T, n), mask: n - 1}
+}
+
+// Cap returns the queue capacity.
+func (q *SPSC[T]) Cap() int { return len(q.buf) }
+
+// Len returns an instantaneous element count. It is only advisory under
+// concurrency.
+func (q *SPSC[T]) Len() int {
+	t := q.tail.Load()
+	h := q.head.Load()
+	return int(t - h)
+}
+
+// TryPush appends v and reports whether there was room. Producer-only.
+func (q *SPSC[T]) TryPush(v T) bool {
+	t := q.tail.Load()
+	if t-q.cachedHead >= uint64(len(q.buf)) {
+		q.cachedHead = q.head.Load()
+		if t-q.cachedHead >= uint64(len(q.buf)) {
+			return false
+		}
+	}
+	q.buf[t&q.mask] = v
+	q.tail.Store(t + 1)
+	return true
+}
+
+// TryPop removes the oldest element. Consumer-only. The second result is
+// false when the queue is currently empty.
+func (q *SPSC[T]) TryPop() (T, bool) {
+	var zero T
+	h := q.head.Load()
+	if h == q.cachedTail {
+		q.cachedTail = q.tail.Load()
+		if h == q.cachedTail {
+			return zero, false
+		}
+	}
+	v := q.buf[h&q.mask]
+	q.buf[h&q.mask] = zero // release for GC
+	q.head.Store(h + 1)
+	return v, true
+}
+
+// Close marks the queue closed. Elements already queued can still be
+// popped; Closed combined with an empty queue means end-of-stream.
+func (q *SPSC[T]) Close() { q.closed.Store(true) }
+
+// Closed reports whether Close was called.
+func (q *SPSC[T]) Closed() bool { return q.closed.Load() }

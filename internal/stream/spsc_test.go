@@ -1,0 +1,189 @@
+package stream
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestSPSCBasic(t *testing.T) {
+	q := NewSPSC[int](4)
+	if q.Cap() != 4 {
+		t.Fatalf("Cap = %d, want 4", q.Cap())
+	}
+	if _, ok := q.TryPop(); ok {
+		t.Fatal("TryPop on empty queue succeeded")
+	}
+	for i := 0; i < 4; i++ {
+		if !q.TryPush(i) {
+			t.Fatalf("TryPush(%d) failed on non-full queue", i)
+		}
+	}
+	if q.TryPush(99) {
+		t.Fatal("TryPush succeeded on full queue")
+	}
+	if q.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", q.Len())
+	}
+	for i := 0; i < 4; i++ {
+		v, ok := q.TryPop()
+		if !ok || v != i {
+			t.Fatalf("TryPop = (%d,%v), want (%d,true)", v, ok, i)
+		}
+	}
+	if _, ok := q.TryPop(); ok {
+		t.Fatal("TryPop on drained queue succeeded")
+	}
+}
+
+func TestSPSCCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ ask, want int }{
+		{0, 2}, {1, 2}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {1000, 1024},
+	} {
+		if got := NewSPSC[int](tc.ask).Cap(); got != tc.want {
+			t.Errorf("NewSPSC(%d).Cap() = %d, want %d", tc.ask, got, tc.want)
+		}
+	}
+}
+
+func TestSPSCWraparound(t *testing.T) {
+	q := NewSPSC[int](2)
+	for i := 0; i < 1000; i++ {
+		if !q.TryPush(i) {
+			t.Fatalf("push %d failed", i)
+		}
+		v, ok := q.TryPop()
+		if !ok || v != i {
+			t.Fatalf("pop = (%d,%v), want (%d,true)", v, ok, i)
+		}
+	}
+}
+
+func TestSPSCClose(t *testing.T) {
+	q := NewSPSC[string](4)
+	q.TryPush("a")
+	q.Close()
+	if !q.Closed() {
+		t.Fatal("Closed() = false after Close")
+	}
+	if v, ok := q.TryPop(); !ok || v != "a" {
+		t.Fatal("queued element lost after Close")
+	}
+}
+
+// TestSPSCConcurrentFIFO streams a long sequence through a tiny ring and
+// checks that order and content survive concurrent producer/consumer.
+// The spin loops yield explicitly: callers of TryPush/TryPop are expected
+// to back off (as Mailbox does), and on a single-CPU machine a tight
+// spin would otherwise starve the peer until the next preemption slice.
+func TestSPSCConcurrentFIFO(t *testing.T) {
+	const n = 50000
+	q := NewSPSC[int](8)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; {
+			if q.TryPush(i) {
+				i++
+			} else {
+				runtime.Gosched()
+			}
+		}
+	}()
+	for want := 0; want < n; {
+		if v, ok := q.TryPop(); ok {
+			if v != want {
+				t.Errorf("out of order: got %d, want %d", v, want)
+				break
+			}
+			want++
+		} else {
+			runtime.Gosched()
+		}
+	}
+	wg.Wait()
+}
+
+// TestSPSCQuickSequences drives random push/pop interleavings against a
+// slice-based reference implementation.
+func TestSPSCQuickSequences(t *testing.T) {
+	check := func(ops []bool, vals []int) bool {
+		q := NewSPSC[int](4)
+		var ref []int
+		vi := 0
+		for _, push := range ops {
+			if push {
+				v := 0
+				if vi < len(vals) {
+					v = vals[vi]
+					vi++
+				}
+				pushed := q.TryPush(v)
+				if pushed != (len(ref) < q.Cap()) {
+					return false
+				}
+				if pushed {
+					ref = append(ref, v)
+				}
+			} else {
+				v, ok := q.TryPop()
+				if ok != (len(ref) > 0) {
+					return false
+				}
+				if ok {
+					if v != ref[0] {
+						return false
+					}
+					ref = ref[1:]
+				}
+			}
+		}
+		return q.Len() == len(ref)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSPSCHop(b *testing.B) {
+	q := NewSPSC[int](1024)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		got := 0
+		for got < b.N {
+			if _, ok := q.TryPop(); ok {
+				got++
+			} else {
+				runtime.Gosched()
+			}
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; {
+		if q.TryPush(i) {
+			i++
+		} else {
+			runtime.Gosched()
+		}
+	}
+	<-done
+}
+
+func BenchmarkChannelHop(b *testing.B) {
+	ch := make(chan int, 1024)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < b.N; i++ {
+			<-ch
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch <- i
+	}
+	<-done
+}

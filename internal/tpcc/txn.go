@@ -1,0 +1,214 @@
+package tpcc
+
+import (
+	"math/rand"
+)
+
+// Mix configures the transaction stream a Generator produces. The paper's
+// experiments (§3) use the two dominant TPC-C transactions; skew is the
+// §3.2 scenario where "100% of TPC-C payment transactions operate on one
+// warehouse only".
+type Mix struct {
+	// PaymentFrac is the fraction of payment transactions (the rest are
+	// new-order). The paper's figures 1 and 5 are payment-dominated;
+	// integration tests exercise both.
+	PaymentFrac float64
+	// HotFrac routes this fraction of transactions to warehouse 0
+	// (skew). 0 = partitionable (home warehouse uniform).
+	HotFrac float64
+	// RemoteFrac is TPC-C's §2.5.1.2 probability that a payment pays a
+	// customer of another warehouse (15% in the spec).
+	RemoteFrac float64
+	// ByLastFrac is TPC-C's §2.5.1.2 probability that the customer is
+	// selected by last name (60%) instead of id.
+	ByLastFrac float64
+	// InvalidItemFrac is TPC-C's §2.4.1.4 probability that a new-order
+	// contains an unused item id and must roll back (1%).
+	InvalidItemFrac float64
+}
+
+// Partitionable returns the uniform TPC-C mix.
+func Partitionable() Mix {
+	return Mix{PaymentFrac: 1.0, HotFrac: 0, RemoteFrac: 0.15, ByLastFrac: 0.60, InvalidItemFrac: 0.01}
+}
+
+// Skewed returns the §3.2 contended mix: every payment hits warehouse 0.
+func Skewed() Mix {
+	m := Partitionable()
+	m.HotFrac = 1.0
+	m.RemoteFrac = 0 // all traffic is local to the hot warehouse
+	return m
+}
+
+// MixedOLTP returns a payment/new-order blend (used by integration tests
+// and the ablation benches).
+func MixedOLTP() Mix {
+	m := Partitionable()
+	m.PaymentFrac = 0.5
+	return m
+}
+
+// TxnKind discriminates generated transactions.
+type TxnKind uint8
+
+const (
+	TxnPayment TxnKind = iota
+	TxnNewOrder
+)
+
+// Payment carries the parameters of one payment transaction
+// (TPC-C §2.5).
+type Payment struct {
+	W, D   int // home warehouse/district (paying district)
+	CW, CD int // customer's warehouse/district (≠ home for remote)
+	C      int // customer id, when ByLast is false
+	ByLast bool
+	Last   int // last-name number 0..999, when ByLast is true
+	Amount float64
+}
+
+// NewOrderLine is one line of a new-order transaction.
+type NewOrderLine struct {
+	Item    int
+	SupplyW int
+	Qty     int
+}
+
+// NewOrder carries the parameters of one new-order transaction
+// (TPC-C §2.4). Invalid item ids (< 0) trigger the 1% rollback case.
+type NewOrder struct {
+	W, D  int
+	C     int
+	Lines []NewOrderLine
+}
+
+// Txn is one generated transaction.
+type Txn struct {
+	Kind     TxnKind
+	Payment  Payment
+	NewOrder NewOrder
+}
+
+// HomeWarehouse returns the partition the transaction starts at.
+func (t Txn) HomeWarehouse() int {
+	if t.Kind == TxnPayment {
+		return t.Payment.W
+	}
+	return t.NewOrder.W
+}
+
+// Generator produces a deterministic stream of transactions.
+type Generator struct {
+	cfg Config
+	mix Mix
+	rng *rand.Rand
+}
+
+// NewGenerator returns a generator over the database described by cfg.
+func NewGenerator(cfg Config, mix Mix, seed int64) *Generator {
+	return &Generator{cfg: cfg.WithDefaults(), mix: mix, rng: rand.New(rand.NewSource(seed))}
+}
+
+// SetMix swaps the workload mix (phase changes in the evolving-workload
+// experiment).
+func (g *Generator) SetMix(mix Mix) { g.mix = mix }
+
+// Mix returns the current mix.
+func (g *Generator) Mix() Mix { return g.mix }
+
+// homeW picks the home warehouse under the current skew.
+func (g *Generator) homeW() int {
+	if g.rng.Float64() < g.mix.HotFrac {
+		return 0
+	}
+	return g.rng.Intn(g.cfg.Warehouses)
+}
+
+// Next generates one transaction.
+func (g *Generator) Next() Txn {
+	if g.rng.Float64() < g.mix.PaymentFrac {
+		return Txn{Kind: TxnPayment, Payment: g.payment()}
+	}
+	return Txn{Kind: TxnNewOrder, NewOrder: g.newOrder()}
+}
+
+func (g *Generator) payment() Payment {
+	w := g.homeW()
+	d := 1 + g.rng.Intn(g.cfg.Districts)
+	p := Payment{
+		W: w, D: d, CW: w, CD: d,
+		Amount: 1 + float64(g.rng.Intn(499999))/100,
+	}
+	if g.rng.Float64() < g.mix.RemoteFrac && g.cfg.Warehouses > 1 {
+		for {
+			p.CW = g.rng.Intn(g.cfg.Warehouses)
+			if p.CW != w {
+				break
+			}
+		}
+		p.CD = 1 + g.rng.Intn(g.cfg.Districts)
+	}
+	if g.rng.Float64() < g.mix.ByLastFrac {
+		p.ByLast = true
+		p.Last = g.lastNum()
+	} else {
+		p.C = g.customerID()
+	}
+	return p
+}
+
+// lastNum picks a last-name number that exists at the configured scale:
+// TPC-C uses NURand(255,0,999), valid when ≥1000 customers per district;
+// smaller test scales draw from the populated range.
+func (g *Generator) lastNum() int {
+	if g.cfg.Customers >= 1000 {
+		return nuRand(g.rng, 255, 0, 999, 173)
+	}
+	return g.rng.Intn(g.cfg.Customers)
+}
+
+func (g *Generator) customerID() int {
+	if g.cfg.Customers >= 3000 {
+		return nuRand(g.rng, 1023, 1, g.cfg.Customers, 259)
+	}
+	return 1 + g.rng.Intn(g.cfg.Customers)
+}
+
+func (g *Generator) newOrder() NewOrder {
+	w := g.homeW()
+	no := NewOrder{
+		W: w,
+		D: 1 + g.rng.Intn(g.cfg.Districts),
+		C: g.customerID(),
+	}
+	n := 5 + g.rng.Intn(11)
+	rollback := g.rng.Float64() < g.mix.InvalidItemFrac
+	for i := 0; i < n; i++ {
+		line := NewOrderLine{
+			Item:    g.itemID(),
+			SupplyW: w,
+			Qty:     1 + g.rng.Intn(10),
+		}
+		// TPC-C: 1% of lines source from a remote warehouse.
+		if g.cfg.Warehouses > 1 && g.rng.Float64() < 0.01 {
+			for {
+				line.SupplyW = g.rng.Intn(g.cfg.Warehouses)
+				if line.SupplyW != w {
+					break
+				}
+			}
+		}
+		if rollback && i == n-1 {
+			line.Item = -1 // unused item: §2.4.1.4 rollback trigger
+		}
+		no.Lines = append(no.Lines, line)
+	}
+	return no
+}
+
+func (g *Generator) itemID() int {
+	if g.cfg.Items >= 100000 {
+		return nuRand(g.rng, 8191, 0, g.cfg.Items-1, 7911)
+	}
+	return g.rng.Intn(g.cfg.Items)
+}

@@ -1,0 +1,135 @@
+package tpcc
+
+import (
+	"fmt"
+
+	"anydb/internal/storage"
+)
+
+// Verify checks the TPC-C consistency conditions that the reproduced
+// transactions must preserve (TPC-C §3.3.2). It is the cross-engine
+// correctness oracle: after running any workload on any engine
+// (AnyDB in every routing mode, or the DBx1000 baseline), these must
+// hold. Returns the first violation found, or nil.
+//
+// Checked conditions:
+//  1. W_YTD = 300000 + sum of payment amounts at that warehouse.
+//     (Equivalently W_YTD = sum of D_YTD of its districts.)
+//  2. For every district: d_next_o_id - 1 = max(o_id) = max(ol_o_id).
+//  3. For every district: customer balance bookkeeping — for each
+//     customer, c_balance = initial(-10) - sum(h_amount) is relaxed to
+//     the aggregate form sum(c_balance) + sum(c_ytd_payment) is constant,
+//     since payments move amount between the two fields.
+//  4. Every open order (new_order row) has a matching orders row.
+type Checked struct {
+	Warehouses int
+	Payments   int64 // history rows found
+	Orders     int64
+}
+
+// Verify runs the consistency conditions over db.
+func Verify(db *storage.Database, cfg Config) (Checked, error) {
+	cfg = cfg.WithDefaults()
+	var out Checked
+	for w := 0; w < cfg.Warehouses; w++ {
+		p := db.Partition(w)
+		wt := p.Table(TWarehouse)
+		wRow, ok := wt.Get(WarehouseKey(w))
+		if !ok {
+			return out, fmt.Errorf("warehouse %d missing", w)
+		}
+		wYTD := wRow[wt.Schema.MustCol("w_ytd")].F
+
+		// Condition 1: W_YTD = sum(D_YTD).
+		dt := p.Table(TDistrict)
+		var dSum float64
+		dYTDCol := dt.Schema.MustCol("d_ytd")
+		dNextCol := dt.Schema.MustCol("d_next_o_id")
+		nextOID := make(map[int]int64)
+		dt.Scan(func(_ int32, r storage.Row) bool {
+			dSum += r[dYTDCol].F
+			nextOID[int(r[dt.Schema.MustCol("d_id")].I)] = r[dNextCol].I
+			return true
+		})
+		if !approxEq(wYTD, dSum) {
+			return out, fmt.Errorf("warehouse %d: w_ytd %.2f != sum(d_ytd) %.2f", w, wYTD, dSum)
+		}
+
+		// Condition 2: d_next_o_id-1 = max(o_id) per district.
+		ot := p.Table(TOrders)
+		oDCol := ot.Schema.MustCol("o_d_id")
+		oIDCol := ot.Schema.MustCol("o_id")
+		maxO := make(map[int]int64)
+		ot.Scan(func(_ int32, r storage.Row) bool {
+			out.Orders++
+			d := int(r[oDCol].I)
+			if r[oIDCol].I > maxO[d] {
+				maxO[d] = r[oIDCol].I
+			}
+			return true
+		})
+		for d, next := range nextOID {
+			if maxO[d] != next-1 {
+				return out, fmt.Errorf("warehouse %d district %d: d_next_o_id %d but max(o_id) %d",
+					w, d, next, maxO[d])
+			}
+		}
+
+		// Condition 3: per-customer balance bookkeeping. Payments do
+		// c_balance -= amount; c_ytd_payment += amount, so the sum is
+		// invariant at initial -10 + 10 = 0 per customer.
+		ct := p.Table(TCustomer)
+		balCol := ct.Schema.MustCol("c_balance")
+		ytdCol := ct.Schema.MustCol("c_ytd_payment")
+		var violation error
+		ct.Scan(func(_ int32, r storage.Row) bool {
+			if !approxEq(r[balCol].F+r[ytdCol].F, 0) {
+				violation = fmt.Errorf("warehouse %d customer %d/%d: balance %.2f + ytd %.2f != 0",
+					w, r[ct.Schema.MustCol("c_d_id")].I, r[ct.Schema.MustCol("c_id")].I,
+					r[balCol].F, r[ytdCol].F)
+				return false
+			}
+			return true
+		})
+		if violation != nil {
+			return out, violation
+		}
+
+		// Condition 4: every new_order refers to an existing order.
+		not := p.Table(TNewOrder)
+		noD := not.Schema.MustCol("no_d_id")
+		noO := not.Schema.MustCol("no_o_id")
+		not.Scan(func(_ int32, r storage.Row) bool {
+			if _, ok := ot.Lookup(OrderKey(w, int(r[noD].I), r[noO].I)); !ok {
+				violation = fmt.Errorf("warehouse %d: new_order (%d,%d) without orders row",
+					w, r[noD].I, r[noO].I)
+				return false
+			}
+			return true
+		})
+		if violation != nil {
+			return out, violation
+		}
+
+		out.Payments += int64(p.Table(THistory).Rows())
+	}
+	out.Warehouses = cfg.Warehouses
+	return out, nil
+}
+
+// approxEq compares floats with a tolerance that absorbs accumulation
+// error over millions of additions.
+func approxEq(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	scale := 1.0
+	if a > scale {
+		scale = a
+	}
+	if b > scale {
+		scale = b
+	}
+	return d <= 1e-6*scale+1e-4
+}
