@@ -1,0 +1,36 @@
+# Same targets CI runs (.github/workflows/ci.yml) — keep them in sync
+# so humans and the pipeline always execute identical commands.
+
+GO ?= go
+
+.PHONY: all build test race bench fmt vet figures ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Benchmark smoke: one iteration of every figure regeneration, no unit
+# tests. The figures are deterministic virtual-time runs, so a single
+# iteration is meaningful.
+bench:
+	$(GO) test -bench . -benchtime=1x -run '^$$' ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+# Regenerate every paper figure at full scale.
+figures:
+	$(GO) run ./cmd/anydb-bench -fig all
+
+ci: fmt vet build race bench

@@ -22,8 +22,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"anydb/internal/adapt"
 	"anydb/internal/core"
 	"anydb/internal/olap"
 	"anydb/internal/oltp"
@@ -70,27 +72,61 @@ type Config struct {
 	DisableInitialOrders  bool
 	LastNamesPerDistrict  int // unused; reserved
 	PaymentsByLastAllowed bool
+	// AutoAdapt turns on the self-driving loop: dispatchers report
+	// workload signals to an adaptation-controller AC, which switches
+	// the routing policy (and grows a server when analytical load
+	// appears) on its own. Inspect what it did via AdaptationLog.
+	AutoAdapt bool
+	// AdaptWindow is the sliding signal window for AutoAdapt
+	// (default 10ms wall clock).
+	AdaptWindow time.Duration
 }
 
 // Cluster is a running architecture-less DBMS instance.
 type Cluster struct {
-	eng  *core.Engine
-	topo *core.Topology
-	db   *storage.Database
-	cfg  tpcc.Config
+	eng   *core.Engine
+	topo  *core.Topology
+	db    *storage.Database
+	cfg   tpcc.Config
+	cores int // cores per server, for elastic growth
 
 	execs []core.ACID
 	ctrl  []core.ACID
 
-	mu       sync.Mutex
-	policy   Policy
-	dispers  map[core.ACID]*oltp.Dispatcher
-	nextTxn  core.TxnID
-	nextQ    core.QueryID
-	txnWait  map[core.TxnID]chan bool
-	qWait    map[core.QueryID]chan *olap.QueryResult
-	inflight sync.WaitGroup
+	mu      sync.Mutex
+	idle    *sync.Cond // signaled when inflight drops to 0 or a drain ends
+	policy  Policy
+	dispers map[core.ACID]*oltp.Dispatcher
+	nextTxn core.TxnID
+	nextQ   core.QueryID
+	txnWait map[core.TxnID]chan bool
+	qWait   map[core.QueryID]chan *olap.QueryResult
+	// inflight counts submitted transactions not yet resolved;
+	// draining gates new submissions while a policy switch waits for
+	// it to reach zero. Together they replace a WaitGroup, whose
+	// concurrent Add-while-Wait pattern is documented misuse.
+	inflight int
+	draining bool
 	closed   bool
+
+	// Self-driving state (Config.AutoAdapt). Decisions queue under mu
+	// and the applier is kicked via decKick: the controller assumes
+	// every emitted decision is applied (it tracks the policy it chose),
+	// so none may be dropped.
+	adaptCtrl *adapt.Controller
+	adaptLog  []AdaptationEvent
+	decQ      []*adapt.Decision
+	decKick   chan struct{}
+	applierWG sync.WaitGroup
+	start     time.Time
+	// growAsked flips once the controller requested elastic growth;
+	// query-completion signals only feed that one-shot trigger, so
+	// injecting them afterwards would be pure overhead on the
+	// controller AC.
+	growAsked atomic.Bool
+	// unmatchedDone counts completion events with no waiting caller —
+	// a lost or double-resolved transaction if ever nonzero.
+	unmatchedDone atomic.Int64
 }
 
 // Open populates the database and starts the AC goroutines.
@@ -118,11 +154,13 @@ func Open(cfg Config) (*Cluster, error) {
 	}
 
 	c := &Cluster{
-		db: db, cfg: tc,
+		db: db, cfg: tc, cores: cfg.CoresPerServer,
 		dispers: make(map[core.ACID]*oltp.Dispatcher),
 		txnWait: make(map[core.TxnID]chan bool),
 		qWait:   make(map[core.QueryID]chan *olap.QueryResult),
+		start:   time.Now(),
 	}
+	c.idle = sync.NewCond(&c.mu)
 	c.topo = core.NewTopology(db)
 	c.execs = c.topo.AddServer(cfg.CoresPerServer)
 	c.ctrl = c.topo.AddServer(cfg.CoresPerServer)
@@ -131,6 +169,24 @@ func Open(cfg Config) (*Cluster, error) {
 	}
 	for w := 0; w < tc.Warehouses; w++ {
 		c.topo.SetOwner(w, c.execs[w%len(c.execs)])
+	}
+	if cfg.AutoAdapt {
+		window := cfg.AdaptWindow
+		if window <= 0 {
+			window = 10 * time.Millisecond
+		}
+		c.adaptCtrl = adapt.NewController(adapt.Options{
+			Start: oltp.SharedNothing,
+			// The public API wires routes for the two headline
+			// policies; the controller chooses between them.
+			Candidates: []oltp.Policy{oltp.SharedNothing, oltp.StreamingCC},
+			Env:        adapt.Env{Executors: len(c.execs), Warehouses: tc.Warehouses},
+			WindowSpan: sim.Time(window.Nanoseconds()),
+			Elastic:    true,
+		})
+		c.decKick = make(chan struct{}, 1)
+		c.applierWG.Add(1)
+		go c.runApplier()
 	}
 	c.eng = core.NewEngine(c.topo, c.setupAC)
 	c.eng.SetClient(c.onDone)
@@ -142,16 +198,47 @@ func (c *Cluster) setupAC(ac *core.AC) {
 	ac.Register(core.EvInstallOp, &olap.Worker{DB: c.db})
 	ac.Register(core.EvQuery, &plan.QO{Topo: c.topo})
 	ac.Register(core.EvSeqStamp, &core.Sequencer{})
+	tel := oltp.Telemetry{Sink: c.ctrl[1], Every: 64, Enabled: c.adaptCtrl != nil}
+	if c.adaptCtrl != nil {
+		// The controller registers on every AC (components stay
+		// generic); only the telemetry sink receives reports, so its
+		// state stays on one goroutine.
+		ac.Register(core.EvSignal, c.adaptCtrl)
+	}
 	if len(c.ctrl) > 2 && ac.ID == c.ctrl[2] {
-		ac.Register(core.EvAck, oltp.NewCoordinator())
+		coord := oltp.NewCoordinator()
+		coord.SetTelemetry(tel)
+		ac.Register(core.EvAck, coord)
 		return
 	}
-	d := oltp.NewDispatcher(oltp.SharedNothing, c.db, c.routes(SharedNothing))
+	// Servers grown at runtime inherit the active policy. Reading the
+	// policy, building the dispatcher and publishing it happen in one
+	// critical section so a concurrent SetPolicy either sees the new
+	// dispatcher in the map or runs before it configures itself.
 	c.mu.Lock()
+	pol := c.policy
+	d := oltp.NewDispatcher(internalPolicy(pol), c.db, c.routes(pol))
+	d.SetTelemetry(tel)
 	c.dispers[ac.ID] = d
 	c.mu.Unlock()
 	ac.Register(core.EvTxn, d)
 	ac.Register(core.EvAck, d)
+}
+
+// internalPolicy maps the public policy to the dispatcher's.
+func internalPolicy(p Policy) oltp.Policy {
+	if p == StreamingCC {
+		return oltp.StreamingCC
+	}
+	return oltp.SharedNothing
+}
+
+// publicPolicy maps a dispatcher policy to the public type.
+func publicPolicy(p oltp.Policy) Policy {
+	if p == oltp.StreamingCC {
+		return StreamingCC
+	}
+	return SharedNothing
 }
 
 func (c *Cluster) routes(p Policy) oltp.Routes {
@@ -175,30 +262,52 @@ func (c *Cluster) routes(p Policy) oltp.Routes {
 	return r
 }
 
-// SetPolicy reroutes subsequent transactions. It waits for in-flight
-// transactions to finish first, so conflicting work never straddles two
-// routings — the architecture shift itself is instantaneous (§2.1: no
-// reconfiguration downtime).
+// SetPolicy reroutes subsequent transactions. It gates new submissions
+// and waits for in-flight transactions to finish first, so conflicting
+// work never straddles two routings — the architecture shift itself is
+// instantaneous (§2.1: no reconfiguration downtime). Safe to call
+// concurrently with Payment/NewOrder from any goroutine: submissions
+// arriving mid-switch briefly block, then run under the new routing.
+//
+// On a self-driving cluster (Config.AutoAdapt) the controller owns the
+// routing; manual switches would silently fight it, so SetPolicy
+// returns an error instead.
 func (c *Cluster) SetPolicy(p Policy) error {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		return errors.New("anydb: cluster closed")
+	if c.adaptCtrl != nil {
+		return errors.New("anydb: cluster is self-driving (Config.AutoAdapt); the controller owns the policy")
 	}
-	c.mu.Unlock()
-	c.inflight.Wait()
+	return c.setPolicy(p)
+}
 
+// setPolicy is the switch path shared by SetPolicy and the adaptation
+// applier.
+func (c *Cluster) setPolicy(p Policy) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	// One switch at a time.
+	for c.draining && !c.closed {
+		c.idle.Wait()
+	}
+	if c.closed {
+		return errors.New("anydb: cluster closed")
+	}
+	c.draining = true
+	for c.inflight > 0 {
+		c.idle.Wait()
+	}
+	if c.closed {
+		// Close raced the drain; don't reconfigure a stopped cluster.
+		c.draining = false
+		c.idle.Broadcast()
+		return errors.New("anydb: cluster closed")
+	}
 	c.policy = p
 	routes := c.routes(p)
-	pol := oltp.SharedNothing
-	if p == StreamingCC {
-		pol = oltp.StreamingCC
-	}
 	for _, d := range c.dispers {
-		d.SetConfig(pol, routes)
+		d.SetConfig(internalPolicy(p), routes)
 	}
+	c.draining = false
+	c.idle.Broadcast()
 	return nil
 }
 
@@ -261,6 +370,9 @@ func (c *Cluster) NewOrder(no NewOrder) (bool, error) {
 
 func (c *Cluster) exec(t *tpcc.Txn) (bool, error) {
 	c.mu.Lock()
+	for c.draining && !c.closed {
+		c.idle.Wait()
+	}
 	if c.closed {
 		c.mu.Unlock()
 		return false, errors.New("anydb: cluster closed")
@@ -270,9 +382,9 @@ func (c *Cluster) exec(t *tpcc.Txn) (bool, error) {
 	ch := make(chan bool, 1)
 	c.txnWait[id] = ch
 	pol := c.policy
+	c.inflight++
 	c.mu.Unlock()
 
-	c.inflight.Add(1)
 	entry := c.ctrl[0]
 	if pol == SharedNothing {
 		entry = c.topo.Owner(t.HomeWarehouse())
@@ -337,7 +449,11 @@ func (c *Cluster) OpenOrdersOpts(o QueryOptions) (int64, error) {
 		Notify: core.ClientAC,
 	}
 	c.eng.Inject(c.ctrl[3], &core.Event{Kind: core.EvQuery, Query: qid, Payload: p})
-	return (<-ch).Rows, nil
+	res, ok := <-ch
+	if !ok {
+		return 0, errors.New("anydb: cluster closed")
+	}
+	return res.Rows, nil
 }
 
 // Query executes a read-only SQL query — SELECT COUNT(*) or a projection
@@ -373,10 +489,19 @@ func (c *Cluster) Query(text string) (int64, [][]any, error) {
 
 	ch := make(chan *olap.QueryResult, 1)
 	c.mu.Lock()
+	// Re-check: Close may have swept qWait while CompileSQL ran; a
+	// channel registered after that sweep would never resolve.
+	if c.closed {
+		c.mu.Unlock()
+		return 0, nil, errors.New("anydb: cluster closed")
+	}
 	c.qWait[qid] = ch
 	c.mu.Unlock()
 	c.eng.Inject(c.ctrl[3], &core.Event{Kind: core.EvQuery, Query: qid, Payload: p})
-	res := <-ch
+	res, ok := <-ch
+	if !ok {
+		return 0, nil, errors.New("anydb: cluster closed")
+	}
 	var rows [][]any
 	for _, r := range res.Collected {
 		out := make([]any, len(r))
@@ -395,17 +520,25 @@ func (c *Cluster) Query(text string) (int64, [][]any, error) {
 	return res.Rows, rows, nil
 }
 
-// onDone resolves waiting callers.
+// onDone resolves waiting callers. It runs on AC goroutines and must
+// never block.
 func (c *Cluster) onDone(ev *core.Event) {
 	switch p := ev.Payload.(type) {
 	case *oltp.DoneInfo:
 		c.mu.Lock()
 		ch := c.txnWait[ev.Txn]
 		delete(c.txnWait, ev.Txn)
+		if ch != nil {
+			c.inflight--
+			if c.inflight == 0 {
+				c.idle.Broadcast()
+			}
+		}
 		c.mu.Unlock()
 		if ch != nil {
 			ch <- p.Committed
-			c.inflight.Done()
+		} else {
+			c.unmatchedDone.Add(1)
 		}
 	case *olap.QueryResult:
 		c.mu.Lock()
@@ -414,6 +547,27 @@ func (c *Cluster) onDone(ev *core.Event) {
 		c.mu.Unlock()
 		if ch != nil {
 			ch <- p
+		}
+		if c.adaptCtrl != nil && !c.growAsked.Load() {
+			// Feed analytical activity into the signal stream so the
+			// controller can react with elasticity (a one-shot
+			// trigger — once growth is requested, stop reporting).
+			c.eng.Inject(c.ctrl[1], &core.Event{Kind: core.EvSignal, Payload: &oltp.Report{
+				At: sim.Time(time.Since(c.start).Nanoseconds()), Queries: 1,
+			}})
+		}
+	case *adapt.Decision:
+		if p.Grow {
+			c.growAsked.Store(true)
+		}
+		// Applied off the AC goroutine: applying drains in-flight
+		// work, which needs the ACs to keep running.
+		c.mu.Lock()
+		c.decQ = append(c.decQ, p)
+		c.mu.Unlock()
+		select {
+		case c.decKick <- struct{}{}:
+		default: // applier already kicked; it drains the whole queue
 		}
 	}
 }
@@ -425,9 +579,91 @@ func (c *Cluster) AddServer(cores int) int {
 	return len(ids)
 }
 
+// AdaptationEvent records one decision the self-driving controller
+// applied (Config.AutoAdapt).
+type AdaptationEvent struct {
+	// At is the time since Open.
+	At time.Duration
+	// From and To are the routing policies around the switch (equal
+	// for grow-only events).
+	From, To Policy
+	// Grew reports whether a server was added for analytical load.
+	Grew bool
+	// Reason summarizes the window signals behind the decision.
+	Reason string
+}
+
+// AdaptationLog returns the architecture changes the self-driving
+// controller has applied so far (empty without Config.AutoAdapt).
+func (c *Cluster) AdaptationLog() []AdaptationEvent {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]AdaptationEvent, len(c.adaptLog))
+	copy(out, c.adaptLog)
+	return out
+}
+
+// runApplier serializes controller decisions: each one drains in-flight
+// work, reroutes, and/or grows a server, then is recorded in the log.
+func (c *Cluster) runApplier() {
+	defer c.applierWG.Done()
+	for range c.decKick {
+		c.drainDecisions()
+	}
+	c.drainDecisions() // decisions enqueued after the final kick
+}
+
+func (c *Cluster) drainDecisions() {
+	for {
+		c.mu.Lock()
+		if len(c.decQ) == 0 {
+			c.mu.Unlock()
+			return
+		}
+		d := c.decQ[0]
+		c.decQ = c.decQ[1:]
+		c.mu.Unlock()
+		c.applyDecision(d)
+	}
+}
+
+func (c *Cluster) applyDecision(d *adapt.Decision) {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return
+	}
+	ev := AdaptationEvent{
+		At:   time.Since(c.start),
+		From: publicPolicy(d.From), To: publicPolicy(d.To),
+		Grew: d.Grow, Reason: d.Reason,
+	}
+	if d.Grow {
+		// Fresh compute for analytics: OpenOrders places joins on the
+		// newest server, so the very next query benefits. Growth can
+		// be refused when Close races us — log only what happened.
+		ev.Grew = c.AddServer(c.cores) > 0
+	}
+	if d.To != d.From {
+		if err := c.setPolicy(publicPolicy(d.To)); err != nil {
+			return // closed mid-switch; nothing to record
+		}
+	} else if !ev.Grew {
+		return // nothing was applied
+	}
+	c.mu.Lock()
+	c.adaptLog = append(c.adaptLog, ev)
+	c.mu.Unlock()
+}
+
 // Verify checks the TPC-C consistency conditions over the current state.
 func (c *Cluster) Verify() error {
-	c.inflight.Wait()
+	c.mu.Lock()
+	for c.inflight > 0 {
+		c.idle.Wait()
+	}
+	c.mu.Unlock()
 	_, err := tpcc.Verify(c.db, c.cfg)
 	return err
 }
@@ -436,14 +672,18 @@ func (c *Cluster) Verify() error {
 type Stats struct {
 	Servers, ACs int
 	Warehouses   int
+	// UnmatchedDone counts transaction completions that found no
+	// waiting caller; nonzero means a transaction was resolved twice.
+	UnmatchedDone int64
 }
 
 // Stats returns a snapshot.
 func (c *Cluster) Stats() Stats {
 	return Stats{
-		Servers:    c.topo.NumServers(),
-		ACs:        c.topo.NumACs(),
-		Warehouses: c.cfg.Warehouses,
+		Servers:       c.topo.NumServers(),
+		ACs:           c.topo.NumACs(),
+		Warehouses:    c.cfg.Warehouses,
+		UnmatchedDone: c.unmatchedDone.Load(),
 	}
 }
 
@@ -455,9 +695,29 @@ func (c *Cluster) Close() {
 		return
 	}
 	c.closed = true
+	c.idle.Broadcast() // release submitters blocked on a drain
+	for c.inflight > 0 {
+		c.idle.Wait()
+	}
 	c.mu.Unlock()
-	c.inflight.Wait()
 	c.eng.Stop()
+	// The transaction drain above resolves every Payment/NewOrder
+	// waiter, but queries have no inflight accounting: a query whose
+	// result was still streaming when the engine stopped would leave
+	// its caller blocked forever. All AC goroutines are gone now, so
+	// closing the channels is race-free and unblocks those callers
+	// with an error.
+	c.mu.Lock()
+	for qid, ch := range c.qWait {
+		delete(c.qWait, qid)
+		close(ch)
+	}
+	c.mu.Unlock()
+	if c.decKick != nil {
+		// No more decisions can arrive either; drain the applier.
+		close(c.decKick)
+		c.applierWG.Wait()
+	}
 }
 
 // Costs exposes the engine's cost model (used by the examples to print

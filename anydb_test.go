@@ -1,7 +1,9 @@
 package anydb_test
 
 import (
+	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -145,6 +147,175 @@ func TestPolicySwitchUnderLoad(t *testing.T) {
 		}
 	}
 	if err := c.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPolicySwitchMidFlight reroutes while transactions are genuinely
+// in flight on the real engine: worker goroutines never pause while a
+// switcher flips the policy. Every submission must resolve exactly once
+// (no lost, no double-committed transactions) and the TPC-C consistency
+// conditions must hold at the end.
+func TestPolicySwitchMidFlight(t *testing.T) {
+	c := open(t)
+	const workers, perWorker = 8, 60
+	var committed, rolledBack int64
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				// Contended traffic (warehouse 0) interleaved with
+				// spread traffic, plus a rollback every few txns.
+				if i%5 == 4 {
+					ok, err := c.NewOrder(anydb.NewOrder{
+						Warehouse: 0, District: 1, Customer: 1 + i%50,
+						Lines: []anydb.OrderLine{{Item: -1, Qty: 1, SupplyWarehouse: 0}},
+					})
+					if err != nil {
+						errs <- err
+						return
+					}
+					if ok {
+						errs <- fmt.Errorf("invalid item committed")
+						return
+					}
+					atomic.AddInt64(&rolledBack, 1)
+					continue
+				}
+				ok, err := c.Payment(anydb.Payment{
+					Warehouse: (g * i) % 4, District: 1 + i%2,
+					Customer: 1 + i%50, Amount: 1,
+				})
+				if err != nil || !ok {
+					errs <- fmt.Errorf("payment ok=%v err=%v", ok, err)
+					return
+				}
+				atomic.AddInt64(&committed, 1)
+			}
+		}(g)
+	}
+	switching := make(chan struct{})
+	go func() {
+		defer close(switching)
+		for round := 0; round < 10; round++ {
+			pol := anydb.StreamingCC
+			if round%2 == 1 {
+				pol = anydb.SharedNothing
+			}
+			if err := c.SetPolicy(pol); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-switching
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	wantCommitted := int64(workers * perWorker * 4 / 5)
+	if committed != wantCommitted || rolledBack != int64(workers*perWorker/5) {
+		t.Fatalf("committed=%d rolledBack=%d, want %d/%d",
+			committed, rolledBack, wantCommitted, workers*perWorker/5)
+	}
+	if n := c.Stats().UnmatchedDone; n != 0 {
+		t.Fatalf("%d transactions resolved without a waiter (lost or double-committed)", n)
+	}
+	if err := c.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAutoAdaptSwitchesOnSkew runs the self-driving cluster under fully
+// skewed traffic and waits for the controller to reroute to streaming
+// CC on its own.
+func TestAutoAdaptSwitchesOnSkew(t *testing.T) {
+	c, err := anydb.Open(anydb.Config{
+		Warehouses: 4, Districts: 2, CustomersPerDistrict: 50,
+		InitialOrdersPerDist: 30, Items: 40,
+		AutoAdapt: true, AdaptWindow: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// The controller owns the routing: manual switches are rejected.
+	if err := c.SetPolicy(anydb.StreamingCC); err == nil {
+		t.Fatal("manual SetPolicy accepted on a self-driving cluster")
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	var switched bool
+	for !switched && time.Now().Before(deadline) {
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < 100; i++ {
+					c.Payment(anydb.Payment{
+						Warehouse: 0, District: 1, Customer: 1 + (g*100+i)%50, Amount: 1,
+					})
+				}
+			}(g)
+		}
+		wg.Wait()
+		for _, ev := range c.AdaptationLog() {
+			if ev.From == anydb.SharedNothing && ev.To == anydb.StreamingCC {
+				switched = true
+			}
+		}
+	}
+	if !switched {
+		t.Fatalf("controller never switched to streaming CC; log: %+v", c.AdaptationLog())
+	}
+	if err := c.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAutoAdaptGrowsForAnalytics checks the elasticity half of the
+// loop: analytical load makes the controller add a server.
+func TestAutoAdaptGrowsForAnalytics(t *testing.T) {
+	c, err := anydb.Open(anydb.Config{
+		Warehouses: 4, Districts: 2, CustomersPerDistrict: 50,
+		InitialOrdersPerDist: 30, Items: 40, AutoAdapt: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	before := c.Stats().Servers
+	if _, err := c.OpenOrders(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for c.Stats().Servers == before && time.Now().Before(deadline) {
+		// The grow decision rides the signal stream; a little OLTP
+		// traffic keeps it flowing.
+		c.Payment(anydb.Payment{Warehouse: 0, District: 1, Customer: 1, Amount: 1})
+		time.Sleep(time.Millisecond)
+	}
+	if got := c.Stats().Servers; got != before+1 {
+		t.Fatalf("servers = %d, want %d (one elastic grow)", got, before+1)
+	}
+	var grew bool
+	for _, ev := range c.AdaptationLog() {
+		if ev.Grew {
+			grew = true
+		}
+	}
+	if !grew {
+		t.Fatalf("no grow event in log: %+v", c.AdaptationLog())
+	}
+	// Analytics keeps working on the grown cluster.
+	if _, err := c.OpenOrders(); err != nil {
 		t.Fatal(err)
 	}
 }

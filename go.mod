@@ -1,0 +1,3 @@
+module anydb
+
+go 1.24

@@ -1,0 +1,93 @@
+// Package adapt closes the loop from observation to architecture
+// change: the self-driving half the paper leaves as future work ("the
+// system observes its workload and transitions itself", cf. §2.3's
+// optimal-routing oracle and the evolutionary-data-systems vision).
+//
+// The adaptation controller is itself an AC behavior — architecture
+// adaptation is just another event stream. Dispatching ACs flush
+// windowed workload signals (per-warehouse admission counts,
+// abort/conflict rates, cross-partition ratios) as EvSignal events
+// toward the controller AC; the controller aggregates them into sliding
+// windows, scores every candidate routing policy with a pluggable cost
+// model, and — with hysteresis, so transient mixtures at phase
+// boundaries don't cause flapping — emits an EvAdapt decision toward
+// the client/harness, which owns injection and can therefore drain
+// in-flight work and reroute without losing transactions. The same
+// controller runs unchanged on the goroutine runtime (anydb.Config
+// AutoAdapt) and the deterministic virtual-time runtime
+// (internal/bench's adaptive series).
+package adapt
+
+import (
+	"anydb/internal/sim"
+)
+
+// Env describes the cluster resources the cost model scores against.
+type Env struct {
+	// Executors is the number of partition-owner/executor ACs.
+	Executors int
+	// Warehouses is the number of storage partitions.
+	Warehouses int
+}
+
+// Signals is one sliding-window snapshot of the workload, aggregated
+// across every reporting AC.
+type Signals struct {
+	// Window is the trailing duration the snapshot covers.
+	Window sim.Time
+	// Admitted, Committed, Aborted count transactions in the window.
+	Admitted  float64
+	Committed float64
+	Aborted   float64
+	// CrossPart counts admitted transactions touching >1 warehouse.
+	CrossPart float64
+	// Queries counts analytical queries completed in the window.
+	Queries float64
+	// HomeShare is each warehouse's share of admissions (sums to 1
+	// when Admitted > 0).
+	HomeShare []float64
+}
+
+// AbortRate returns the aborted fraction of admitted+aborted work.
+func (s Signals) AbortRate() float64 {
+	total := s.Admitted + s.Aborted
+	if total == 0 {
+		return 0
+	}
+	return s.Aborted / total
+}
+
+// CrossFrac returns the cross-partition fraction of admissions.
+func (s Signals) CrossFrac() float64 {
+	if s.Admitted == 0 {
+		return 0
+	}
+	return s.CrossPart / s.Admitted
+}
+
+// TopShare returns the hottest warehouse's admission share — 1/W when
+// uniform, →1 under §3.2 skew.
+func (s Signals) TopShare() float64 {
+	top := 0.0
+	for _, sh := range s.HomeShare {
+		if sh > top {
+			top = sh
+		}
+	}
+	return top
+}
+
+// EffPartitions returns the effective number of active partitions: the
+// inverse Herfindahl index of the admission shares. A uniform load over
+// W warehouses yields W; full skew yields 1. This is the parallelism a
+// physically-aggregated (shared-nothing) routing can actually exploit.
+func (s Signals) EffPartitions() float64 {
+	var hhi float64
+	for _, sh := range s.HomeShare {
+		hhi += sh * sh
+	}
+	if hhi == 0 {
+		return 0
+	}
+	return 1 / hhi
+}

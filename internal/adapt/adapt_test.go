@@ -1,0 +1,195 @@
+package adapt
+
+import (
+	"testing"
+
+	"anydb/internal/core"
+	"anydb/internal/oltp"
+	"anydb/internal/sim"
+)
+
+// fakeCtx drives the controller without an engine.
+type fakeCtx struct {
+	now   sim.Time
+	costs sim.CostModel
+	sent  []*core.Event
+}
+
+func newFakeCtx() *fakeCtx { return &fakeCtx{costs: sim.DefaultCosts()} }
+
+func (c *fakeCtx) Self() core.ACID                   { return 5 }
+func (c *fakeCtx) Now() sim.Time                     { return c.now }
+func (c *fakeCtx) Charge(sim.Time)                   {}
+func (c *fakeCtx) Costs() *sim.CostModel             { return &c.costs }
+func (c *fakeCtx) Topology() *core.Topology          { return nil }
+func (c *fakeCtx) Offloaded(core.ACID) bool          { return false }
+func (c *fakeCtx) SendData(core.ACID, *core.DataMsg) {}
+func (c *fakeCtx) Send(dst core.ACID, ev *core.Event) {
+	if dst == core.ClientAC {
+		c.sent = append(c.sent, ev)
+	}
+}
+
+func (c *fakeCtx) decisions() []*Decision {
+	var out []*Decision
+	for _, ev := range c.sent {
+		if ev.Kind == core.EvAdapt {
+			out = append(out, ev.Payload.(*Decision))
+		}
+	}
+	return out
+}
+
+func testOptions(start oltp.Policy) Options {
+	return Options{
+		Start:      start,
+		Candidates: []oltp.Policy{oltp.SharedNothing, oltp.StreamingCC},
+		Env:        Env{Executors: 4, Warehouses: 4},
+	}
+}
+
+// feed delivers a report with the given per-warehouse admissions,
+// advancing the fake clock by more than one window bucket per report
+// so every report passes the evaluation rate limit.
+func feed(ctrl *Controller, ctx *fakeCtx, byHome []int64) {
+	ctx.now += 30 * sim.Microsecond
+	var admitted int64
+	for _, n := range byHome {
+		admitted += n
+	}
+	ctrl.OnEvent(ctx, nil, &core.Event{Kind: core.EvSignal, Payload: &oltp.Report{
+		Src: 0, At: ctx.now, Admitted: admitted, Committed: admitted, ByHome: byHome,
+	}})
+}
+
+func TestControllerSwitchesOnSkew(t *testing.T) {
+	ctx := newFakeCtx()
+	ctrl := NewController(testOptions(oltp.SharedNothing))
+	// Uniform load: shared-nothing stays.
+	for i := 0; i < 30; i++ {
+		feed(ctrl, ctx, []int64{16, 16, 16, 16})
+	}
+	if len(ctx.decisions()) != 0 {
+		t.Fatalf("controller switched on a uniform workload: %+v", ctx.decisions()[0])
+	}
+	// All traffic collapses onto warehouse 0: streaming CC must win.
+	for i := 0; i < 30; i++ {
+		feed(ctrl, ctx, []int64{64, 0, 0, 0})
+	}
+	ds := ctx.decisions()
+	if len(ds) != 1 {
+		t.Fatalf("decisions = %d, want exactly 1 (hysteresis)", len(ds))
+	}
+	if ds[0].From != oltp.SharedNothing || ds[0].To != oltp.StreamingCC {
+		t.Fatalf("decision = %v -> %v", ds[0].From, ds[0].To)
+	}
+	if ctrl.Current() != oltp.StreamingCC {
+		t.Fatalf("current = %v", ctrl.Current())
+	}
+	// And back once the load spreads out again.
+	for i := 0; i < 60; i++ {
+		feed(ctrl, ctx, []int64{16, 16, 16, 16})
+	}
+	ds = ctx.decisions()
+	if len(ds) != 2 || ds[1].To != oltp.SharedNothing {
+		t.Fatalf("expected the return switch, got %d decisions", len(ds))
+	}
+}
+
+func TestControllerNeedsMinSample(t *testing.T) {
+	ctx := newFakeCtx()
+	opts := testOptions(oltp.SharedNothing)
+	opts.MinSample = 1000
+	ctrl := NewController(opts)
+	for i := 0; i < 50; i++ {
+		feed(ctrl, ctx, []int64{8, 0, 0, 0}) // fully skewed but tiny
+	}
+	if len(ctx.decisions()) != 0 {
+		t.Fatal("controller acted below the minimum sample size")
+	}
+}
+
+func TestControllerPatience(t *testing.T) {
+	ctx := newFakeCtx()
+	opts := testOptions(oltp.SharedNothing)
+	opts.Patience = 5
+	ctrl := NewController(opts)
+	// Fewer skewed evaluations than Patience: no switch yet.
+	for i := 0; i < 4; i++ {
+		feed(ctrl, ctx, []int64{64, 0, 0, 0})
+	}
+	if len(ctx.decisions()) != 0 {
+		t.Fatal("switched before patience ran out")
+	}
+	feed(ctrl, ctx, []int64{64, 0, 0, 0})
+	if len(ctx.decisions()) != 1 {
+		t.Fatalf("decisions = %d after patience satisfied", len(ctx.decisions()))
+	}
+}
+
+func TestControllerGrowsOnQueries(t *testing.T) {
+	ctx := newFakeCtx()
+	opts := testOptions(oltp.SharedNothing)
+	opts.Elastic = true
+	ctrl := NewController(opts)
+	for i := 0; i < 3; i++ {
+		ctx.now += 10 * sim.Microsecond
+		ctrl.OnEvent(ctx, nil, &core.Event{Kind: core.EvSignal, Payload: &oltp.Report{
+			At: ctx.now, Queries: 2,
+		}})
+	}
+	var grows int
+	for _, d := range ctx.decisions() {
+		if d.Grow {
+			grows++
+		}
+	}
+	if grows != 1 {
+		t.Fatalf("grow decisions = %d, want exactly 1", grows)
+	}
+}
+
+func TestSignalsDerivations(t *testing.T) {
+	s := Signals{
+		Admitted: 100, Aborted: 25, CrossPart: 15,
+		HomeShare: []float64{0.25, 0.25, 0.25, 0.25},
+	}
+	if got := s.EffPartitions(); got < 3.99 || got > 4.01 {
+		t.Fatalf("uniform EffPartitions = %v, want 4", got)
+	}
+	if got := s.TopShare(); got != 0.25 {
+		t.Fatalf("TopShare = %v", got)
+	}
+	if got := s.CrossFrac(); got != 0.15 {
+		t.Fatalf("CrossFrac = %v", got)
+	}
+	if got := s.AbortRate(); got != 0.2 {
+		t.Fatalf("AbortRate = %v", got)
+	}
+	skewed := Signals{Admitted: 100, HomeShare: []float64{1, 0, 0, 0}}
+	if got := skewed.EffPartitions(); got != 1 {
+		t.Fatalf("skewed EffPartitions = %v, want 1", got)
+	}
+	var empty Signals
+	if empty.EffPartitions() != 0 || empty.AbortRate() != 0 || empty.CrossFrac() != 0 {
+		t.Fatal("empty signals must not divide by zero")
+	}
+}
+
+func TestDefaultModelRanking(t *testing.T) {
+	env := Env{Executors: 4, Warehouses: 4}
+	m := DefaultModel{}
+	uniform := Signals{Admitted: 100, HomeShare: []float64{0.25, 0.25, 0.25, 0.25}, CrossPart: 15}
+	skewed := Signals{Admitted: 100, HomeShare: []float64{1, 0, 0, 0}}
+	if m.Score(oltp.SharedNothing, uniform, env) <= m.Score(oltp.StreamingCC, uniform, env) {
+		t.Fatal("shared-nothing must win a partitionable workload")
+	}
+	if m.Score(oltp.StreamingCC, skewed, env) <= m.Score(oltp.SharedNothing, skewed, env) {
+		t.Fatal("streaming CC must win a fully skewed workload")
+	}
+	for _, s := range []Signals{uniform, skewed} {
+		if m.Score(oltp.NaiveIntra, s, env) >= m.Score(oltp.PreciseIntra, s, env) {
+			t.Fatal("naive intra must score below precise intra (§3.2)")
+		}
+	}
+}

@@ -1,0 +1,263 @@
+package adapt
+
+import (
+	"fmt"
+
+	"anydb/internal/core"
+	"anydb/internal/metrics"
+	"anydb/internal/oltp"
+	"anydb/internal/sim"
+)
+
+// Decision is the payload of core.EvAdapt: one architecture change the
+// controller wants applied. The receiver (anydb.Cluster or the bench
+// harness) drains in-flight work, calls Dispatcher.SetConfig with the
+// new policy's routes, and — when Grow is set — adds a server.
+type Decision struct {
+	At       sim.Time
+	From, To oltp.Policy
+	// Grow asks for one extra server (elasticity, §5): analytical load
+	// appeared and should land on fresh compute instead of the OLTP
+	// ACs.
+	Grow bool
+	// Reason summarizes the signals behind the decision.
+	Reason string
+	// Scores holds the cost-model score per candidate policy.
+	Scores map[oltp.Policy]float64
+}
+
+// Options tunes the controller. Zero fields take defaults sized for the
+// virtual-time runtime; the real runtime passes a wider window.
+type Options struct {
+	// Start is the policy the cluster is currently running.
+	Start oltp.Policy
+	// Candidates are the policies the controller may choose between.
+	// Default: all four.
+	Candidates []oltp.Policy
+	// Model scores candidates; default DefaultModel.
+	Model CostModel
+	// Env describes the cluster.
+	Env Env
+	// WindowSpan is the sliding-window length (default 200µs virtual).
+	WindowSpan sim.Time
+	// Buckets is the window resolution (default 8).
+	Buckets int
+	// MinSample is the minimum admissions in a window before the
+	// controller trusts it (default 48).
+	MinSample float64
+	// Margin is the score advantage a candidate needs over the current
+	// policy (default 1.2 = 20% better) — hysteresis against flapping.
+	Margin float64
+	// Patience is how many consecutive evaluations must agree before
+	// switching (default 3) — more hysteresis.
+	Patience int
+	// MinDwell is the minimum time between switches (default 2×span).
+	MinDwell sim.Time
+	// Elastic lets the controller request server growth when
+	// analytical queries appear.
+	Elastic bool
+}
+
+func (o Options) withDefaults() Options {
+	if len(o.Candidates) == 0 {
+		o.Candidates = []oltp.Policy{
+			oltp.SharedNothing, oltp.NaiveIntra, oltp.PreciseIntra, oltp.StreamingCC,
+		}
+	}
+	if o.Model == nil {
+		o.Model = DefaultModel{}
+	}
+	if o.WindowSpan == 0 {
+		o.WindowSpan = 200 * sim.Microsecond
+	}
+	if o.Buckets == 0 {
+		o.Buckets = 8
+	}
+	if o.MinSample == 0 {
+		o.MinSample = 48
+	}
+	if o.Margin == 0 {
+		o.Margin = 1.2
+	}
+	if o.Patience == 0 {
+		o.Patience = 3
+	}
+	if o.MinDwell == 0 {
+		o.MinDwell = 2 * o.WindowSpan
+	}
+	return o
+}
+
+// Controller is the adaptation controller AC behavior: it consumes
+// EvSignal reports, maintains sliding windows of the workload signals,
+// and emits EvAdapt decisions toward core.ClientAC. Register it for
+// core.EvSignal on every AC (components stay generic); only the AC the
+// telemetry sinks to will receive reports, so the state is effectively
+// single-threaded on both runtimes.
+type Controller struct {
+	opt Options
+	cur oltp.Policy
+
+	admitted  *metrics.Window
+	committed *metrics.Window
+	aborted   *metrics.Window
+	crossPart *metrics.Window
+	queries   *metrics.Window
+	byHome    []*metrics.Window
+
+	candidate  oltp.Policy
+	streak     int
+	lastSwitch sim.Time
+	lastEval   sim.Time
+	evaluated  bool
+	switched   bool
+	grew       bool
+
+	log []Decision
+}
+
+// NewController returns a controller observing from opts.Start.
+func NewController(opts Options) *Controller {
+	opts = opts.withDefaults()
+	span, n := int64(opts.WindowSpan), opts.Buckets
+	c := &Controller{
+		opt: opts, cur: opts.Start,
+		admitted:  metrics.NewWindow(span, n),
+		committed: metrics.NewWindow(span, n),
+		aborted:   metrics.NewWindow(span, n),
+		crossPart: metrics.NewWindow(span, n),
+		queries:   metrics.NewWindow(span, n),
+	}
+	w := opts.Env.Warehouses
+	if w < 1 {
+		w = 1
+	}
+	c.byHome = make([]*metrics.Window, w)
+	for i := range c.byHome {
+		c.byHome[i] = metrics.NewWindow(span, n)
+	}
+	return c
+}
+
+// Current returns the policy the controller believes is active.
+func (c *Controller) Current() oltp.Policy { return c.cur }
+
+// Log returns the decisions taken so far. Call only once the engine is
+// quiesced (the log is appended on the controller AC's goroutine).
+func (c *Controller) Log() []Decision { return c.log }
+
+// OnEvent implements core.Behavior for core.EvSignal.
+func (c *Controller) OnEvent(ctx core.Context, _ *core.AC, ev *core.Event) {
+	r, ok := ev.Payload.(*oltp.Report)
+	if !ok {
+		panic("adapt: EvSignal payload must be *oltp.Report")
+	}
+	ctx.Charge(ctx.Costs().AckProcess)
+	now := int64(ctx.Now())
+	c.admitted.Add(now, float64(r.Admitted))
+	c.committed.Add(now, float64(r.Committed))
+	c.aborted.Add(now, float64(r.Aborted))
+	c.crossPart.Add(now, float64(r.CrossPart))
+	c.queries.Add(now, float64(r.Queries))
+	for home, n := range r.ByHome {
+		if home < len(c.byHome) && n > 0 {
+			c.byHome[home].Add(now, float64(n))
+		}
+	}
+	// The grow trigger is checked on every report, ahead of the rate
+	// limit below: a single query completion may be the only
+	// analytical signal for a long time, and skipping its report could
+	// let it slide out of the window before the next evaluation.
+	if c.opt.Elastic && !c.grew && r.Queries > 0 {
+		c.grew = true
+		c.emit(ctx, Decision{
+			At: sim.Time(now), From: c.cur, To: c.cur, Grow: true,
+			Reason: fmt.Sprintf("queries=%d in window: grow a server for analytics", r.Queries),
+		})
+	}
+	// Evaluation sums every window (O(warehouses × buckets)); reports
+	// can arrive much faster than the windows change, and the sink AC
+	// may sit on a hot path (the sequencer under streaming CC). Rate-
+	// limit to one evaluation per bucket width — decisions lag at most
+	// one bucket, which hysteresis already absorbs.
+	width := c.opt.WindowSpan / sim.Time(c.opt.Buckets)
+	if c.evaluated && sim.Time(now)-c.lastEval < width {
+		return
+	}
+	c.evaluated = true
+	c.lastEval = sim.Time(now)
+	c.evaluate(ctx, sim.Time(now))
+}
+
+// Snapshot assembles the current sliding-window signals.
+func (c *Controller) Snapshot(now sim.Time) Signals {
+	t := int64(now)
+	s := Signals{
+		Window:    c.opt.WindowSpan,
+		Admitted:  c.admitted.Sum(t),
+		Committed: c.committed.Sum(t),
+		Aborted:   c.aborted.Sum(t),
+		CrossPart: c.crossPart.Sum(t),
+		Queries:   c.queries.Sum(t),
+	}
+	if s.Admitted > 0 {
+		s.HomeShare = make([]float64, len(c.byHome))
+		for i, w := range c.byHome {
+			s.HomeShare[i] = w.Sum(t) / s.Admitted
+		}
+	}
+	return s
+}
+
+// evaluate scores the candidates against the current window and emits a
+// decision once hysteresis is satisfied.
+func (c *Controller) evaluate(ctx core.Context, now sim.Time) {
+	s := c.Snapshot(now)
+	if s.Admitted < c.opt.MinSample {
+		return
+	}
+	scores := make(map[oltp.Policy]float64, len(c.opt.Candidates))
+	best, bestScore := c.cur, 0.0
+	for _, p := range c.opt.Candidates {
+		sc := c.opt.Model.Score(p, s, c.opt.Env)
+		scores[p] = sc
+		if sc > bestScore {
+			best, bestScore = p, sc
+		}
+	}
+	curScore, ok := scores[c.cur]
+	if !ok {
+		curScore = c.opt.Model.Score(c.cur, s, c.opt.Env)
+	}
+	if best == c.cur || bestScore < c.opt.Margin*curScore {
+		c.streak = 0
+		return
+	}
+	if best != c.candidate {
+		c.candidate = best
+		c.streak = 0
+	}
+	c.streak++
+	if c.streak < c.opt.Patience {
+		return
+	}
+	if c.switched && now-c.lastSwitch < c.opt.MinDwell {
+		return
+	}
+	c.streak = 0
+	d := Decision{
+		At: now, From: c.cur, To: best, Scores: scores,
+		Reason: fmt.Sprintf("skew=%.2f effparts=%.1f cross=%.2f abort=%.2f: %v %.2f > %v %.2f",
+			s.TopShare(), s.EffPartitions(), s.CrossFrac(), s.AbortRate(),
+			best, bestScore, c.cur, curScore),
+	}
+	c.cur = best
+	c.lastSwitch = now
+	c.switched = true
+	c.emit(ctx, d)
+}
+
+func (c *Controller) emit(ctx core.Context, d Decision) {
+	c.log = append(c.log, d)
+	ctx.Send(core.ClientAC, &core.Event{Kind: core.EvAdapt, Payload: &d})
+}

@@ -6,6 +6,7 @@
 package bench
 
 import (
+	"anydb/internal/adapt"
 	"anydb/internal/core"
 	"anydb/internal/olap"
 	"anydb/internal/oltp"
@@ -38,6 +39,14 @@ type AnyDB struct {
 	nextQID  core.QueryID
 	inflight int
 	paused   bool
+	depth    int // closed-loop depth of the last Prime
+
+	// Self-driving mode: the controller behavior observes EvSignal
+	// telemetry and emits EvAdapt decisions; the harness applies a
+	// pending switch once in-flight work drains.
+	adapt         *adapt.Controller
+	tel           oltp.Telemetry
+	pendingSwitch *adapt.Decision
 
 	// Window counters, reset by TakeWindow.
 	committed int64
@@ -50,6 +59,21 @@ type AnyDB struct {
 
 // NewAnyDB builds the cluster over a freshly populated database.
 func NewAnyDB(db *storage.Database, cfg tpcc.Config, costs sim.CostModel) *AnyDB {
+	return newAnyDB(db, cfg, costs, nil)
+}
+
+// NewAdaptiveAnyDB builds the cluster with the self-driving loop wired
+// in: every dispatcher and the commit coordinator report telemetry to
+// the sequencer AC, where the controller runs as the EvSignal behavior.
+// Decisions reach the harness as EvAdapt client events and are applied
+// as soon as in-flight work drains — no scripted switches anywhere.
+// Zero Env fields in opts are derived from the built topology, so the
+// cost model always scores against the real executor count.
+func NewAdaptiveAnyDB(db *storage.Database, cfg tpcc.Config, costs sim.CostModel, opts adapt.Options) *AnyDB {
+	return newAnyDB(db, cfg, costs, &opts)
+}
+
+func newAnyDB(db *storage.Database, cfg tpcc.Config, costs sim.CostModel, aopts *adapt.Options) *AnyDB {
 	a := &AnyDB{DB: db, Cfg: cfg.WithDefaults(), dispers: make(map[core.ACID]*oltp.Dispatcher)}
 	a.Topo = core.NewTopology(db)
 	a.execs = a.Topo.AddServer(4)
@@ -59,6 +83,16 @@ func NewAnyDB(db *storage.Database, cfg tpcc.Config, costs sim.CostModel) *AnyDB
 	}
 	a.policy = oltp.SharedNothing
 	a.routes = oltp.Routes{Owner: a.Topo.Owner, Seq: a.SeqAC(), Coord: core.NoAC}
+	if aopts != nil {
+		if aopts.Env.Executors == 0 {
+			aopts.Env.Executors = len(a.execs)
+		}
+		if aopts.Env.Warehouses == 0 {
+			aopts.Env.Warehouses = a.Cfg.Warehouses
+		}
+		a.adapt = adapt.NewController(*aopts)
+		a.tel = oltp.Telemetry{Sink: a.SeqAC(), Every: 32, Enabled: true}
+	}
 	a.Cl = core.NewSimCluster(a.Topo, costs, a.setupAC)
 	// AnyDB's deployment uses DPI flows (§4): cross-server streams are
 	// serialized and partitioned by the NICs, not the sending cores.
@@ -84,11 +118,19 @@ func (a *AnyDB) setupAC(ac *core.AC) {
 	ac.Register(core.EvInstallOp, &olap.Worker{DB: a.DB})
 	ac.Register(core.EvQuery, &plan.QO{Topo: a.Topo})
 	ac.Register(core.EvSeqStamp, &core.Sequencer{})
+	if a.adapt != nil {
+		// The controller registers everywhere (components stay
+		// generic); only the telemetry sink AC receives reports.
+		ac.Register(core.EvSignal, a.adapt)
+	}
 	if len(a.ctrl) > 0 && ac.ID == a.CoordAC() {
-		ac.Register(core.EvAck, oltp.NewCoordinator())
+		coord := oltp.NewCoordinator()
+		coord.SetTelemetry(a.tel)
+		ac.Register(core.EvAck, coord)
 		return
 	}
 	d := oltp.NewDispatcher(a.policy, a.DB, a.routes)
+	d.SetTelemetry(a.tel)
 	a.dispers[ac.ID] = d
 	ac.Register(core.EvTxn, d)
 	ac.Register(core.EvAck, d)
@@ -213,9 +255,19 @@ func (a *AnyDB) injectNext(at sim.Time) {
 // Prime seeds the closed loop with n outstanding transactions.
 func (a *AnyDB) Prime(n int) {
 	a.paused = false
+	a.depth = n
 	for i := 0; i < n; i++ {
 		a.injectNext(a.Cl.Sched.Now())
 	}
+}
+
+// AdaptLog returns the self-driving controller's decisions (nil when
+// the cluster was built without one).
+func (a *AnyDB) AdaptLog() []adapt.Decision {
+	if a.adapt == nil {
+		return nil
+	}
+	return a.adapt.Log()
 }
 
 // onClient keeps the loop full and counts completions.
@@ -228,6 +280,16 @@ func (a *AnyDB) onClient(at sim.Time, ev *core.Event) {
 			a.aborted++
 		}
 		a.inflight--
+		if a.pendingSwitch != nil {
+			// Architecture shift in flight: stop refilling the loop;
+			// once drained, reroute and resume. This is the same
+			// drain-reroute-resume protocol the scripted harness uses,
+			// driven by the controller instead of the script.
+			if a.inflight == 0 {
+				a.applyPendingSwitch()
+			}
+			return
+		}
 		if !a.paused {
 			a.injectNext(at)
 		}
@@ -236,8 +298,35 @@ func (a *AnyDB) onClient(at sim.Time, ev *core.Event) {
 		if a.olapOn {
 			a.startQuery(at)
 		}
+	case *adapt.Decision:
+		if p.From == p.To {
+			// Grow-only decisions are the harness's business (the
+			// evolving workload grows servers with the OLAP load).
+			return
+		}
+		// Latest decision wins: the controller tracks the policy it
+		// chose, so an un-applied older target must not shadow a
+		// newer one (e.g. a revert emitted mid-drain).
+		a.pendingSwitch = p
+		if a.inflight == 0 {
+			a.applyPendingSwitch()
+		}
 	case *olap.OpDone:
 		// Figure 6 instrumentation; unused in throughput runs.
+	}
+}
+
+// applyPendingSwitch reroutes to the controller's chosen policy and
+// refills the closed loop. Runs inside the client callback with no
+// transactions in flight, so no conflicting work straddles routings.
+func (a *AnyDB) applyPendingSwitch() {
+	d := a.pendingSwitch
+	a.pendingSwitch = nil
+	if d.To != a.policy {
+		a.SetPolicy(d.To, a.routesFor(d.To))
+	}
+	if !a.paused {
+		a.Prime(a.depth)
 	}
 }
 

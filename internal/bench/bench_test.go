@@ -1,9 +1,11 @@
 package bench
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
+	"anydb/internal/adapt"
 	"anydb/internal/sim"
 	"anydb/internal/tpcc"
 )
@@ -96,8 +98,14 @@ func TestFigure5Shapes(t *testing.T) {
 func TestFigure1Shapes(t *testing.T) {
 	opts := quickOLTP()
 	res := Figure1(opts)
-	if len(res.Series) != 2 {
+	if len(res.Series) != 3 {
 		t.Fatalf("series = %d", len(res.Series))
+	}
+	if res.Series[2].Label != "AnyDB Adaptive" {
+		t.Fatalf("third series = %q, want the self-driving run", res.Series[2].Label)
+	}
+	if len(res.Adaptations) == 0 {
+		t.Fatal("adaptive run recorded no controller decisions")
 	}
 	dbx, any := res.Series[0].Points, res.Series[1].Points
 	if len(dbx) != 12 || len(any) != 12 {
@@ -144,6 +152,54 @@ func TestFigure1Shapes(t *testing.T) {
 	if !strings.Contains(out, "OLAP queries completed") {
 		t.Fatal("render incomplete")
 	}
+	if !strings.Contains(out, "controller decisions") {
+		t.Fatal("render missing the adaptation log")
+	}
+}
+
+// TestAdaptiveTracksBestStatic is the self-driving acceptance bar: on
+// the deterministic Figure-1 evolving workload, the controller —
+// starting from ANY single static policy, with zero scripted switches —
+// must reach at least 90% of the best static policy's committed
+// throughput in every phase.
+func TestAdaptiveTracksBestStatic(t *testing.T) {
+	opts := quickOLTP()
+
+	best := make([]float64, 12)
+	for _, v := range fig5Variants() {
+		s, _ := RunEvolvingStatic(opts, v)
+		if len(s.Points) != 12 {
+			t.Fatalf("%s: %d phases", v.label, len(s.Points))
+		}
+		for i, p := range s.Points {
+			if p > best[i] {
+				best[i] = p
+			}
+		}
+	}
+
+	for _, v := range fig5Variants() {
+		s, a := RunEvolvingAdaptive(opts, v.policy)
+		log := a.AdaptLog()
+		if len(log) == 0 {
+			t.Errorf("start=%v: controller never adapted", v.policy)
+			continue
+		}
+		for ph := 0; ph < 12; ph++ {
+			if s.Points[ph] < 0.9*best[ph] {
+				t.Errorf("start=%v phase %d: adaptive %.3f < 90%% of best static %.3f (log: %v)",
+					v.policy, ph, s.Points[ph], best[ph], summarize(log))
+			}
+		}
+	}
+}
+
+func summarize(log []adapt.Decision) []string {
+	var out []string
+	for _, d := range log {
+		out = append(out, fmt.Sprintf("%v:%v->%v", d.At, d.From, d.To))
+	}
+	return out
 }
 
 func TestFigure6Shapes(t *testing.T) {

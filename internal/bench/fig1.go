@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"anydb/internal/adapt"
 	"anydb/internal/metrics"
 	"anydb/internal/oltp"
 	"anydb/internal/sim"
@@ -32,13 +33,17 @@ func fig1Phases() []fig1Phase {
 	return out
 }
 
-// Fig1Result carries the two OLTP throughput lines plus the HTAP-side
-// OLAP rates the paper's §4 narrative mentions.
+// Fig1Result carries the OLTP throughput lines — the static baseline,
+// the scripted AnyDB oracle, and the self-driving adaptive run — plus
+// the HTAP-side OLAP rates the paper's §4 narrative mentions.
 type Fig1Result struct {
 	Series []*metrics.Series
 	// Queries completed during the HTAP phases.
 	DBxQueries   int64
 	AnyDBQueries int64
+	// Adaptations is the controller's decision log from the adaptive
+	// run (zero scripted switches; these are its own).
+	Adaptations []adapt.Decision
 }
 
 // Figure1 reproduces the paper's Figure 1: OLTP throughput of the static
@@ -99,6 +104,12 @@ func Figure1(opts OLTPOpts) Fig1Result {
 		s.Append(mtps(committed, opts.PhaseDur))
 	}
 	res.Series = append(res.Series, s)
+
+	// Self-driving AnyDB: same workload, zero scripted switches — the
+	// adaptation controller observes and reroutes on its own.
+	adaptive, auto := RunEvolvingAdaptive(opts, oltp.SharedNothing)
+	res.Series = append(res.Series, adaptive)
+	res.Adaptations = auto.AdaptLog()
 	return res
 }
 

@@ -36,6 +36,12 @@ func RenderFigure1(r Fig1Result, opts OLTPOpts) string {
 	b.WriteString(metrics.Table("series \\ phase", PhaseHeaders(12), r.Series, "%.2f"))
 	fmt.Fprintf(&b, "\nOLAP queries completed in HTAP phases: DBx1000=%d AnyDB=%d\n",
 		r.DBxQueries, r.AnyDBQueries)
+	if len(r.Adaptations) > 0 {
+		b.WriteString("\nself-driving run (AnyDB Adaptive) — controller decisions:\n")
+		for _, d := range r.Adaptations {
+			fmt.Fprintf(&b, "  %v  %v -> %v  (%s)\n", d.At, d.From, d.To, d.Reason)
+		}
+	}
 	return b.String()
 }
 

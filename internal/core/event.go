@@ -62,11 +62,20 @@ const (
 	// EvControl carries cluster management commands (elasticity,
 	// draining, failure injection).
 	EvControl
+	// EvSignal carries a workload-signal report (*oltp.Report) from a
+	// dispatching or coordinating AC toward the adaptation controller
+	// AC — the observation half of the self-driving loop.
+	EvSignal
+	// EvAdapt carries an architecture-change decision
+	// (*adapt.Decision) from the adaptation controller to the
+	// client/harness, which owns injection and can therefore drain and
+	// reroute safely.
+	EvAdapt
 )
 
 var eventKindNames = [...]string{
 	"Txn", "Segment", "Ack", "TxnDone", "Query", "InstallOp",
-	"OpDone", "QueryDone", "SeqStamp", "Control",
+	"OpDone", "QueryDone", "SeqStamp", "Control", "Signal", "Adapt",
 }
 
 func (k EventKind) String() string {

@@ -18,6 +18,11 @@ type Engine struct {
 	Topo  *Topology
 	Costs sim.CostModel
 
+	// growMu serializes GrowServer against Stop, so a grow either
+	// completes fully (its ACs' boxes are then closed by Stop) or
+	// never touches the topology. Always acquired before mu.
+	growMu sync.Mutex
+
 	mu     sync.Mutex
 	acs    map[ACID]*AC
 	boxes  map[ACID]*stream.Mailbox[any]
@@ -47,19 +52,29 @@ func NewEngine(topo *Topology, setup func(ac *AC)) *Engine {
 	return e
 }
 
-// spawn creates and runs one AC.
-func (e *Engine) spawn(id ACID, setup func(ac *AC)) {
+// spawn creates and runs one AC. It refuses (returning false) once the
+// engine stopped, so elastic growth racing Stop cannot leak goroutines.
+func (e *Engine) spawn(id ACID, setup func(ac *AC)) bool {
 	ac := NewAC(id)
 	if setup != nil {
 		setup(ac)
 	}
-	box := stream.NewMailbox[any]()
 	e.mu.Lock()
+	if e.stopped {
+		e.mu.Unlock()
+		return false
+	}
+	// box() may have pre-created the mailbox for a send that raced
+	// elastic growth; adopt it so nothing queued there is lost.
+	box, ok := e.boxes[id]
+	if !ok {
+		box = stream.NewMailbox[any]()
+		e.boxes[id] = box
+	}
 	e.acs[id] = ac
-	e.boxes[id] = box
+	e.wg.Add(1)
 	e.mu.Unlock()
 
-	e.wg.Add(1)
 	go func() {
 		defer e.wg.Done()
 		ctx := &realCtx{e: e, self: id}
@@ -78,12 +93,26 @@ func (e *Engine) spawn(id ACID, setup func(ac *AC)) {
 			}
 		}
 	}()
+	return true
 }
 
 // GrowServer adds a server and spawns its ACs at runtime (elasticity).
+// It returns nil once the engine stopped — without having advertised
+// the server in the topology, so nothing can route toward ACs that
+// will never run.
 func (e *Engine) GrowServer(cores int, setup func(ac *AC)) []ACID {
+	e.growMu.Lock()
+	defer e.growMu.Unlock()
+	e.mu.Lock()
+	stopped := e.stopped
+	e.mu.Unlock()
+	if stopped {
+		return nil
+	}
 	ids := e.Topo.AddServer(cores)
 	for _, id := range ids {
+		// growMu excludes Stop for the whole call, so spawn cannot
+		// refuse here: once the server is advertised, all its ACs run.
 		e.spawn(id, setup)
 	}
 	return ids
@@ -123,7 +152,15 @@ func (e *Engine) box(id ACID) *stream.Mailbox[any] {
 	defer e.mu.Unlock()
 	b, ok := e.boxes[id]
 	if !ok {
-		panic(fmt.Sprintf("core: unknown AC %d", id))
+		// Elastic growth publishes a server in the topology before its
+		// AC goroutines spawn; a concurrent sender can target such an
+		// AC in that window. Create the mailbox now — deliveries
+		// buffer, and spawn adopts the box.
+		if id < 0 || int(id) >= e.Topo.NumACs() {
+			panic(fmt.Sprintf("core: unknown AC %d", id))
+		}
+		b = stream.NewMailbox[any]()
+		e.boxes[id] = b
 	}
 	return b
 }
@@ -136,6 +173,10 @@ func (e *Engine) KillAC(id ACID) {
 
 // Stop shuts down all ACs and waits for their goroutines.
 func (e *Engine) Stop() {
+	// Let any in-flight grow finish registering its ACs so their boxes
+	// are collected and closed below.
+	e.growMu.Lock()
+	defer e.growMu.Unlock()
 	e.mu.Lock()
 	if e.stopped {
 		e.mu.Unlock()

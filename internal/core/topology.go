@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"anydb/internal/storage"
 )
@@ -12,7 +13,13 @@ import (
 // "physically aggregated" execution (§3.1): events for a partition's
 // records routed to its owner execute with full locality and no
 // concurrency control.
+//
+// On the goroutine runtime the topology grows at runtime (elasticity)
+// while AC goroutines route against it, so all access goes through an
+// RWMutex; the virtual-time runtime is single-threaded and pays only
+// the uncontended fast path.
 type Topology struct {
+	mu         sync.RWMutex
 	serverOf   map[ACID]int
 	acsOf      map[int][]ACID
 	nextAC     ACID
@@ -35,6 +42,8 @@ func NewTopology(db *storage.Database) *Topology {
 // model the paper's Figure 2 layout (e.g. 2 servers × 4 cores); adding
 // servers at runtime is the elasticity mechanism of §5.
 func (t *Topology) AddServer(cores int) []ACID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	sid := t.numServers
 	t.numServers++
 	ids := make([]ACID, cores)
@@ -49,16 +58,31 @@ func (t *Topology) AddServer(cores int) []ACID {
 }
 
 // NumServers returns the server count.
-func (t *Topology) NumServers() int { return t.numServers }
+func (t *Topology) NumServers() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.numServers
+}
 
 // NumACs returns the total AC count.
-func (t *Topology) NumACs() int { return int(t.nextAC) }
+func (t *Topology) NumACs() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return int(t.nextAC)
+}
 
-// ACs returns the ACs of one server.
-func (t *Topology) ACs(server int) []ACID { return t.acsOf[server] }
+// ACs returns the ACs of one server. The returned slice is never
+// mutated after the server exists, so it is safe to hold.
+func (t *Topology) ACs(server int) []ACID {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.acsOf[server]
+}
 
 // AllACs returns every AC id in order.
 func (t *Topology) AllACs() []ACID {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	out := make([]ACID, 0, t.nextAC)
 	for i := ACID(0); i < t.nextAC; i++ {
 		out = append(out, i)
@@ -67,20 +91,34 @@ func (t *Topology) AllACs() []ACID {
 }
 
 // ServerOf returns the server hosting an AC.
-func (t *Topology) ServerOf(ac ACID) int { return t.serverOf[ac] }
+func (t *Topology) ServerOf(ac ACID) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.serverOf[ac]
+}
 
 // SameServer reports whether two ACs share a server (local shared-memory
 // hop vs network hop).
-func (t *Topology) SameServer(a, b ACID) bool { return t.serverOf[a] == t.serverOf[b] }
+func (t *Topology) SameServer(a, b ACID) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.serverOf[a] == t.serverOf[b]
+}
 
 // SetOwner assigns a storage partition to an AC. Re-assignment is
 // allowed (repartitioning/elastic handoff) — callers are responsible for
 // quiescing in-flight events, which the engines do by draining.
-func (t *Topology) SetOwner(partition int, ac ACID) { t.owner[partition] = ac }
+func (t *Topology) SetOwner(partition int, ac ACID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.owner[partition] = ac
+}
 
 // Owner returns the AC owning a partition.
 func (t *Topology) Owner(partition int) ACID {
+	t.mu.RLock()
 	ac, ok := t.owner[partition]
+	t.mu.RUnlock()
 	if !ok {
 		panic(fmt.Sprintf("core: partition %d has no owner", partition))
 	}
@@ -89,6 +127,8 @@ func (t *Topology) Owner(partition int) ACID {
 
 // OwnedPartitions returns the partitions owned by ac (ascending).
 func (t *Topology) OwnedPartitions(ac ACID) []int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	var out []int
 	for p := 0; p < t.db.NumPartitions(); p++ {
 		if owner, ok := t.owner[p]; ok && owner == ac {

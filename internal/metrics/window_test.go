@@ -1,0 +1,50 @@
+package metrics
+
+import "testing"
+
+func TestWindowSlides(t *testing.T) {
+	w := NewWindow(1000, 10) // 1µs span, 100ns buckets
+	w.Add(0, 5)
+	w.Add(500, 3)
+	if got := w.Sum(500); got != 8 {
+		t.Fatalf("sum at 500 = %v, want 8", got)
+	}
+	// At t=1400 the bucket holding t=0 has aged out; t=500 remains.
+	if got := w.Sum(1400); got != 3 {
+		t.Fatalf("sum at 1400 = %v, want 3", got)
+	}
+	// At t=1600 everything has aged out.
+	if got := w.Sum(1600); got != 0 {
+		t.Fatalf("sum at 1600 = %v, want 0", got)
+	}
+}
+
+func TestWindowRingReuse(t *testing.T) {
+	w := NewWindow(1000, 10)
+	w.Add(50, 1)
+	// One full span later the same ring slot is reused; the stale sum
+	// must not leak into the new bucket.
+	w.Add(1050, 2)
+	if got := w.Sum(1050); got != 2 {
+		t.Fatalf("sum after ring wrap = %v, want 2", got)
+	}
+}
+
+func TestWindowRateAndReset(t *testing.T) {
+	w := NewWindow(1_000_000_000, 10) // 1s span
+	w.Add(900_000_000, 100)
+	if got := w.Rate(1_000_000_000); got != 100 {
+		t.Fatalf("rate = %v, want 100/s", got)
+	}
+	w.Reset()
+	if got := w.Sum(1_000_000_000); got != 0 {
+		t.Fatalf("sum after reset = %v", got)
+	}
+}
+
+func TestWindowEmpty(t *testing.T) {
+	w := NewWindow(1000, 4)
+	if w.Sum(123456) != 0 || w.Rate(123456) != 0 {
+		t.Fatal("empty window must sum to zero")
+	}
+}

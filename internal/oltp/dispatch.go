@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"anydb/internal/core"
+	"anydb/internal/metrics"
 	"anydb/internal/sim"
 	"anydb/internal/storage"
 	"anydb/internal/tpcc"
@@ -78,8 +79,15 @@ type Dispatcher struct {
 	queued map[int][]queuedTxn
 	homeOf map[core.TxnID]int
 
-	Committed int64
-	Aborted   int64
+	// win accumulates the telemetry window (adaptation signals); it is
+	// only touched from this dispatcher's event handlers.
+	win sigWindow
+
+	// Committed and Aborted are written on the dispatcher's AC
+	// goroutine and may be read concurrently by harness code, so they
+	// are atomic counters.
+	Committed metrics.Counter
+	Aborted   metrics.Counter
 }
 
 type queuedTxn struct {
@@ -115,6 +123,10 @@ func (d *Dispatcher) SetConfig(policy Policy, routes Routes) {
 // Config returns the active configuration.
 func (d *Dispatcher) Config() DispatchConfig { return *d.cfg.Load() }
 
+// SetTelemetry enables signal reporting toward the adaptation
+// controller. Install before the engine starts delivering events.
+func (d *Dispatcher) SetTelemetry(t Telemetry) { d.win.SetTelemetry(t) }
+
 // OnEvent implements core.Behavior for EvTxn and EvAck.
 func (d *Dispatcher) OnEvent(ctx core.Context, ac *core.AC, ev *core.Event) {
 	cfg := d.cfg.Load()
@@ -141,7 +153,9 @@ func (d *Dispatcher) admit(ctx core.Context, cfg *DispatchConfig, id core.TxnID,
 		ctx.Charge(ctx.Costs().IndexLookup * sim.Time(len(txn.NewOrder.Lines)))
 		if !Valid(*txn) {
 			ctx.Charge(ctx.Costs().TxnCommit) // abort bookkeeping
-			d.Aborted++
+			d.Aborted.Inc()
+			d.win.observeAbort()
+			d.win.maybeFlush(ctx, cfg.Policy)
 			ctx.Send(core.ClientAC, &core.Event{
 				Kind: core.EvTxnDone, Txn: id,
 				Payload: &DoneInfo{Committed: false, Home: txn.HomeWarehouse()},
@@ -149,9 +163,15 @@ func (d *Dispatcher) admit(ctx core.Context, cfg *DispatchConfig, id core.TxnID,
 			return
 		}
 	}
+	if d.win.tel.Enabled {
+		d.win.observeAdmit(txn.HomeWarehouse(), crossPartition(txn))
+		d.win.maybeFlush(ctx, cfg.Policy)
+	}
 	if cfg.Policy == NaiveIntra {
 		home := txn.HomeWarehouse()
 		if d.busy[home] {
+			// The op program is compiled lazily at dispatch, so a
+			// queued transaction holds one pointer, not a slice.
 			d.queued[home] = append(d.queued[home], queuedTxn{id: id, txn: txn})
 			return
 		}
@@ -228,7 +248,8 @@ func (d *Dispatcher) onAck(ctx core.Context, cfg *DispatchConfig, ev *core.Event
 	}
 	delete(d.pending, ev.Txn)
 	ctx.Charge(ctx.Costs().TxnCommit)
-	d.Committed++
+	d.Committed.Inc()
+	d.win.observeCommit(false)
 	ctx.Send(core.ClientAC, &core.Event{
 		Kind: core.EvTxnDone, Txn: ev.Txn,
 		Payload: &DoneInfo{Committed: true, Home: ack.Home},

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"anydb/internal/core"
+	"anydb/internal/metrics"
 	"anydb/internal/storage"
 )
 
@@ -74,14 +75,21 @@ func (x *Executor) OnEvent(ctx core.Context, _ *core.AC, ev *core.Event) {
 // the same logic.
 type Coordinator struct {
 	pending map[core.TxnID]int
-	// Committed counts completed transactions.
-	Committed int64
+	// win accumulates the telemetry window (commit-side signals).
+	win sigWindow
+	// Committed counts completed transactions; atomic because harness
+	// code may read it while the coordinator's AC is running.
+	Committed metrics.Counter
 }
 
 // NewCoordinator returns an empty coordinator.
 func NewCoordinator() *Coordinator {
 	return &Coordinator{pending: make(map[core.TxnID]int)}
 }
+
+// SetTelemetry enables commit-rate reporting toward the adaptation
+// controller. Install before the engine starts delivering events.
+func (c *Coordinator) SetTelemetry(t Telemetry) { c.win.SetTelemetry(t) }
 
 // OnEvent implements core.Behavior for EvAck.
 func (c *Coordinator) OnEvent(ctx core.Context, _ *core.AC, ev *core.Event) {
@@ -94,7 +102,11 @@ func (c *Coordinator) OnEvent(ctx core.Context, _ *core.AC, ev *core.Event) {
 	}
 	delete(c.pending, ev.Txn)
 	ctx.Charge(ctx.Costs().TxnCommit)
-	c.Committed++
+	c.Committed.Inc()
+	// A dedicated coordinator only runs under streaming CC; its windows
+	// advance on commits (it never sees admissions).
+	c.win.observeCommit(true)
+	c.win.maybeFlush(ctx, StreamingCC)
 	ctx.Send(core.ClientAC, &core.Event{
 		Kind: core.EvTxnDone, Txn: ev.Txn,
 		Payload: &DoneInfo{Committed: true, Home: ack.Home},

@@ -1,0 +1,166 @@
+package oltp
+
+import (
+	"anydb/internal/core"
+	"anydb/internal/sim"
+	"anydb/internal/tpcc"
+)
+
+// Telemetry configures workload-signal reporting on the dispatch path:
+// every Every completions the accumulating AC flushes a Report as an
+// EvSignal event toward Sink (the adaptation controller AC). The zero
+// value — Sink left at AC 0 is avoided by requiring Enabled — disables
+// reporting entirely, so the static benchmark series pay nothing.
+//
+// Telemetry is installed before the engine starts and never mutated at
+// runtime; the accumulating window state lives inside the reporting
+// behavior and is only touched on that AC's goroutine (or actor), so no
+// synchronization is needed on either runtime.
+type Telemetry struct {
+	Sink    core.ACID
+	Every   int64
+	Enabled bool
+}
+
+// Report is the payload of core.EvSignal: one window of workload
+// signals observed by a dispatching or coordinating AC. The adaptation
+// controller aggregates reports from all sources into sliding windows
+// and scores the routing policies against them.
+//
+// Admission-side counters (Admitted, ByHome, CrossPart, Aborted) come
+// from dispatchers, which see every transaction's operation program
+// before routing; Committed comes from whichever AC coordinates the
+// commit — the dispatcher itself, or the dedicated coordinator under
+// streaming CC. The two sources are disjoint, so the controller can sum
+// them without double counting.
+type Report struct {
+	// Src is the reporting AC.
+	Src core.ACID
+	// At is the reporter's local time when the report was flushed.
+	At sim.Time
+	// Policy is the routing policy the reporter was running under.
+	Policy Policy
+	// Admitted counts transactions that entered dispatch in the window.
+	Admitted int64
+	// Committed counts transactions whose commit this AC coordinated.
+	Committed int64
+	// Aborted counts transactions rejected at reconnaissance.
+	Aborted int64
+	// CrossPart counts admitted transactions whose operations touch
+	// more than one warehouse (the cross-partition ratio numerator).
+	CrossPart int64
+	// ByHome holds per-warehouse admission counts (access skew).
+	ByHome []int64
+	// Queries counts analytical queries completed in the window
+	// (reported by the client/harness side, not the dispatch path).
+	Queries int64
+}
+
+// sigWindow accumulates one in-progress report. It is embedded in the
+// Dispatcher and Coordinator and only touched from their own event
+// handlers.
+type sigWindow struct {
+	tel       Telemetry
+	admitted  int64
+	committed int64
+	aborted   int64
+	crossPart int64
+	byHome    map[int]int64
+	// flushTick counts window-advancing observations since the last
+	// flush (admissions at dispatchers, commits at coordinators).
+	flushTick int64
+}
+
+// SetTelemetry installs the reporting configuration. Call before the
+// engine starts delivering events.
+func (w *sigWindow) SetTelemetry(t Telemetry) {
+	if t.Every <= 0 {
+		t.Every = 64
+	}
+	w.tel = t
+}
+
+// observeAdmit records one admitted transaction and its shape.
+func (w *sigWindow) observeAdmit(home int, crossPart bool) {
+	if !w.tel.Enabled {
+		return
+	}
+	w.admitted++
+	w.flushTick++
+	if w.byHome == nil {
+		w.byHome = make(map[int]int64)
+	}
+	w.byHome[home]++
+	if crossPart {
+		w.crossPart++
+	}
+}
+
+// observeCommit records one coordinated commit. tick advances the flush
+// counter — set by coordinators, whose windows contain commits only.
+func (w *sigWindow) observeCommit(tick bool) {
+	if !w.tel.Enabled {
+		return
+	}
+	w.committed++
+	if tick {
+		w.flushTick++
+	}
+}
+
+// observeAbort records one reconnaissance abort.
+func (w *sigWindow) observeAbort() {
+	if !w.tel.Enabled {
+		return
+	}
+	w.aborted++
+	w.flushTick++
+}
+
+// maybeFlush emits the window as an EvSignal toward the sink once
+// enough observations accumulated.
+func (w *sigWindow) maybeFlush(ctx core.Context, policy Policy) {
+	if !w.tel.Enabled || w.flushTick < w.tel.Every {
+		return
+	}
+	r := &Report{
+		Src: ctx.Self(), At: ctx.Now(), Policy: policy,
+		Admitted: w.admitted, Committed: w.committed,
+		Aborted: w.aborted, CrossPart: w.crossPart,
+	}
+	if len(w.byHome) > 0 {
+		max := 0
+		for home := range w.byHome {
+			if home > max {
+				max = home
+			}
+		}
+		r.ByHome = make([]int64, max+1)
+		for home, n := range w.byHome {
+			r.ByHome[home] = n
+		}
+	}
+	w.admitted, w.committed, w.aborted, w.crossPart = 0, 0, 0, 0
+	w.byHome = nil
+	w.flushTick = 0
+	ctx.Send(w.tel.Sink, &core.Event{Kind: core.EvSignal, Payload: r})
+}
+
+// crossPartition reports whether a transaction's operations span more
+// than one warehouse — a policy-independent signal (unlike segment
+// counts, which depend on the active routing). It mirrors Program's
+// warehouse placement without building the op slice, so the telemetry
+// path allocates nothing.
+func crossPartition(t *tpcc.Txn) bool {
+	switch t.Kind {
+	case tpcc.TxnPayment:
+		return t.Payment.CW != t.Payment.W
+	default: // new-order
+		for _, l := range t.NewOrder.Lines {
+			if l.SupplyW != t.NewOrder.W {
+				return true
+			}
+		}
+		return false
+	}
+}
