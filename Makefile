@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fmt vet figures ci
+.PHONY: all build test race bench bench-json fmt vet figures ci
 
 all: build
 
@@ -21,6 +21,13 @@ race:
 # iteration is meaningful.
 bench:
 	$(GO) test -bench . -benchtime=1x -run '^$$' ./...
+
+# Machine-readable benchmark summary: per-policy + adaptive throughput
+# on the evolving workload. CI uploads BENCH_PR2.json as an artifact so
+# the perf trajectory accumulates across PRs. Deterministic virtual-time
+# runs — the short phase keeps it a smoke, shapes are scale-invariant.
+bench-json:
+	$(GO) run ./cmd/anydb-bench -phase-ms 6 -json BENCH_PR2.json
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

@@ -10,15 +10,30 @@
 // figures are reproduced on a deterministic virtual-time twin of this
 // runtime by cmd/anydb-bench.
 //
-// Quick start:
+// Quick start (blocking client):
 //
 //	cluster, err := anydb.Open(anydb.Config{})
 //	defer cluster.Close()
 //	committed, err := cluster.Payment(anydb.Payment{Warehouse: 0, District: 1, Customer: 7, Amount: 42})
-//	open, err := cluster.OpenOrders()
+//	open, err := cluster.OpenOrders(ctx)
+//
+// Pipelined client — keep many transactions in flight per session
+// instead of one round trip at a time:
+//
+//	futs := make([]*anydb.Future, 0, 128)
+//	for i := 0; i < 128; i++ {
+//		f, err := cluster.SubmitPayment(ctx, anydb.Payment{Warehouse: i % 4, District: 1, Customer: 7, Amount: 1})
+//		if err != nil { ... }
+//		futs = append(futs, f)
+//	}
+//	for _, f := range futs {
+//		committed, err := f.Wait(ctx)
+//		...
+//	}
 package anydb
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -30,52 +45,64 @@ import (
 	"anydb/internal/olap"
 	"anydb/internal/oltp"
 	"anydb/internal/plan"
+	"anydb/internal/route"
 	"anydb/internal/sim"
 	"anydb/internal/sql"
 	"anydb/internal/storage"
 	"anydb/internal/tpcc"
 )
 
-// Policy selects how transactions are routed over the ACs (the paper's
-// §3 execution strategies).
+// Policy selects how transactions are routed over the ACs — the paper's
+// §3 execution strategies. All four are selectable at runtime via
+// SetPolicy; the self-driving controller (Config.AutoAdapt) chooses
+// among the same four.
 type Policy int
 
 const (
 	// SharedNothing physically aggregates each transaction at its home
 	// partition's owner AC (Figure 4b).
-	SharedNothing Policy = iota
+	SharedNothing Policy = Policy(oltp.SharedNothing)
+	// NaiveIntra farms every operation out to a record-class AC with a
+	// conservative one-transaction-per-warehouse admission barrier
+	// (Figure 4c). Included for completeness — per §3.2 its per-event
+	// overhead dominates.
+	NaiveIntra Policy = Policy(oltp.NaiveIntra)
+	// PreciseIntra pipelines each transaction as two balanced
+	// sub-sequences across two ACs (Figure 4d).
+	PreciseIntra Policy = Policy(oltp.PreciseIntra)
 	// StreamingCC routes per-record-class segments through a sequencer
 	// for lock-free pipelined execution under contention (§3.3).
-	StreamingCC
+	StreamingCC Policy = Policy(oltp.StreamingCC)
 )
 
-func (p Policy) String() string {
-	if p == SharedNothing {
-		return "shared-nothing"
-	}
-	return "streaming-cc"
+func (p Policy) String() string { return oltp.Policy(p).String() }
+
+// Policies returns all routing policies, in their numeric order.
+func Policies() []Policy {
+	return []Policy{SharedNothing, NaiveIntra, PreciseIntra, StreamingCC}
 }
 
 // Config sizes the cluster and the built-in TPC-C-style database.
 type Config struct {
 	// Servers and CoresPerServer define the initial topology
-	// (default 2×4, the paper's Figure 2 layout).
+	// (default 2×4, the paper's Figure 2 layout). CoresPerServer must be
+	// at least 4: the control server hosts the dispatcher, sequencer,
+	// commit-coordinator and query-optimizer roles on separate ACs.
 	Servers        int
 	CoresPerServer int
 	// Warehouses etc. size the database (defaults are small).
-	Warehouses            int
-	Districts             int
-	CustomersPerDistrict  int
-	Items                 int
-	InitialOrdersPerDist  int
-	Seed                  int64
-	DisableInitialOrders  bool
-	LastNamesPerDistrict  int // unused; reserved
-	PaymentsByLastAllowed bool
+	Warehouses           int
+	Districts            int
+	CustomersPerDistrict int
+	Items                int
+	InitialOrdersPerDist int
+	Seed                 int64
+	DisableInitialOrders bool
 	// AutoAdapt turns on the self-driving loop: dispatchers report
 	// workload signals to an adaptation-controller AC, which switches
 	// the routing policy (and grows a server when analytical load
-	// appears) on its own. Inspect what it did via AdaptationLog.
+	// appears) on its own. Inspect what it did via AdaptationLog, or
+	// subscribe with Events.
 	AutoAdapt bool
 	// AdaptWindow is the sliding signal window for AutoAdapt
 	// (default 10ms wall clock).
@@ -92,22 +119,44 @@ type Cluster struct {
 
 	execs []core.ACID
 	ctrl  []core.ACID
+	// lay names the AC roles for internal/route: the first server's ACs
+	// are the record-class executors and partition owners; the control
+	// server hosts dispatch, sequencing and commit coordination. Built
+	// once in Open (the role ACs never change; growth only adds compute
+	// servers) so the submission hot path allocates nothing for it.
+	lay route.Layout
 
 	mu      sync.Mutex
-	idle    *sync.Cond // signaled when inflight drops to 0 or a drain ends
 	policy  Policy
 	dispers map[core.ACID]*oltp.Dispatcher
 	nextTxn core.TxnID
 	nextQ   core.QueryID
-	txnWait map[core.TxnID]chan bool
+	txnWait map[core.TxnID]*Future
 	qWait   map[core.QueryID]chan *olap.QueryResult
-	// inflight counts submitted transactions not yet resolved;
-	// draining gates new submissions while a policy switch waits for
-	// it to reach zero. Together they replace a WaitGroup, whose
-	// concurrent Add-while-Wait pattern is documented misuse.
-	inflight int
-	draining bool
-	closed   bool
+	// inflight and qInflight count submitted transactions and analytical
+	// queries not yet resolved; draining gates new work while a policy
+	// switch waits for both to reach zero. The waits are channel-based
+	// (idleDone/drainDone) rather than a sync.Cond so every blocked
+	// entry point can also select on its caller's context.
+	inflight  int
+	qInflight int
+	draining  bool
+	closed    bool
+	// idleDone is closed (and nil'd) whenever inflight drops to zero, or
+	// on Close. Wakeups are advisory: waiters re-check their predicate.
+	idleDone chan struct{}
+	// drainDone is non-nil exactly while draining and closed when the
+	// drain ends, releasing gated submitters.
+	drainDone chan struct{}
+	// subs are live Events subscribers; a subscriber detaches when its
+	// context ends (reaped lazily at the next publish) and all remaining
+	// channels close on Close.
+	subs []eventSub
+
+	// futPool recycles Futures (and their 1-buffered channels) so the
+	// pipelined submission hot path allocates nothing per call in steady
+	// state.
+	futPool sync.Pool
 
 	// Self-driving state (Config.AutoAdapt). Decisions queue under mu
 	// and the applier is kicked via decKick: the controller assumes
@@ -129,6 +178,10 @@ type Cluster struct {
 	unmatchedDone atomic.Int64
 }
 
+// ErrClosed is returned by every entry point once Close has begun;
+// match it with errors.Is to distinguish shutdown from other failures.
+var ErrClosed = errors.New("anydb: cluster closed")
+
 // Open populates the database and starts the AC goroutines.
 func Open(cfg Config) (*Cluster, error) {
 	tc := tpcc.Config{
@@ -145,6 +198,9 @@ func Open(cfg Config) (*Cluster, error) {
 	if cfg.Servers < 2 {
 		return nil, errors.New("anydb: need at least 2 servers (executors + control)")
 	}
+	if cfg.CoresPerServer < 4 {
+		return nil, fmt.Errorf("anydb: CoresPerServer = %d, need at least 4 (the control server hosts the dispatcher, sequencer, coordinator and query-optimizer roles)", cfg.CoresPerServer)
+	}
 	db := storage.NewDatabase(tc.Warehouses, tpcc.Schemas()...)
 	tpcc.Populate(db, tc)
 	// Statistics for the SQL planner (partition 0 is representative:
@@ -156,11 +212,10 @@ func Open(cfg Config) (*Cluster, error) {
 	c := &Cluster{
 		db: db, cfg: tc, cores: cfg.CoresPerServer,
 		dispers: make(map[core.ACID]*oltp.Dispatcher),
-		txnWait: make(map[core.TxnID]chan bool),
+		txnWait: make(map[core.TxnID]*Future),
 		qWait:   make(map[core.QueryID]chan *olap.QueryResult),
 		start:   time.Now(),
 	}
-	c.idle = sync.NewCond(&c.mu)
 	c.topo = core.NewTopology(db)
 	c.execs = c.topo.AddServer(cfg.CoresPerServer)
 	c.ctrl = c.topo.AddServer(cfg.CoresPerServer)
@@ -170,6 +225,10 @@ func Open(cfg Config) (*Cluster, error) {
 	for w := 0; w < tc.Warehouses; w++ {
 		c.topo.SetOwner(w, c.execs[w%len(c.execs)])
 	}
+	c.lay = route.Layout{
+		Owner: c.topo.Owner, Execs: c.execs,
+		Dispatch: c.ctrl[0], Seq: c.ctrl[1], Coord: c.ctrl[2],
+	}
 	if cfg.AutoAdapt {
 		window := cfg.AdaptWindow
 		if window <= 0 {
@@ -177,9 +236,9 @@ func Open(cfg Config) (*Cluster, error) {
 		}
 		c.adaptCtrl = adapt.NewController(adapt.Options{
 			Start: oltp.SharedNothing,
-			// The public API wires routes for the two headline
-			// policies; the controller chooses between them.
-			Candidates: []oltp.Policy{oltp.SharedNothing, oltp.StreamingCC},
+			// Candidates defaults to all four §3 policies: the public
+			// runtime routes every one of them (internal/route), so the
+			// controller chooses over the full architecture space.
 			Env:        adapt.Env{Executors: len(c.execs), Warehouses: tc.Warehouses},
 			WindowSpan: sim.Time(window.Nanoseconds()),
 			Elastic:    true,
@@ -217,7 +276,7 @@ func (c *Cluster) setupAC(ac *core.AC) {
 	// dispatcher in the map or runs before it configures itself.
 	c.mu.Lock()
 	pol := c.policy
-	d := oltp.NewDispatcher(internalPolicy(pol), c.db, c.routes(pol))
+	d := oltp.NewDispatcher(oltp.Policy(pol), c.db, c.routes(pol))
 	d.SetTelemetry(tel)
 	c.dispers[ac.ID] = d
 	c.mu.Unlock()
@@ -225,90 +284,117 @@ func (c *Cluster) setupAC(ac *core.AC) {
 	ac.Register(core.EvAck, d)
 }
 
-// internalPolicy maps the public policy to the dispatcher's.
-func internalPolicy(p Policy) oltp.Policy {
-	if p == StreamingCC {
-		return oltp.StreamingCC
-	}
-	return oltp.SharedNothing
-}
-
-// publicPolicy maps a dispatcher policy to the public type.
-func publicPolicy(p oltp.Policy) Policy {
-	if p == oltp.StreamingCC {
-		return StreamingCC
-	}
-	return SharedNothing
-}
-
 func (c *Cluster) routes(p Policy) oltp.Routes {
-	r := oltp.Routes{Owner: c.topo.Owner, Seq: c.ctrl[1], Coord: core.NoAC}
-	if p == StreamingCC {
-		execs := c.execs
-		r.ClassRoute = func(w int, cl oltp.Class) core.ACID {
-			switch cl {
-			case oltp.ClassCustomer:
-				return execs[1%len(execs)]
-			case oltp.ClassHistory:
-				return execs[2%len(execs)]
-			case oltp.ClassStock:
-				return execs[3%len(execs)]
-			default:
-				return execs[0]
-			}
-		}
-		r.Coord = c.ctrl[2]
-	}
-	return r
+	return route.For(oltp.Policy(p), c.lay)
 }
 
 // SetPolicy reroutes subsequent transactions. It gates new submissions
-// and waits for in-flight transactions to finish first, so conflicting
-// work never straddles two routings — the architecture shift itself is
-// instantaneous (§2.1: no reconfiguration downtime). Safe to call
-// concurrently with Payment/NewOrder from any goroutine: submissions
-// arriving mid-switch briefly block, then run under the new routing.
+// and waits for in-flight transactions and analytical queries to finish
+// first, so conflicting work never straddles two routings — the
+// architecture shift itself is instantaneous (§2.1: no reconfiguration
+// downtime). Safe to call concurrently with Payment/NewOrder/Submit*
+// and queries from any goroutine: work arriving mid-switch briefly
+// blocks, then runs under the new routing. Canceling ctx abandons the
+// switch (the old routing stays in effect) and releases gated callers.
 //
 // On a self-driving cluster (Config.AutoAdapt) the controller owns the
 // routing; manual switches would silently fight it, so SetPolicy
 // returns an error instead.
-func (c *Cluster) SetPolicy(p Policy) error {
+func (c *Cluster) SetPolicy(ctx context.Context, p Policy) error {
 	if c.adaptCtrl != nil {
 		return errors.New("anydb: cluster is self-driving (Config.AutoAdapt); the controller owns the policy")
 	}
-	return c.setPolicy(p)
+	return c.setPolicy(ctx, p)
 }
 
 // setPolicy is the switch path shared by SetPolicy and the adaptation
-// applier.
-func (c *Cluster) setPolicy(p Policy) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	// One switch at a time.
-	for c.draining && !c.closed {
-		c.idle.Wait()
-	}
-	if c.closed {
-		return errors.New("anydb: cluster closed")
+// applier. The drain covers transactions AND analytical queries: under
+// the fine-grained policies writes execute off the partition owners, so
+// a query scan straddling the switch could race them.
+func (c *Cluster) setPolicy(ctx context.Context, p Policy) error {
+	// gate also serializes switches: only one drain at a time.
+	if err := c.gate(ctx); err != nil {
+		return err
 	}
 	c.draining = true
-	for c.inflight > 0 {
-		c.idle.Wait()
+	c.drainDone = make(chan struct{})
+	for (c.inflight > 0 || c.qInflight > 0) && !c.closed {
+		ch := c.idleCh()
+		c.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			c.mu.Lock()
+			c.endDrainLocked()
+			c.mu.Unlock()
+			return ctx.Err()
+		}
+		c.mu.Lock()
 	}
 	if c.closed {
 		// Close raced the drain; don't reconfigure a stopped cluster.
-		c.draining = false
-		c.idle.Broadcast()
-		return errors.New("anydb: cluster closed")
+		c.endDrainLocked()
+		c.mu.Unlock()
+		return ErrClosed
 	}
 	c.policy = p
 	routes := c.routes(p)
 	for _, d := range c.dispers {
-		d.SetConfig(internalPolicy(p), routes)
+		d.SetConfig(oltp.Policy(p), routes)
 	}
-	c.draining = false
-	c.idle.Broadcast()
+	c.endDrainLocked()
+	c.mu.Unlock()
 	return nil
+}
+
+// gate blocks while a policy switch drains, then returns with mu HELD
+// and the cluster open (nil error), ready for the caller to register
+// work. On cancellation or Close it returns the error with mu released.
+func (c *Cluster) gate(ctx context.Context) error {
+	c.mu.Lock()
+	for c.draining && !c.closed {
+		gate := c.drainDone
+		c.mu.Unlock()
+		select {
+		case <-gate:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		c.mu.Lock()
+	}
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	return nil
+}
+
+// idleCh returns a channel closed at the next advisory idle wakeup
+// (inflight or qInflight hitting zero, or Close); waiters re-check
+// their own predicate on wake. mu must be held.
+func (c *Cluster) idleCh() chan struct{} {
+	if c.idleDone == nil {
+		c.idleDone = make(chan struct{})
+	}
+	return c.idleDone
+}
+
+// signalIdle wakes idle waiters. mu must be held.
+func (c *Cluster) signalIdle() {
+	if c.idleDone != nil {
+		close(c.idleDone)
+		c.idleDone = nil
+	}
+}
+
+// endDrainLocked ends the drain and releases gated submitters. mu must
+// be held; only the goroutine that set draining calls it.
+func (c *Cluster) endDrainLocked() {
+	c.draining = false
+	if c.drainDone != nil {
+		close(c.drainDone)
+		c.drainDone = nil
+	}
 }
 
 // Payment identifies a TPC-C payment (§2.5).
@@ -333,31 +419,27 @@ type NewOrder struct {
 	Lines                         []OrderLine
 }
 
-// Payment executes a payment transaction and reports whether it
-// committed.
-func (c *Cluster) Payment(p Payment) (bool, error) {
+func paymentTxn(p Payment) (*tpcc.Txn, error) {
 	cw, cd := p.CustomerWarehouse, p.CustomerDistrict
 	if cw == 0 && cd == 0 {
 		cw, cd = p.Warehouse, p.District
 	}
-	t := tpcc.Txn{Kind: tpcc.TxnPayment, Payment: tpcc.Payment{
+	t := &tpcc.Txn{Kind: tpcc.TxnPayment, Payment: tpcc.Payment{
 		W: p.Warehouse, D: p.District, CW: cw, CD: cd,
 		C: p.Customer, ByLast: p.ByLastName, Amount: p.Amount,
 	}}
 	if p.ByLastName {
 		num := tpcc.LastNameNum(p.LastName)
 		if num < 0 {
-			return false, fmt.Errorf("anydb: %q is not a TPC-C last name", p.LastName)
+			return nil, fmt.Errorf("anydb: %q is not a TPC-C last name", p.LastName)
 		}
 		t.Payment.Last = num
 	}
-	return c.exec(&t)
+	return t, nil
 }
 
-// NewOrder executes a new-order transaction; false means the transaction
-// rolled back (invalid item).
-func (c *Cluster) NewOrder(no NewOrder) (bool, error) {
-	t := tpcc.Txn{Kind: tpcc.TxnNewOrder, NewOrder: tpcc.NewOrder{
+func newOrderTxn(no NewOrder) *tpcc.Txn {
+	t := &tpcc.Txn{Kind: tpcc.TxnNewOrder, NewOrder: tpcc.NewOrder{
 		W: no.Warehouse, D: no.District, C: no.Customer,
 	}}
 	for _, l := range no.Lines {
@@ -365,40 +447,145 @@ func (c *Cluster) NewOrder(no NewOrder) (bool, error) {
 			Item: l.Item, Qty: l.Qty, SupplyW: l.SupplyWarehouse,
 		})
 	}
-	return c.exec(&t)
+	return t
 }
 
-func (c *Cluster) exec(t *tpcc.Txn) (bool, error) {
-	c.mu.Lock()
-	for c.draining && !c.closed {
-		c.idle.Wait()
+// Future is the pending result of a submitted transaction. Futures are
+// pooled: Wait consumes the future, and calling Wait again — or after a
+// Wait that returned the transaction's result — panics if the future is
+// still in the pool (a recycled future would otherwise steal another
+// session's result; the guard is best-effort once it is re-issued).
+type Future struct {
+	c  *Cluster
+	ch chan bool
+	// state sequences the waiter against the completion callback:
+	// whichever side transitions it out of futPending owns delivery
+	// (resolver) or abandonment (waiter); the loser follows the winner
+	// and parks the future back in the pool (futPooled).
+	state atomic.Uint32
+}
+
+const (
+	futPending uint32 = iota
+	futDelivered
+	futAbandoned
+	futPooled
+)
+
+func (c *Cluster) getFuture() *Future {
+	if v := c.futPool.Get(); v != nil {
+		f := v.(*Future)
+		f.state.Store(futPending)
+		return f
 	}
-	if c.closed {
-		c.mu.Unlock()
-		return false, errors.New("anydb: cluster closed")
+	return &Future{c: c, ch: make(chan bool, 1)}
+}
+
+// park returns a consumed future to the pool. Its channel is empty.
+func (f *Future) park() {
+	f.state.Store(futPooled)
+	f.c.futPool.Put(f)
+}
+
+// resolve delivers the transaction outcome. Runs on AC goroutines and
+// never blocks: the channel holds one result and each registration sends
+// at most once.
+func (f *Future) resolve(committed bool) {
+	if f.state.CompareAndSwap(futPending, futDelivered) {
+		f.ch <- committed
+		return
+	}
+	// The waiter abandoned the future (context canceled); nobody will
+	// ever Wait on it again, so recycle it here.
+	f.park()
+}
+
+// Wait blocks until the transaction resolves and reports whether it
+// committed (false with a nil error means it rolled back). If ctx is
+// canceled first, Wait returns ctx.Err() immediately; the transaction
+// itself still completes in the background — cancellation abandons the
+// wait, not the work — and the cluster's in-flight accounting drains
+// normally.
+func (f *Future) Wait(ctx context.Context) (bool, error) {
+	if f.state.Load() == futPooled {
+		panic("anydb: Future.Wait called on a consumed future")
+	}
+	select {
+	case committed := <-f.ch:
+		f.park()
+		return committed, nil
+	case <-ctx.Done():
+		if f.state.CompareAndSwap(futPending, futAbandoned) {
+			return false, ctx.Err()
+		}
+		// Lost the race: the result is (about to be) in the channel.
+		committed := <-f.ch
+		f.park()
+		return committed, nil
+	}
+}
+
+// SubmitPayment enqueues a payment transaction and returns immediately
+// with a Future for its outcome. Submissions pipeline: a session can
+// keep hundreds in flight and Wait on them in any order. ctx bounds only
+// the submission itself (it can block while a policy switch drains);
+// pass it again to Future.Wait to bound the wait.
+func (c *Cluster) SubmitPayment(ctx context.Context, p Payment) (*Future, error) {
+	t, err := paymentTxn(p)
+	if err != nil {
+		return nil, err
+	}
+	return c.submit(ctx, t)
+}
+
+// SubmitNewOrder enqueues a new-order transaction; see SubmitPayment.
+func (c *Cluster) SubmitNewOrder(ctx context.Context, no NewOrder) (*Future, error) {
+	return c.submit(ctx, newOrderTxn(no))
+}
+
+// Payment executes a payment transaction and reports whether it
+// committed. It is SubmitPayment + Wait without a deadline.
+func (c *Cluster) Payment(p Payment) (bool, error) {
+	f, err := c.SubmitPayment(context.Background(), p)
+	if err != nil {
+		return false, err
+	}
+	return f.Wait(context.Background())
+}
+
+// NewOrder executes a new-order transaction; false means the transaction
+// rolled back (invalid item). It is SubmitNewOrder + Wait without a
+// deadline.
+func (c *Cluster) NewOrder(no NewOrder) (bool, error) {
+	f, err := c.SubmitNewOrder(context.Background(), no)
+	if err != nil {
+		return false, err
+	}
+	return f.Wait(context.Background())
+}
+
+func (c *Cluster) submit(ctx context.Context, t *tpcc.Txn) (*Future, error) {
+	if err := c.gate(ctx); err != nil {
+		return nil, err
 	}
 	c.nextTxn++
 	id := c.nextTxn
-	ch := make(chan bool, 1)
-	c.txnWait[id] = ch
+	f := c.getFuture()
+	c.txnWait[id] = f
 	pol := c.policy
 	c.inflight++
 	c.mu.Unlock()
 
-	entry := c.ctrl[0]
-	if pol == SharedNothing {
-		entry = c.topo.Owner(t.HomeWarehouse())
-	}
+	entry := route.Entry(oltp.Policy(pol), c.lay, t.HomeWarehouse())
 	c.eng.Inject(entry, &core.Event{Kind: core.EvTxn, Txn: id, Payload: t})
-	committed := <-ch
-	return committed, nil
+	return f, nil
 }
 
 // QueryOptions tunes analytical query execution.
 type QueryOptions struct {
 	// Beam initiates data streams at query arrival so transfers overlap
 	// the compile window (§4 data beaming). Default off here; the
-	// zero-argument OpenOrders enables it.
+	// one-argument OpenOrders enables it.
 	Beam bool
 	// CompileDelay models the query-optimizer compile window (the paper
 	// cites ~30ms for a commercial DBMS). With Beam set, scans push
@@ -408,29 +595,33 @@ type QueryOptions struct {
 
 // OpenOrders runs the paper's analytical query (§4: all open orders for
 // customers from states 'A%' since 2007) with full data beaming.
-func (c *Cluster) OpenOrders() (int64, error) {
-	return c.OpenOrdersOpts(QueryOptions{Beam: true})
+func (c *Cluster) OpenOrders(ctx context.Context) (int64, error) {
+	return c.OpenOrdersOpts(ctx, QueryOptions{Beam: true})
 }
 
 // OpenOrdersOpts runs the analytical query with explicit options. Joins
 // are placed on the newest server — disaggregated from the OLTP owners —
 // so AddServer immediately gives analytics fresh compute (§5 elasticity).
+// Canceling ctx abandons the wait (the query completes in the background
+// and its result is dropped).
 //
 // Scans execute at each partition's owner AC, interleaved with that
 // partition's transactions, so concurrent OLTP is safe under the
 // SharedNothing policy (all access to a partition serializes at its
-// owner). Under StreamingCC, writes run on record-class ACs instead;
-// run analytics only while OLTP is quiescent in that mode.
-func (c *Cluster) OpenOrdersOpts(o QueryOptions) (int64, error) {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		return 0, errors.New("anydb: cluster closed")
+// owner). Under the fine-grained policies — NaiveIntra, PreciseIntra,
+// StreamingCC — writes run on record-class ACs instead of the owners;
+// run analytics only while OLTP is quiescent in those modes. Policy
+// switches drain in-flight queries, so a query never straddles a
+// routing change.
+func (c *Cluster) OpenOrdersOpts(ctx context.Context, o QueryOptions) (int64, error) {
+	if err := c.gate(ctx); err != nil {
+		return 0, err
 	}
 	c.nextQ++
 	qid := c.nextQ
 	ch := make(chan *olap.QueryResult, 1)
 	c.qWait[qid] = ch
+	c.qInflight++
 	c.mu.Unlock()
 
 	parts := make([]int, c.cfg.Warehouses)
@@ -449,9 +640,9 @@ func (c *Cluster) OpenOrdersOpts(o QueryOptions) (int64, error) {
 		Notify: core.ClientAC,
 	}
 	c.eng.Inject(c.ctrl[3], &core.Event{Kind: core.EvQuery, Query: qid, Payload: p})
-	res, ok := <-ch
-	if !ok {
-		return 0, errors.New("anydb: cluster closed")
+	res, err := c.awaitQuery(ctx, qid, ch)
+	if err != nil {
+		return 0, err
 	}
 	return res.Rows, nil
 }
@@ -461,8 +652,9 @@ func (c *Cluster) OpenOrdersOpts(o QueryOptions) (int64, error) {
 // for the grammar). It returns the row count and, for projections, the
 // materialized rows (int64/float64/string cells, capped at
 // olap-internal CollectCap). Scans execute at partition owners and joins
-// on the newest server with full beaming, like OpenOrders.
-func (c *Cluster) Query(text string) (int64, [][]any, error) {
+// on the newest server with full beaming, like OpenOrders. Canceling ctx
+// abandons the wait.
+func (c *Cluster) Query(ctx context.Context, text string) (int64, [][]any, error) {
 	q, err := sql.Parse(text)
 	if err != nil {
 		return 0, nil, err
@@ -470,7 +662,7 @@ func (c *Cluster) Query(text string) (int64, [][]any, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return 0, nil, errors.New("anydb: cluster closed")
+		return 0, nil, ErrClosed
 	}
 	c.nextQ++
 	qid := c.nextQ
@@ -488,19 +680,18 @@ func (c *Cluster) Query(text string) (int64, [][]any, error) {
 	p.Beam = true
 
 	ch := make(chan *olap.QueryResult, 1)
-	c.mu.Lock()
-	// Re-check: Close may have swept qWait while CompileSQL ran; a
-	// channel registered after that sweep would never resolve.
-	if c.closed {
-		c.mu.Unlock()
-		return 0, nil, errors.New("anydb: cluster closed")
+	// gate re-checks closed: Close may have swept qWait while CompileSQL
+	// ran, and a channel registered after that sweep would never resolve.
+	if err := c.gate(ctx); err != nil {
+		return 0, nil, err
 	}
 	c.qWait[qid] = ch
+	c.qInflight++
 	c.mu.Unlock()
 	c.eng.Inject(c.ctrl[3], &core.Event{Kind: core.EvQuery, Query: qid, Payload: p})
-	res, ok := <-ch
-	if !ok {
-		return 0, nil, errors.New("anydb: cluster closed")
+	res, err := c.awaitQuery(ctx, qid, ch)
+	if err != nil {
+		return 0, nil, err
 	}
 	var rows [][]any
 	for _, r := range res.Collected {
@@ -520,23 +711,43 @@ func (c *Cluster) Query(text string) (int64, [][]any, error) {
 	return res.Rows, rows, nil
 }
 
+// awaitQuery blocks for a registered query result, the context, or
+// Close (which closes the channel).
+func (c *Cluster) awaitQuery(ctx context.Context, qid core.QueryID, ch chan *olap.QueryResult) (*olap.QueryResult, error) {
+	select {
+	case res, ok := <-ch:
+		if !ok {
+			return nil, ErrClosed
+		}
+		return res, nil
+	case <-ctx.Done():
+		// Abandon the wait: deregister so Close's sweep skips the
+		// channel; a result already being delivered lands in the buffer
+		// and is dropped.
+		c.mu.Lock()
+		delete(c.qWait, qid)
+		c.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
 // onDone resolves waiting callers. It runs on AC goroutines and must
 // never block.
 func (c *Cluster) onDone(ev *core.Event) {
 	switch p := ev.Payload.(type) {
 	case *oltp.DoneInfo:
 		c.mu.Lock()
-		ch := c.txnWait[ev.Txn]
+		f := c.txnWait[ev.Txn]
 		delete(c.txnWait, ev.Txn)
-		if ch != nil {
+		if f != nil {
 			c.inflight--
 			if c.inflight == 0 {
-				c.idle.Broadcast()
+				c.signalIdle()
 			}
 		}
 		c.mu.Unlock()
-		if ch != nil {
-			ch <- p.Committed
+		if f != nil {
+			f.resolve(p.Committed)
 		} else {
 			c.unmatchedDone.Add(1)
 		}
@@ -544,6 +755,10 @@ func (c *Cluster) onDone(ev *core.Event) {
 		c.mu.Lock()
 		ch := c.qWait[p.Query]
 		delete(c.qWait, p.Query)
+		c.qInflight--
+		if c.qInflight == 0 {
+			c.signalIdle()
+		}
 		c.mu.Unlock()
 		if ch != nil {
 			ch <- p
@@ -603,6 +818,32 @@ func (c *Cluster) AdaptationLog() []AdaptationEvent {
 	return out
 }
 
+// eventSub is one Events subscription.
+type eventSub struct {
+	ctx context.Context
+	ch  chan AdaptationEvent
+}
+
+// Events subscribes to adaptation events: every architecture change the
+// self-driving controller applies is delivered on the returned channel
+// as it happens, in order. The channel is buffered; a subscriber that
+// falls behind misses events rather than stalling adaptation (use
+// AdaptationLog for the complete history). Ending ctx detaches the
+// subscription (observed at the next publish); Close closes all
+// remaining channels. On a cluster without Config.AutoAdapt the channel
+// never delivers and is closed on Close.
+func (c *Cluster) Events(ctx context.Context) <-chan AdaptationEvent {
+	ch := make(chan AdaptationEvent, 16)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed || ctx.Err() != nil {
+		close(ch)
+		return ch
+	}
+	c.subs = append(c.subs, eventSub{ctx: ctx, ch: ch})
+	return ch
+}
+
 // runApplier serializes controller decisions: each one drains in-flight
 // work, reroutes, and/or grows a server, then is recorded in the log.
 func (c *Cluster) runApplier() {
@@ -636,7 +877,7 @@ func (c *Cluster) applyDecision(d *adapt.Decision) {
 	}
 	ev := AdaptationEvent{
 		At:   time.Since(c.start),
-		From: publicPolicy(d.From), To: publicPolicy(d.To),
+		From: Policy(d.From), To: Policy(d.To),
 		Grew: d.Grow, Reason: d.Reason,
 	}
 	if d.Grow {
@@ -646,7 +887,7 @@ func (c *Cluster) applyDecision(d *adapt.Decision) {
 		ev.Grew = c.AddServer(c.cores) > 0
 	}
 	if d.To != d.From {
-		if err := c.setPolicy(publicPolicy(d.To)); err != nil {
+		if err := c.setPolicy(context.Background(), Policy(d.To)); err != nil {
 			return // closed mid-switch; nothing to record
 		}
 	} else if !ev.Grew {
@@ -654,14 +895,42 @@ func (c *Cluster) applyDecision(d *adapt.Decision) {
 	}
 	c.mu.Lock()
 	c.adaptLog = append(c.adaptLog, ev)
+	// Reap subscribers whose context ended; only the applier goroutine
+	// publishes or closes subscriber channels, so this is race-free.
+	live := c.subs[:0]
+	var dead []chan AdaptationEvent
+	for _, s := range c.subs {
+		if s.ctx.Err() != nil {
+			dead = append(dead, s.ch)
+			continue
+		}
+		live = append(live, s)
+	}
+	c.subs = live
+	subs := append([]eventSub(nil), live...)
 	c.mu.Unlock()
+	for _, ch := range dead {
+		close(ch)
+	}
+	for _, s := range subs {
+		select {
+		case s.ch <- ev:
+		default: // slow subscriber: drop rather than stall adaptation
+		}
+	}
 }
 
 // Verify checks the TPC-C consistency conditions over the current state.
 func (c *Cluster) Verify() error {
 	c.mu.Lock()
+	// Wait for a true drain even if Close runs concurrently: Close also
+	// waits for inflight to reach zero before stopping the engine, so
+	// this terminates — and never reads the database mid-transaction.
 	for c.inflight > 0 {
-		c.idle.Wait()
+		ch := c.idleCh()
+		c.mu.Unlock()
+		<-ch
+		c.mu.Lock()
 	}
 	c.mu.Unlock()
 	_, err := tpcc.Verify(c.db, c.cfg)
@@ -695,18 +964,22 @@ func (c *Cluster) Close() {
 		return
 	}
 	c.closed = true
-	c.idle.Broadcast() // release submitters blocked on a drain
+	// Advisory wake: a policy switch waiting for idle re-checks closed,
+	// ends its drain and thereby releases gated submitters too.
+	c.signalIdle()
 	for c.inflight > 0 {
-		c.idle.Wait()
+		ch := c.idleCh()
+		c.mu.Unlock()
+		<-ch
+		c.mu.Lock()
 	}
 	c.mu.Unlock()
 	c.eng.Stop()
-	// The transaction drain above resolves every Payment/NewOrder
-	// waiter, but queries have no inflight accounting: a query whose
-	// result was still streaming when the engine stopped would leave
-	// its caller blocked forever. All AC goroutines are gone now, so
-	// closing the channels is race-free and unblocks those callers
-	// with an error.
+	// The transaction drain above resolves every submitted transaction,
+	// but queries have no inflight accounting: a query whose result was
+	// still streaming when the engine stopped would leave its caller
+	// blocked forever. All AC goroutines are gone now, so closing the
+	// channels is race-free and unblocks those callers with an error.
 	c.mu.Lock()
 	for qid, ch := range c.qWait {
 		delete(c.qWait, qid)
@@ -717,6 +990,15 @@ func (c *Cluster) Close() {
 		// No more decisions can arrive either; drain the applier.
 		close(c.decKick)
 		c.applierWG.Wait()
+	}
+	// The applier is gone (or never existed): nobody can publish another
+	// adaptation event, so closing the subscriber channels is race-free.
+	c.mu.Lock()
+	subs := c.subs
+	c.subs = nil
+	c.mu.Unlock()
+	for _, s := range subs {
+		close(s.ch)
 	}
 }
 

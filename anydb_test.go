@@ -1,6 +1,7 @@
 package anydb_test
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -9,6 +10,8 @@ import (
 
 	"anydb"
 )
+
+var bg = context.Background()
 
 func open(t *testing.T) *anydb.Cluster {
 	t.Helper()
@@ -142,7 +145,7 @@ func TestPolicySwitchUnderLoad(t *testing.T) {
 		if round%2 == 1 {
 			pol = anydb.SharedNothing
 		}
-		if err := c.SetPolicy(pol); err != nil {
+		if err := c.SetPolicy(bg, pol); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -205,7 +208,7 @@ func TestPolicySwitchMidFlight(t *testing.T) {
 			if round%2 == 1 {
 				pol = anydb.SharedNothing
 			}
-			if err := c.SetPolicy(pol); err != nil {
+			if err := c.SetPolicy(bg, pol); err != nil {
 				t.Error(err)
 				return
 			}
@@ -245,7 +248,7 @@ func TestAutoAdaptSwitchesOnSkew(t *testing.T) {
 	defer c.Close()
 
 	// The controller owns the routing: manual switches are rejected.
-	if err := c.SetPolicy(anydb.StreamingCC); err == nil {
+	if err := c.SetPolicy(bg, anydb.StreamingCC); err == nil {
 		t.Fatal("manual SetPolicy accepted on a self-driving cluster")
 	}
 
@@ -292,7 +295,7 @@ func TestAutoAdaptGrowsForAnalytics(t *testing.T) {
 	defer c.Close()
 
 	before := c.Stats().Servers
-	if _, err := c.OpenOrders(); err != nil {
+	if _, err := c.OpenOrders(bg); err != nil {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(10 * time.Second)
@@ -315,14 +318,14 @@ func TestAutoAdaptGrowsForAnalytics(t *testing.T) {
 		t.Fatalf("no grow event in log: %+v", c.AdaptationLog())
 	}
 	// Analytics keeps working on the grown cluster.
-	if _, err := c.OpenOrders(); err != nil {
+	if _, err := c.OpenOrders(bg); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestStreamingCCCorrectness(t *testing.T) {
 	c := open(t)
-	if err := c.SetPolicy(anydb.StreamingCC); err != nil {
+	if err := c.SetPolicy(bg, anydb.StreamingCC); err != nil {
 		t.Fatal(err)
 	}
 	var wg sync.WaitGroup
@@ -345,7 +348,7 @@ func TestStreamingCCCorrectness(t *testing.T) {
 
 func TestOpenOrdersQuery(t *testing.T) {
 	c := open(t)
-	rows, err := c.OpenOrders()
+	rows, err := c.OpenOrders(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -353,7 +356,7 @@ func TestOpenOrdersQuery(t *testing.T) {
 		t.Fatalf("rows = %d, want > 0", rows)
 	}
 	// Beamed and unbeamed agree.
-	rows2, err := c.OpenOrdersOpts(anydb.QueryOptions{Beam: false})
+	rows2, err := c.OpenOrdersOpts(bg, anydb.QueryOptions{Beam: false})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -373,17 +376,17 @@ func TestBeamingOverlapsCompile(t *testing.T) {
 	defer c.Close()
 
 	const compile = 80 * time.Millisecond
-	c.OpenOrdersOpts(anydb.QueryOptions{Beam: false}) // warm-up
+	c.OpenOrdersOpts(bg, anydb.QueryOptions{Beam: false}) // warm-up
 
 	start := time.Now()
-	rows1, err := c.OpenOrdersOpts(anydb.QueryOptions{Beam: false, CompileDelay: compile})
+	rows1, err := c.OpenOrdersOpts(bg, anydb.QueryOptions{Beam: false, CompileDelay: compile})
 	if err != nil {
 		t.Fatal(err)
 	}
 	unbeamed := time.Since(start)
 
 	start = time.Now()
-	rows2, err := c.OpenOrdersOpts(anydb.QueryOptions{Beam: true, CompileDelay: compile})
+	rows2, err := c.OpenOrdersOpts(bg, anydb.QueryOptions{Beam: true, CompileDelay: compile})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -403,7 +406,7 @@ func TestOLTPWithConcurrentOLAP(t *testing.T) {
 	go func() {
 		defer close(done)
 		for i := 0; i < 5; i++ {
-			if _, err := c.OpenOrders(); err != nil {
+			if _, err := c.OpenOrders(bg); err != nil {
 				t.Error(err)
 				return
 			}
@@ -420,7 +423,7 @@ func TestOLTPWithConcurrentOLAP(t *testing.T) {
 
 func TestAddServer(t *testing.T) {
 	c := open(t)
-	before, err := c.OpenOrders()
+	before, err := c.OpenOrders(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -430,7 +433,7 @@ func TestAddServer(t *testing.T) {
 	if c.Stats().Servers != 3 {
 		t.Fatal("server count did not grow")
 	}
-	after, err := c.OpenOrders()
+	after, err := c.OpenOrders(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -446,23 +449,39 @@ func TestCloseIdempotentAndRejects(t *testing.T) {
 	if _, err := c.Payment(anydb.Payment{Warehouse: 0, District: 1, Customer: 1, Amount: 1}); err == nil {
 		t.Fatal("payment accepted on closed cluster")
 	}
-	if _, err := c.OpenOrders(); err == nil {
+	if _, err := c.OpenOrders(bg); err == nil {
 		t.Fatal("query accepted on closed cluster")
 	}
-	if err := c.SetPolicy(anydb.StreamingCC); err == nil {
+	if err := c.SetPolicy(bg, anydb.StreamingCC); err == nil {
 		t.Fatal("SetPolicy accepted on closed cluster")
 	}
 }
 
 func TestPolicyString(t *testing.T) {
-	if anydb.SharedNothing.String() != "shared-nothing" || anydb.StreamingCC.String() != "streaming-cc" {
-		t.Fatal("policy names")
+	want := map[anydb.Policy]string{
+		anydb.SharedNothing: "shared-nothing",
+		anydb.NaiveIntra:    "naive-intra",
+		anydb.PreciseIntra:  "precise-intra",
+		anydb.StreamingCC:   "streaming-cc",
+	}
+	if len(anydb.Policies()) != len(want) {
+		t.Fatalf("Policies() = %v", anydb.Policies())
+	}
+	for _, p := range anydb.Policies() {
+		if p.String() != want[p] {
+			t.Errorf("policy %d = %q, want %q", int(p), p.String(), want[p])
+		}
+	}
+	// Regression: String used to report "streaming-cc" for every
+	// non-SharedNothing value.
+	if anydb.NaiveIntra.String() == "streaming-cc" || anydb.PreciseIntra.String() == "streaming-cc" {
+		t.Fatal("intra-txn policies stringify as streaming-cc")
 	}
 }
 
 func TestSQLQueryCount(t *testing.T) {
 	c := open(t)
-	n, rows, err := c.Query("SELECT COUNT(*) FROM district")
+	n, rows, err := c.Query(bg, "SELECT COUNT(*) FROM district")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -476,11 +495,11 @@ func TestSQLQueryCount(t *testing.T) {
 
 func TestSQLQueryJoinMatchesOpenOrders(t *testing.T) {
 	c := open(t)
-	want, err := c.OpenOrders()
+	want, err := c.OpenOrders(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, _, err := c.Query(`SELECT COUNT(*)
+	got, _, err := c.Query(bg, `SELECT COUNT(*)
 		FROM customer
 		JOIN orders ON customer.c_w_id = orders.o_w_id
 			AND customer.c_d_id = orders.o_d_id
@@ -499,7 +518,7 @@ func TestSQLQueryJoinMatchesOpenOrders(t *testing.T) {
 
 func TestSQLQueryProjection(t *testing.T) {
 	c := open(t)
-	n, rows, err := c.Query("SELECT c_id, c_last FROM customer WHERE c_w_id = 1 AND c_d_id = 1 AND c_id <= 2")
+	n, rows, err := c.Query(bg, "SELECT c_id, c_last FROM customer WHERE c_w_id = 1 AND c_d_id = 1 AND c_id <= 2")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -516,10 +535,323 @@ func TestSQLQueryProjection(t *testing.T) {
 
 func TestSQLQueryErrors(t *testing.T) {
 	c := open(t)
-	if _, _, err := c.Query("SELECT COUNT(*) FROM nosuch"); err == nil {
+	if _, _, err := c.Query(bg, "SELECT COUNT(*) FROM nosuch"); err == nil {
 		t.Fatal("unknown table accepted")
 	}
-	if _, _, err := c.Query("this is not sql"); err == nil {
+	if _, _, err := c.Query(bg, "this is not sql"); err == nil {
 		t.Fatal("garbage accepted")
 	}
+}
+
+func TestOpenRejectsTinyCores(t *testing.T) {
+	// Regression: CoresPerServer < 4 used to panic indexing the control
+	// server's role ACs instead of returning an error.
+	for _, cores := range []int{1, 2, 3} {
+		if _, err := anydb.Open(anydb.Config{CoresPerServer: cores}); err == nil {
+			t.Fatalf("CoresPerServer=%d accepted", cores)
+		}
+	}
+	c, err := anydb.Open(anydb.Config{CoresPerServer: 4, Warehouses: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+}
+
+// TestAllPoliciesVerifyUnderLoad drives concurrent mixed traffic under
+// each of the four §3 policies — all selectable through the public API —
+// and checks the TPC-C consistency conditions after every run.
+func TestAllPoliciesVerifyUnderLoad(t *testing.T) {
+	for _, pol := range anydb.Policies() {
+		t.Run(pol.String(), func(t *testing.T) {
+			c := open(t)
+			if err := c.SetPolicy(bg, pol); err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			errs := make(chan error, 4)
+			for g := 0; g < 4; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < 40; i++ {
+						if i%4 == 3 {
+							ok, err := c.NewOrder(anydb.NewOrder{
+								Warehouse: (g + i) % 4, District: 1 + i%2, Customer: 1 + i%50,
+								Lines: []anydb.OrderLine{{Item: i % 40, Qty: 1, SupplyWarehouse: (g + i) % 4}},
+							})
+							if err != nil || !ok {
+								errs <- fmt.Errorf("%v new-order ok=%v err=%v", pol, ok, err)
+								return
+							}
+							continue
+						}
+						// Contended traffic: half the payments hammer
+						// warehouse 0.
+						w := (g * i) % 4
+						if i%2 == 0 {
+							w = 0
+						}
+						ok, err := c.Payment(anydb.Payment{
+							Warehouse: w, District: 1 + i%2, Customer: 1 + i%50, Amount: 1,
+						})
+						if err != nil || !ok {
+							errs <- fmt.Errorf("%v payment ok=%v err=%v", pol, ok, err)
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+			if n := c.Stats().UnmatchedDone; n != 0 {
+				t.Fatalf("UnmatchedDone = %d", n)
+			}
+			if err := c.Verify(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestSubmitPipelined keeps hundreds of transactions in flight from a
+// single session and resolves them out of order.
+func TestSubmitPipelined(t *testing.T) {
+	c := open(t)
+	const n = 300
+	futs := make([]*anydb.Future, 0, n)
+	for i := 0; i < n; i++ {
+		f, err := c.SubmitPayment(bg, anydb.Payment{
+			Warehouse: i % 4, District: 1 + i%2, Customer: 1 + i%50, Amount: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		futs = append(futs, f)
+	}
+	// Wait newest-first to exercise out-of-order resolution.
+	for i := len(futs) - 1; i >= 0; i-- {
+		ok, err := futs[i].Wait(bg)
+		if err != nil || !ok {
+			t.Fatalf("future %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	if n := c.Stats().UnmatchedDone; n != 0 {
+		t.Fatalf("UnmatchedDone = %d", n)
+	}
+	if err := c.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSubmitCanceledWaitDrainsCleanly is the cancellation contract: a
+// canceled Wait returns within its deadline instead of blocking until
+// Close, the abandoned transactions still complete (no leaked inflight
+// count, UnmatchedDone stays 0), and the cluster drains and verifies
+// cleanly afterwards.
+func TestSubmitCanceledWaitDrainsCleanly(t *testing.T) {
+	c := open(t)
+	const n = 400
+	futs := make([]*anydb.Future, 0, n)
+	for i := 0; i < n; i++ {
+		f, err := c.SubmitPayment(bg, anydb.Payment{
+			Warehouse: 0, District: 1, Customer: 1 + i%50, Amount: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		futs = append(futs, f)
+	}
+	ctx, cancel := context.WithCancel(bg)
+	cancel()
+	start := time.Now()
+	var canceled int
+	for _, f := range futs {
+		if _, err := f.Wait(ctx); err != nil {
+			canceled++
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("canceled waits took %v — they must not block until Close", elapsed)
+	}
+	t.Logf("%d/%d waits returned ctx.Err()", canceled, n)
+	// The abandoned transactions drain through the normal accounting: a
+	// policy switch (which waits for inflight == 0) must go through.
+	if err := c.SetPolicy(bg, anydb.StreamingCC); err != nil {
+		t.Fatal(err)
+	}
+	if n := c.Stats().UnmatchedDone; n != 0 {
+		t.Fatalf("UnmatchedDone = %d after abandoning waits", n)
+	}
+	if err := c.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// The cluster stays fully usable.
+	ok, err := c.Payment(anydb.Payment{Warehouse: 1, District: 1, Customer: 1, Amount: 1})
+	if err != nil || !ok {
+		t.Fatalf("post-cancel payment: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestQueryCanceledPromptly(t *testing.T) {
+	c := open(t)
+	ctx, cancel := context.WithCancel(bg)
+	cancel()
+	start := time.Now()
+	_, err := c.OpenOrdersOpts(ctx, anydb.QueryOptions{Beam: true, CompileDelay: 500 * time.Millisecond})
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("canceled query returned after %v", elapsed)
+	}
+	if err == nil {
+		t.Fatal("canceled query reported success")
+	}
+	// The abandoned query completes in the background; the cluster keeps
+	// answering.
+	rows, err := c.OpenOrders(bg)
+	if err != nil || rows <= 0 {
+		t.Fatalf("post-cancel query: rows=%d err=%v", rows, err)
+	}
+	if _, _, err := c.Query(ctx, "SELECT COUNT(*) FROM district"); err == nil {
+		t.Fatal("canceled SQL query reported success")
+	}
+	n, _, err := c.Query(bg, "SELECT COUNT(*) FROM district")
+	if err != nil || n != 8 {
+		t.Fatalf("post-cancel SQL: n=%d err=%v", n, err)
+	}
+	if err := c.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEventsSubscription receives controller decisions as they are
+// applied, without polling AdaptationLog.
+func TestEventsSubscription(t *testing.T) {
+	c, err := anydb.Open(anydb.Config{
+		Warehouses: 4, Districts: 2, CustomersPerDistrict: 50,
+		InitialOrdersPerDist: 30, Items: 40,
+		AutoAdapt: true, AdaptWindow: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	events := c.Events(bg)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Payment(anydb.Payment{
+					Warehouse: 0, District: 1, Customer: 1 + (g*100+i)%50, Amount: 1,
+				})
+			}
+		}(g)
+	}
+	var ev anydb.AdaptationEvent
+	select {
+	case ev = <-events:
+	case <-time.After(15 * time.Second):
+		close(stop)
+		wg.Wait()
+		t.Fatalf("no adaptation event delivered; log: %+v", c.AdaptationLog())
+	}
+	close(stop)
+	wg.Wait()
+	if ev.From == ev.To && !ev.Grew {
+		t.Fatalf("empty event: %+v", ev)
+	}
+	// The same event must be in the poll-style log (compatibility).
+	var inLog bool
+	for _, le := range c.AdaptationLog() {
+		if le.From == ev.From && le.To == ev.To && le.Reason == ev.Reason {
+			inLog = true
+		}
+	}
+	if !inLog {
+		t.Fatalf("event %+v missing from AdaptationLog", ev)
+	}
+	if err := c.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	// Close closes subscriber channels.
+	select {
+	case _, ok := <-events:
+		if ok {
+			return // a buffered event is fine; the close follows
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("events channel not closed by Close")
+	}
+}
+
+// TestPolicySwitchDrainsQueries: a policy switch must not land while an
+// analytical query is mid-flight (under the fine-grained policies writes
+// leave the partition owners, so a straddling scan would race them). A
+// deadline-bounded SetPolicy gives up instead of waiting out the query.
+func TestPolicySwitchDrainsQueries(t *testing.T) {
+	c := open(t)
+	qdone := make(chan error, 1)
+	go func() {
+		_, err := c.OpenOrdersOpts(bg, anydb.QueryOptions{Beam: true, CompileDelay: 600 * time.Millisecond})
+		qdone <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the query reach the QO
+
+	// A switch on a tight deadline must abandon the drain with the old
+	// routing intact, not reroute under the scan.
+	short, cancel := context.WithTimeout(bg, 50*time.Millisecond)
+	defer cancel()
+	if err := c.SetPolicy(short, anydb.PreciseIntra); err == nil {
+		t.Fatal("SetPolicy landed while a query was in flight")
+	}
+
+	// An unbounded switch waits the query out, then lands.
+	start := time.Now()
+	if err := c.SetPolicy(bg, anydb.PreciseIntra); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-qdone; err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 200*time.Millisecond {
+		t.Fatalf("switch landed after %v — before the 600ms query drained", elapsed)
+	}
+	ok, err := c.Payment(anydb.Payment{Warehouse: 0, District: 1, Customer: 1, Amount: 1})
+	if err != nil || !ok {
+		t.Fatalf("payment under precise-intra: ok=%v err=%v", ok, err)
+	}
+	if err := c.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDoubleWaitPanics: a consumed (pooled) future must fail fast on a
+// second Wait instead of silently stealing another session's result.
+func TestDoubleWaitPanics(t *testing.T) {
+	c := open(t)
+	f, err := c.SubmitPayment(bg, anydb.Payment{Warehouse: 0, District: 1, Customer: 1, Amount: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := f.Wait(bg); err != nil || !ok {
+		t.Fatalf("first wait: ok=%v err=%v", ok, err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Wait on a consumed future did not panic")
+		}
+	}()
+	f.Wait(bg)
 }

@@ -9,10 +9,12 @@
 package anydb_test
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
 
+	"anydb"
 	"anydb/internal/bench"
 	"anydb/internal/sim"
 )
@@ -75,4 +77,86 @@ func BenchmarkAblationRouting(b *testing.B) {
 	}
 	b.StopTimer()
 	fmt.Println(out)
+}
+
+// openBenchCluster sizes a real-runtime cluster for the submission
+// benchmarks below (these measure the public API's hot path, not a
+// paper figure).
+func openBenchCluster(b *testing.B) *anydb.Cluster {
+	b.Helper()
+	c, err := anydb.Open(anydb.Config{
+		Warehouses: 4, Districts: 4, CustomersPerDistrict: 100,
+		InitialOrdersPerDist: 10, Items: 100,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(c.Close)
+	return c
+}
+
+const submitWorkers = 4
+
+// BenchmarkPaymentBlocking drives payments from submitWorkers goroutines
+// one round trip at a time — the query-at-a-time client model.
+func BenchmarkPaymentBlocking(b *testing.B) {
+	c := openBenchCluster(b)
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for g := 0; g < submitWorkers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < b.N; i += submitWorkers {
+				if _, err := c.Payment(anydb.Payment{
+					Warehouse: i % 4, District: 1 + i%4, Customer: 1 + i%100, Amount: 1,
+				}); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// BenchmarkPaymentPipelined drives the same payments from the same
+// number of goroutines, but each session keeps a window of submissions
+// in flight (SubmitPayment + deferred Wait) instead of blocking per
+// transaction — the async-session idiom this API exists for.
+func BenchmarkPaymentPipelined(b *testing.B) {
+	c := openBenchCluster(b)
+	const window = 64
+	ctx := context.Background()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for g := 0; g < submitWorkers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			futs := make([]*anydb.Future, 0, window)
+			flush := func() {
+				for _, f := range futs {
+					if _, err := f.Wait(ctx); err != nil {
+						b.Error(err)
+					}
+				}
+				futs = futs[:0]
+			}
+			for i := g; i < b.N; i += submitWorkers {
+				f, err := c.SubmitPayment(ctx, anydb.Payment{
+					Warehouse: i % 4, District: 1 + i%4, Customer: 1 + i%100, Amount: 1,
+				})
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				if futs = append(futs, f); len(futs) == window {
+					flush()
+				}
+			}
+			flush()
+		}(g)
+	}
+	wg.Wait()
 }

@@ -9,6 +9,7 @@
 //	anydb-bench -fig 6          # Figure 6: data beaming
 //	anydb-bench -fig all        # everything incl. the routing ablation
 //	anydb-bench -fig 5 -phase-ms 50 -csv
+//	anydb-bench -json out.json  # machine-readable per-policy + adaptive summary
 package main
 
 import (
@@ -25,11 +26,26 @@ func main() {
 	phaseMS := flag.Int("phase-ms", 20, "virtual milliseconds per workload phase (figures 1 and 5)")
 	outstanding := flag.Int("outstanding", 32, "closed-loop depth (in-flight transactions)")
 	csv := flag.Bool("csv", false, "emit CSV instead of tables")
+	jsonOut := flag.String("json", "", "write the machine-readable evolving-workload summary (per-policy + adaptive throughput) to this file and exit")
 	flag.Parse()
 
 	opts := bench.DefaultOLTPOpts()
 	opts.PhaseDur = sim.Time(*phaseMS) * sim.Millisecond
 	opts.Outstanding = *outstanding
+
+	if *jsonOut != "" {
+		data, err := bench.JSONReport(opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+		return
+	}
 
 	switch *fig {
 	case "1":

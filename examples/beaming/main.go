@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -12,6 +13,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// Enough orders that the scans take a visible amount of time.
 	cluster, err := anydb.Open(anydb.Config{
 		Warehouses:           8,
@@ -27,7 +29,7 @@ func main() {
 	const compile = 60 * time.Millisecond
 	run := func(beam bool) (int64, time.Duration) {
 		start := time.Now()
-		rows, err := cluster.OpenOrdersOpts(anydb.QueryOptions{
+		rows, err := cluster.OpenOrdersOpts(ctx, anydb.QueryOptions{
 			Beam: beam, CompileDelay: compile,
 		})
 		if err != nil {

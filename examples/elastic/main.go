@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -12,6 +13,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	cluster, err := anydb.Open(anydb.Config{
 		Warehouses:           4,
 		Districts:            6,
@@ -27,7 +29,7 @@ func main() {
 	// Run the analytical query on the initial topology: its joins share
 	// the control server with the dispatcher/sequencer roles.
 	start := time.Now()
-	rows, err := cluster.OpenOrders()
+	rows, err := cluster.OpenOrders(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -42,7 +44,7 @@ func main() {
 	fmt.Printf("added a server with %d ACs: %+v\n", added, cluster.Stats())
 
 	start = time.Now()
-	rows2, err := cluster.OpenOrders()
+	rows2, err := cluster.OpenOrders(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}

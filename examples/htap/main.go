@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -22,6 +23,7 @@ const (
 )
 
 func main() {
+	ctx := context.Background()
 	cluster, err := anydb.Open(anydb.Config{
 		Warehouses:           warehouses,
 		Districts:            4,
@@ -80,7 +82,7 @@ func main() {
 	// the pipelining speedup needs real cores to run the ACs in
 	// parallel — on a single-CPU host the extra hops are pure overhead;
 	// cmd/anydb-bench shows the multi-core behavior deterministically.)
-	if err := cluster.SetPolicy(anydb.StreamingCC); err != nil {
+	if err := cluster.SetPolicy(ctx, anydb.StreamingCC); err != nil {
 		log.Fatal(err)
 	}
 	measure("streaming-cc, skewed")
@@ -90,12 +92,12 @@ func main() {
 	// with OLTP safely) and run the analytical query concurrently. The
 	// joins execute on the control server, sharing only storage
 	// with OLTP.
-	if err := cluster.SetPolicy(anydb.SharedNothing); err != nil {
+	if err := cluster.SetPolicy(ctx, anydb.SharedNothing); err != nil {
 		log.Fatal(err)
 	}
 	qdone := make(chan int64, 1)
 	go func() {
-		rows, err := cluster.OpenOrdersOpts(anydb.QueryOptions{
+		rows, err := cluster.OpenOrdersOpts(ctx, anydb.QueryOptions{
 			Beam: true, CompileDelay: 30 * time.Millisecond,
 		})
 		if err != nil {

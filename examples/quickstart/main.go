@@ -1,15 +1,20 @@
-// Quickstart: open an architecture-less cluster, run OLTP transactions,
-// run the paper's analytical query, and verify TPC-C consistency.
+// Quickstart: open an architecture-less cluster, run OLTP transactions
+// (blocking and pipelined), run the paper's analytical query, and verify
+// TPC-C consistency.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"anydb"
 )
 
 func main() {
+	ctx := context.Background()
+
 	// A 2-server × 4-core cluster (the paper's Figure 2 layout) over a
 	// small TPC-C-style database: 4 warehouses, one partition each,
 	// owned by the first server's ACs.
@@ -68,10 +73,38 @@ func main() {
 	}
 	fmt.Println("invalid new-order committed:", committed, "(expected false)")
 
+	// The async session idiom: SubmitPayment returns a pooled Future
+	// immediately, so one session keeps a whole window of transactions
+	// in flight instead of paying a round trip each. Pass a context to
+	// Wait for cancellation/deadlines; canceling abandons the wait, not
+	// the transaction.
+	const pipeline = 64
+	start := time.Now()
+	futs := make([]*anydb.Future, 0, pipeline)
+	for i := 0; i < pipeline; i++ {
+		f, err := cluster.SubmitPayment(ctx, anydb.Payment{
+			Warehouse: i % 4, District: 1 + i%4, Customer: 1 + i%100, Amount: 1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		futs = append(futs, f)
+	}
+	okAll := true
+	for _, f := range futs {
+		ok, err := f.Wait(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		okAll = okAll && ok
+	}
+	fmt.Printf("pipelined %d payments in %v (all committed: %v)\n",
+		pipeline, time.Since(start), okAll)
+
 	// The analytical query of the paper's §4: open orders of customers
 	// from states beginning with "A", since 2007 — 3 scans, 2 joins,
 	// with all data streams beamed.
-	open, err := cluster.OpenOrders()
+	open, err := cluster.OpenOrders(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -79,7 +112,7 @@ func main() {
 
 	// The same query in SQL: parsed, planned from table statistics, and
 	// executed through the identical event/data-stream pipeline.
-	n, _, err := cluster.Query(`SELECT COUNT(*)
+	n, _, err := cluster.Query(ctx, `SELECT COUNT(*)
 		FROM customer
 		JOIN orders ON customer.c_w_id = orders.o_w_id
 			AND customer.c_d_id = orders.o_d_id
@@ -94,7 +127,7 @@ func main() {
 	fmt.Printf("same query via SQL: %d rows (match: %v)\n", n, n == open)
 
 	// And a small projection.
-	_, rows, err := cluster.Query(
+	_, rows, err := cluster.Query(ctx,
 		"SELECT c_id, c_last FROM customer WHERE c_w_id = 0 AND c_d_id = 1 AND c_id <= 3")
 	if err != nil {
 		log.Fatal(err)
@@ -102,6 +135,16 @@ func main() {
 	for _, r := range rows {
 		fmt.Printf("  customer %v: %v\n", r[0], r[1])
 	}
+
+	// Any of the four §3 routing policies is one call away — here the
+	// precise intra-transaction pipeline of Figure 4d.
+	if err := cluster.SetPolicy(ctx, anydb.PreciseIntra); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := cluster.Payment(anydb.Payment{Warehouse: 3, District: 1, Customer: 1, Amount: 2}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("payment under", anydb.PreciseIntra, "committed")
 
 	// TPC-C consistency must hold after all of the above.
 	if err := cluster.Verify(); err != nil {

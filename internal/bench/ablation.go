@@ -27,7 +27,7 @@ func Ablation(opts OLTPOpts) []AblationRow {
 	for _, v := range fig5Variants() {
 		db, cfg := tpcc.NewDatabase(opts.Cfg)
 		a := NewAnyDB(db, cfg, sim.DefaultCosts())
-		a.SetPolicy(v.policy, v.routes(a))
+		a.SetPolicy(v.policy, a.RoutesFor(v.policy))
 		gen := tpcc.NewGenerator(cfg, tpcc.Skewed(), opts.Seed)
 		a.SetWorkload(gen)
 		a.Prime(opts.Outstanding)

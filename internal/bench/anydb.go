@@ -11,6 +11,7 @@ import (
 	"anydb/internal/olap"
 	"anydb/internal/oltp"
 	"anydb/internal/plan"
+	"anydb/internal/route"
 	"anydb/internal/sim"
 	"anydb/internal/storage"
 	"anydb/internal/tpcc"
@@ -35,6 +36,7 @@ type AnyDB struct {
 	gen      *tpcc.Generator
 	policy   oltp.Policy
 	routes   oltp.Routes
+	lay      route.Layout // role layout, fixed at construction
 	nextTxn  core.TxnID
 	nextQID  core.QueryID
 	inflight int
@@ -82,7 +84,11 @@ func newAnyDB(db *storage.Database, cfg tpcc.Config, costs sim.CostModel, aopts 
 		a.Topo.SetOwner(w, a.execs[w%len(a.execs)])
 	}
 	a.policy = oltp.SharedNothing
-	a.routes = oltp.Routes{Owner: a.Topo.Owner, Seq: a.SeqAC(), Coord: core.NoAC}
+	a.lay = route.Layout{
+		Owner: a.Topo.Owner, Execs: a.execs,
+		Dispatch: a.DispatchAC(), Seq: a.SeqAC(), Coord: a.CoordAC(),
+	}
+	a.routes = route.For(a.policy, a.lay)
 	if aopts != nil {
 		if aopts.Env.Executors == 0 {
 			aopts.Env.Executors = len(a.execs)
@@ -152,94 +158,18 @@ func (a *AnyDB) SetPolicy(policy oltp.Policy, routes oltp.Routes) {
 	}
 }
 
-// StreamingRoutes returns the fine-grained record-class routing used by
-// the intra-transaction policies: warehouse+district+order on exec 0,
-// customer on exec 1, history on exec 2, stock on exec 3, sequencer and
-// dedicated coordinator on server 2.
-func (a *AnyDB) StreamingRoutes() oltp.Routes {
-	execs := a.execs
-	return oltp.Routes{
-		Owner: a.Topo.Owner,
-		ClassRoute: func(w int, c oltp.Class) core.ACID {
-			switch c {
-			case oltp.ClassCustomer:
-				return execs[1]
-			case oltp.ClassHistory:
-				return execs[2]
-			case oltp.ClassStock:
-				return execs[3]
-			default:
-				return execs[0]
-			}
-		},
-		Seq:   a.SeqAC(),
-		Coord: a.CoordAC(),
-	}
+// RoutesFor maps a policy to its standard routing table — the same
+// internal/route mapping the public runtime (anydb.Cluster) uses, so
+// the bench harness and the real engine can never drift apart. The
+// layout is cached at construction (role ACs never change), keeping
+// the closed-loop injection path allocation-free.
+func (a *AnyDB) RoutesFor(p oltp.Policy) oltp.Routes {
+	return route.For(p, a.lay)
 }
 
-// PreciseRoutes returns the two balanced sub-sequences of Figure 4d:
-// brief updates on exec 0, the customer scan on exec 1.
-func (a *AnyDB) PreciseRoutes() oltp.Routes {
-	execs := a.execs
-	return oltp.Routes{
-		Owner: a.Topo.Owner,
-		ClassRoute: func(w int, c oltp.Class) core.ACID {
-			if c == oltp.ClassCustomer || c == oltp.ClassStock {
-				return execs[1]
-			}
-			return execs[0]
-		},
-		Seq:   a.SeqAC(),
-		Coord: core.NoAC,
-	}
-}
-
-// NaiveRoutes spreads every record class over its own AC (Figure 4c):
-// warehouse, district, customer and history each on one executor. The
-// dispatcher runs co-located on executor 3 (the history AC) so the
-// admission barrier pays local hops only — even then, per-event overhead
-// dominates (§3.2).
-func (a *AnyDB) NaiveRoutes() oltp.Routes {
-	execs := a.execs
-	return oltp.Routes{
-		Owner: a.Topo.Owner,
-		ClassRoute: func(w int, c oltp.Class) core.ACID {
-			switch c {
-			case oltp.ClassWarehouse, oltp.ClassOrder:
-				return execs[0]
-			case oltp.ClassDistrict, oltp.ClassStock:
-				return execs[1]
-			case oltp.ClassCustomer:
-				return execs[2]
-			default: // history
-				return execs[3]
-			}
-		},
-		Seq:   a.SeqAC(),
-		Coord: core.NoAC, // dispatcher coordinates (and enforces admission)
-	}
-}
-
-// SharedNothingRoutes aggregates transactions at the partition owners.
-func (a *AnyDB) SharedNothingRoutes() oltp.Routes {
-	return oltp.Routes{Owner: a.Topo.Owner, Seq: a.SeqAC(), Coord: core.NoAC}
-}
-
-// entryAC picks where a transaction enters the system: under
-// shared-nothing, the partition owner itself acts as dispatcher
-// (physically aggregated execution); naive-intra co-locates the
-// dispatcher with the executors (its admission barrier makes hop latency
-// part of every transaction); the pipelined policies use the central
-// dispatcher AC on server 2.
+// entryAC picks where a transaction enters the system (see route.Entry).
 func (a *AnyDB) entryAC(txn *tpcc.Txn) core.ACID {
-	switch a.policy {
-	case oltp.SharedNothing:
-		return a.Topo.Owner(txn.HomeWarehouse())
-	case oltp.NaiveIntra:
-		return a.execs[3]
-	default:
-		return a.DispatchAC()
-	}
+	return route.Entry(a.policy, a.lay, txn.HomeWarehouse())
 }
 
 // injectNext issues one transaction from the generator (closed loop).
@@ -323,7 +253,7 @@ func (a *AnyDB) applyPendingSwitch() {
 	d := a.pendingSwitch
 	a.pendingSwitch = nil
 	if d.To != a.policy {
-		a.SetPolicy(d.To, a.routesFor(d.To))
+		a.SetPolicy(d.To, a.RoutesFor(d.To))
 	}
 	if !a.paused {
 		a.Prime(a.depth)

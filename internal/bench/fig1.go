@@ -74,7 +74,7 @@ func Figure1(opts OLTPOpts) Fig1Result {
 	a := NewAnyDB(db, cfg, sim.DefaultCosts())
 	gen := tpcc.NewGenerator(cfg, phases[0].mix, opts.Seed)
 	a.SetWorkload(gen)
-	a.SetPolicy(phases[0].policy, a.routesFor(phases[0].policy))
+	a.SetPolicy(phases[0].policy, a.RoutesFor(phases[0].policy))
 	a.Prime(opts.Outstanding)
 
 	s := &metrics.Series{Label: "AnyDB"}
@@ -88,7 +88,7 @@ func Figure1(opts OLTPOpts) Fig1Result {
 			// into the phase's measured window, which is the visible
 			// transition dip at phases 3 and 9.
 			a.Drain()
-			a.SetPolicy(p.policy, a.routesFor(p.policy))
+			a.SetPolicy(p.policy, a.RoutesFor(p.policy))
 			a.Prime(opts.Outstanding)
 			cur = p.policy
 		}
@@ -111,18 +111,4 @@ func Figure1(opts OLTPOpts) Fig1Result {
 	res.Series = append(res.Series, adaptive)
 	res.Adaptations = auto.AdaptLog()
 	return res
-}
-
-// routesFor maps a policy to its standard routing table.
-func (a *AnyDB) routesFor(p oltp.Policy) oltp.Routes {
-	switch p {
-	case oltp.StreamingCC:
-		return a.StreamingRoutes()
-	case oltp.PreciseIntra:
-		return a.PreciseRoutes()
-	case oltp.NaiveIntra:
-		return a.NaiveRoutes()
-	default:
-		return a.SharedNothingRoutes()
-	}
 }

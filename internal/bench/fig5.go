@@ -77,19 +77,19 @@ func seriesLabel(base string, tes int) string {
 	return base + " 4TE"
 }
 
-// anyDBVariant describes one AnyDB line of Figure 5.
+// anyDBVariant describes one AnyDB line of Figure 5. Routing tables come
+// from internal/route via AnyDB.RoutesFor.
 type anyDBVariant struct {
 	label  string
 	policy oltp.Policy
-	routes func(a *AnyDB) oltp.Routes
 }
 
 func fig5Variants() []anyDBVariant {
 	return []anyDBVariant{
-		{"AnyDB Shared-Nothing", oltp.SharedNothing, (*AnyDB).SharedNothingRoutes},
-		{"AnyDB Static Intra-Txn", oltp.NaiveIntra, (*AnyDB).NaiveRoutes},
-		{"AnyDB Precise Intra-Txn", oltp.PreciseIntra, (*AnyDB).PreciseRoutes},
-		{"AnyDB Streaming CC", oltp.StreamingCC, (*AnyDB).StreamingRoutes},
+		{"AnyDB Shared-Nothing", oltp.SharedNothing},
+		{"AnyDB Static Intra-Txn", oltp.NaiveIntra},
+		{"AnyDB Precise Intra-Txn", oltp.PreciseIntra},
+		{"AnyDB Streaming CC", oltp.StreamingCC},
 	}
 }
 
@@ -97,7 +97,7 @@ func fig5Variants() []anyDBVariant {
 func RunAnyDBSeries(opts OLTPOpts, v anyDBVariant, phases []tpcc.Mix) (*metrics.Series, *AnyDB) {
 	db, cfg := tpcc.NewDatabase(opts.Cfg)
 	a := NewAnyDB(db, cfg, sim.DefaultCosts())
-	a.SetPolicy(v.policy, v.routes(a))
+	a.SetPolicy(v.policy, a.RoutesFor(v.policy))
 	gen := tpcc.NewGenerator(cfg, phases[0], opts.Seed)
 	a.SetWorkload(gen)
 	a.Prime(opts.Outstanding)

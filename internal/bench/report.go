@@ -1,10 +1,12 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 
 	"anydb/internal/metrics"
+	"anydb/internal/oltp"
 	"anydb/internal/sim"
 )
 
@@ -98,4 +100,57 @@ func RenderFigure6(r Fig6Result) string {
 // RenderCSV emits any series table as CSV (for plotting).
 func RenderCSV(xlabel string, xs []string, series []*metrics.Series) string {
 	return metrics.CSV(xlabel, xs, series)
+}
+
+// BenchReport is the machine-readable summary behind `anydb-bench -json`
+// (and `make bench-json`): committed throughput per evolving-workload
+// phase for every static §3 policy plus the self-driving adaptive run,
+// so CI artifacts accumulate a comparable perf trajectory across PRs.
+type BenchReport struct {
+	PhaseDurMS  float64 `json:"phase_dur_ms"`
+	Outstanding int     `json:"outstanding"`
+	// MTPS maps a series label to its per-phase throughput in M tx/s.
+	// Keys are the four static policies and "adaptive".
+	MTPS map[string][]float64 `json:"mtps"`
+	// AdaptiveWorstVsBest is the adaptive run's worst per-phase fraction
+	// of the best static policy (the TestAdaptiveTracksBestStatic bar).
+	AdaptiveWorstVsBest float64 `json:"adaptive_worst_vs_best"`
+	// Decisions lists the controller's switches during the adaptive run.
+	Decisions []string `json:"adaptive_decisions"`
+}
+
+// JSONReport runs the evolving workload once per static policy and once
+// self-driving, and returns the summary as indented JSON.
+func JSONReport(opts OLTPOpts) ([]byte, error) {
+	r := BenchReport{
+		PhaseDurMS:  opts.PhaseDur.Seconds() * 1e3,
+		Outstanding: opts.Outstanding,
+		MTPS:        make(map[string][]float64),
+	}
+	var best []float64
+	for _, v := range fig5Variants() {
+		s, _ := RunEvolvingStatic(opts, v)
+		r.MTPS[v.policy.String()] = s.Points
+		if best == nil {
+			best = make([]float64, len(s.Points))
+		}
+		for i, p := range s.Points {
+			if p > best[i] {
+				best[i] = p
+			}
+		}
+	}
+	adaptive, a := RunEvolvingAdaptive(opts, oltp.SharedNothing)
+	r.MTPS["adaptive"] = adaptive.Points
+	worst := 1.0
+	for i, p := range adaptive.Points {
+		if best[i] > 0 && p/best[i] < worst {
+			worst = p / best[i]
+		}
+	}
+	r.AdaptiveWorstVsBest = worst
+	for _, d := range a.AdaptLog() {
+		r.Decisions = append(r.Decisions, fmt.Sprintf("%v %v->%v (%s)", d.At, d.From, d.To, d.Reason))
+	}
+	return json.MarshalIndent(r, "", "  ")
 }

@@ -1,0 +1,106 @@
+package route
+
+import (
+	"testing"
+
+	"anydb/internal/core"
+	"anydb/internal/oltp"
+)
+
+func layout4() Layout {
+	owners := []core.ACID{0, 1, 2, 3}
+	return Layout{
+		Owner:    func(p int) core.ACID { return owners[p%len(owners)] },
+		Execs:    []core.ACID{0, 1, 2, 3},
+		Dispatch: 4, Seq: 5, Coord: 6,
+	}
+}
+
+func TestSharedNothingRoutes(t *testing.T) {
+	r := For(oltp.SharedNothing, layout4())
+	if r.ClassRoute != nil {
+		t.Fatal("shared-nothing must not class-route")
+	}
+	if r.Coord != core.NoAC {
+		t.Fatal("shared-nothing coordinates at the dispatcher")
+	}
+	if r.Owner(2) != 2 {
+		t.Fatal("owner passthrough broken")
+	}
+}
+
+func TestStreamingRoutes(t *testing.T) {
+	r := For(oltp.StreamingCC, layout4())
+	if r.Coord != 6 || r.Seq != 5 {
+		t.Fatalf("coord/seq = %d/%d, want 6/5", r.Coord, r.Seq)
+	}
+	want := map[oltp.Class]core.ACID{
+		oltp.ClassWarehouse: 0, oltp.ClassDistrict: 0, oltp.ClassOrder: 0,
+		oltp.ClassCustomer: 1, oltp.ClassHistory: 2, oltp.ClassStock: 3,
+	}
+	for cl, ac := range want {
+		if got := r.ClassRoute(0, cl); got != ac {
+			t.Errorf("streaming %v -> AC %d, want %d", cl, got, ac)
+		}
+	}
+}
+
+func TestPreciseRoutesTwoSubSequences(t *testing.T) {
+	r := For(oltp.PreciseIntra, layout4())
+	if r.Coord != core.NoAC {
+		t.Fatal("precise coordinates at the dispatcher")
+	}
+	seen := map[core.ACID]bool{}
+	for _, cl := range []oltp.Class{
+		oltp.ClassWarehouse, oltp.ClassDistrict, oltp.ClassCustomer,
+		oltp.ClassHistory, oltp.ClassOrder, oltp.ClassStock,
+	} {
+		seen[r.ClassRoute(1, cl)] = true
+	}
+	if len(seen) != 2 {
+		t.Fatalf("precise spreads over %d ACs, want exactly 2", len(seen))
+	}
+}
+
+func TestNaiveRoutesFourClassesFourACs(t *testing.T) {
+	r := For(oltp.NaiveIntra, layout4())
+	seen := map[core.ACID]bool{}
+	for _, cl := range []oltp.Class{
+		oltp.ClassWarehouse, oltp.ClassDistrict, oltp.ClassCustomer, oltp.ClassHistory,
+	} {
+		seen[r.ClassRoute(0, cl)] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("naive spreads the four payment classes over %d ACs, want 4", len(seen))
+	}
+}
+
+func TestEntry(t *testing.T) {
+	l := layout4()
+	if got := Entry(oltp.SharedNothing, l, 2); got != 2 {
+		t.Fatalf("shared-nothing entry = %d, want owner 2", got)
+	}
+	if got := Entry(oltp.NaiveIntra, l, 0); got != 3 {
+		t.Fatalf("naive entry = %d, want co-located executor 3", got)
+	}
+	for _, p := range []oltp.Policy{oltp.PreciseIntra, oltp.StreamingCC} {
+		if got := Entry(p, l, 1); got != 4 {
+			t.Fatalf("%v entry = %d, want dispatch AC 4", p, got)
+		}
+	}
+}
+
+// TestSmallLayoutWraps guards the modulo fallback: a layout with fewer
+// executors than record classes must still produce valid ACs.
+func TestSmallLayoutWraps(t *testing.T) {
+	l := layout4()
+	l.Execs = l.Execs[:2]
+	for _, p := range []oltp.Policy{oltp.NaiveIntra, oltp.PreciseIntra, oltp.StreamingCC} {
+		r := For(p, l)
+		for cl := oltp.ClassWarehouse; cl <= oltp.ClassStock; cl++ {
+			if ac := r.ClassRoute(0, cl); ac != 0 && ac != 1 {
+				t.Fatalf("%v class %v routed to AC %d outside the layout", p, cl, ac)
+			}
+		}
+	}
+}
