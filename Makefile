@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json fmt vet figures ci
+.PHONY: all build test race bench bench-json profile fmt vet figures ci
 
 all: build
 
@@ -23,11 +23,20 @@ bench:
 	$(GO) test -bench . -benchtime=1x -run '^$$' ./...
 
 # Machine-readable benchmark summary: per-policy + adaptive throughput
-# on the evolving workload. CI uploads BENCH_PR2.json as an artifact so
-# the perf trajectory accumulates across PRs. Deterministic virtual-time
-# runs — the short phase keeps it a smoke, shapes are scale-invariant.
+# on the evolving workload. CI uploads BENCH_PR3.json as an artifact,
+# and benchdata/ keeps the committed per-PR trajectory points for
+# comparison. Deterministic virtual-time runs — the short phase keeps
+# it a smoke, shapes are scale-invariant.
 bench-json:
-	$(GO) run ./cmd/anydb-bench -phase-ms 6 -json BENCH_PR2.json
+	$(GO) run ./cmd/anydb-bench -phase-ms 6 -json BENCH_PR3.json
+
+# CPU + allocation profiles of the pipelined payment benchmark (the
+# public API's submission hot path). Inspect with `go tool pprof
+# cpu.prof` / `go tool pprof -sample_index=alloc_objects mem.prof`.
+profile:
+	$(GO) test -run '^$$' -bench BenchmarkPaymentPipelined -benchtime 3s \
+		-cpuprofile cpu.prof -memprofile mem.prof -o anydb-profile.test .
+	@echo "wrote cpu.prof, mem.prof (binary: anydb-profile.test)"
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

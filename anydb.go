@@ -577,7 +577,9 @@ func (c *Cluster) submit(ctx context.Context, t *tpcc.Txn) (*Future, error) {
 	c.mu.Unlock()
 
 	entry := route.Entry(oltp.Policy(pol), c.lay, t.HomeWarehouse())
-	c.eng.Inject(entry, &core.Event{Kind: core.EvTxn, Txn: id, Payload: t})
+	ev := core.GetEvent()
+	ev.Kind, ev.Txn, ev.Payload = core.EvTxn, id, t
+	c.eng.Inject(entry, ev)
 	return f, nil
 }
 
@@ -736,6 +738,8 @@ func (c *Cluster) awaitQuery(ctx context.Context, qid core.QueryID, ch chan *ola
 func (c *Cluster) onDone(ev *core.Event) {
 	switch p := ev.Payload.(type) {
 	case *oltp.DoneInfo:
+		committed := p.Committed
+		oltp.FreeDoneInfo(p)
 		c.mu.Lock()
 		f := c.txnWait[ev.Txn]
 		delete(c.txnWait, ev.Txn)
@@ -747,7 +751,7 @@ func (c *Cluster) onDone(ev *core.Event) {
 		}
 		c.mu.Unlock()
 		if f != nil {
-			f.resolve(p.Committed)
+			f.resolve(committed)
 		} else {
 			c.unmatchedDone.Add(1)
 		}

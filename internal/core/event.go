@@ -12,6 +12,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"anydb/internal/storage"
 )
@@ -116,6 +117,27 @@ func (e *Event) WireSize() int64 {
 		return 64 + e.Size
 	}
 	return 64
+}
+
+// eventPool recycles Events on the OLTP hot path: every transaction
+// costs several events (EvTxn, EvSegment, EvAck, EvTxnDone), all with
+// clear single-consumer ownership, so pooling them removes the dominant
+// steady-state allocations of the event plane.
+var eventPool = sync.Pool{New: func() any { return new(Event) }}
+
+// GetEvent returns a zeroed Event from the pool. Pair with FreeEvent at
+// the point the event is provably dead.
+func GetEvent() *Event { return eventPool.Get().(*Event) }
+
+// FreeEvent recycles ev. Only the consumer an event was delivered to may
+// free it, and only when no reference escaped its handler: a freed event
+// may be reused for an unrelated message immediately. Events parked on
+// data streams or re-sent (operator continuations) must not be freed.
+// Freeing is optional — events that miss their free (dropped delivery to
+// a killed AC, simulation runs) fall back to the GC.
+func FreeEvent(ev *Event) {
+	*ev = Event{}
+	eventPool.Put(ev)
 }
 
 // DataMsg is one element of a data stream: a columnar batch, or a pure

@@ -3,20 +3,38 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"anydb/internal/sim"
 	"anydb/internal/stream"
 )
 
+// drainChunk sizes the reusable buffer one AC wakeup drains into — the
+// amortization width of the consumer side (one RecvBatch per up to this
+// many messages). Outbox flushing is per handled message and does not
+// depend on this bound.
+const drainChunk = 256
+
 // Engine is the goroutine runtime: every AC runs as one goroutine
 // draining a multi-producer mailbox — the paper's non-blocking queues
 // realized with Go's native concurrency. The public anydb API and the
 // examples run on this engine; the figures use SimCluster (same AC logic,
 // virtual time).
+//
+// The send hot path is lock-free: routing goes through an immutable,
+// atomically published table (ACID-indexed slice of mailboxes) rebuilt
+// under mu on spawn/GrowServer. The mutex is only ever taken on the slow
+// path — the brief window where elastic growth has advertised an AC in
+// the topology before its goroutine spawned.
 type Engine struct {
 	Topo  *Topology
 	Costs sim.CostModel
+
+	// routes is the published routing table. The slice is immutable
+	// once stored; rebuilds copy. Entries are nil for ACs whose mailbox
+	// does not exist yet (resolved by boxSlow).
+	routes atomic.Pointer[[]*stream.Mailbox[any]]
 
 	// growMu serializes GrowServer against Stop, so a grow either
 	// completes fully (its ACs' boxes are then closed by Stop) or
@@ -25,13 +43,12 @@ type Engine struct {
 
 	mu     sync.Mutex
 	acs    map[ACID]*AC
-	boxes  map[ACID]*stream.Mailbox[any]
+	boxes  map[ACID]*stream.Mailbox[any] // authoritative; routes is its published snapshot
 	wg     sync.WaitGroup
 	start  time.Time
 	client func(ev *Event)
 
-	nextStream  StreamID
-	nextStreamM sync.Mutex
+	nextStream atomic.Uint64
 
 	stopped bool
 }
@@ -64,12 +81,13 @@ func (e *Engine) spawn(id ACID, setup func(ac *AC)) bool {
 		e.mu.Unlock()
 		return false
 	}
-	// box() may have pre-created the mailbox for a send that raced
+	// boxSlow may have pre-created the mailbox for a send that raced
 	// elastic growth; adopt it so nothing queued there is lost.
 	box, ok := e.boxes[id]
 	if !ok {
 		box = stream.NewMailbox[any]()
 		e.boxes[id] = box
+		e.publishRoutesLocked()
 	}
 	e.acs[id] = ac
 	e.wg.Add(1)
@@ -78,22 +96,47 @@ func (e *Engine) spawn(id ACID, setup func(ac *AC)) bool {
 	go func() {
 		defer e.wg.Done()
 		ctx := &realCtx{e: e, self: id}
+		buf := make([]any, drainChunk)
 		for {
-			m, ok := box.Recv()
+			n, ok := box.RecvBatch(buf)
 			if !ok {
 				return
 			}
-			switch v := m.(type) {
-			case *Event:
-				ac.HandleEvent(ctx, v)
-			case *DataMsg:
-				ac.HandleData(ctx, v)
-			default:
-				panic(fmt.Sprintf("core: unknown message %T", m))
+			for i := 0; i < n; i++ {
+				switch v := buf[i].(type) {
+				case *Event:
+					ac.HandleEvent(ctx, v)
+				case *DataMsg:
+					ac.HandleData(ctx, v)
+				default:
+					panic(fmt.Sprintf("core: unknown message %T", buf[i]))
+				}
+				buf[i] = nil
+				// Flush at handler return: everything one invocation
+				// sent to one destination leaves as one push and one
+				// wake, and the messages are visible before the next
+				// handler on this AC runs.
+				ctx.flush()
 			}
 		}
 	}()
 	return true
+}
+
+// publishRoutesLocked snapshots boxes into a fresh ACID-indexed table
+// and publishes it. mu must be held.
+func (e *Engine) publishRoutesLocked() {
+	max := ACID(-1)
+	for id := range e.boxes {
+		if id > max {
+			max = id
+		}
+	}
+	table := make([]*stream.Mailbox[any], max+1)
+	for id, b := range e.boxes {
+		table[id] = b
+	}
+	e.routes.Store(&table)
 }
 
 // GrowServer adds a server and spawns its ACs at runtime (elasticity).
@@ -119,7 +162,9 @@ func (e *Engine) GrowServer(cores int, setup func(ac *AC)) []ACID {
 }
 
 // SetClient registers the completion callback; it runs on AC goroutines
-// and must be cheap and thread-safe.
+// and must be cheap and thread-safe. Events delivered to it are recycled
+// by the engine when the callback returns — implementations must not
+// retain the *Event (payloads may be retained).
 func (e *Engine) SetClient(fn func(ev *Event)) { e.client = fn }
 
 // AC returns the component with the given id.
@@ -129,12 +174,10 @@ func (e *Engine) AC(id ACID) *AC {
 	return e.acs[id]
 }
 
-// NewStream allocates an engine-unique stream id.
+// NewStream allocates an engine-unique stream id. Lock-free: it sits on
+// the query-submission path.
 func (e *Engine) NewStream() StreamID {
-	e.nextStreamM.Lock()
-	defer e.nextStreamM.Unlock()
-	e.nextStream++
-	return e.nextStream
+	return StreamID(e.nextStream.Add(1))
 }
 
 // Inject delivers an event from outside (client requests).
@@ -147,20 +190,39 @@ func (e *Engine) InjectData(dst ACID, msg *DataMsg) {
 	e.box(dst).Send(msg)
 }
 
+// box resolves a destination mailbox. Steady state is one atomic load
+// and an indexed read — no locks on the per-message send path.
 func (e *Engine) box(id ACID) *stream.Mailbox[any] {
+	if t := e.routes.Load(); t != nil {
+		if table := *t; int(id) < len(table) && id >= 0 {
+			if b := table[id]; b != nil {
+				return b
+			}
+		}
+	}
+	return e.boxSlow(id)
+}
+
+// boxSlow handles the elastic-growth race window: a server is published
+// in the topology before its AC goroutines spawn, and a concurrent
+// sender can target such an AC before spawn published its mailbox.
+// Create the mailbox now — deliveries buffer, and spawn adopts the box.
+func (e *Engine) boxSlow(id ACID) *stream.Mailbox[any] {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	b, ok := e.boxes[id]
 	if !ok {
-		// Elastic growth publishes a server in the topology before its
-		// AC goroutines spawn; a concurrent sender can target such an
-		// AC in that window. Create the mailbox now — deliveries
-		// buffer, and spawn adopts the box.
 		if id < 0 || int(id) >= e.Topo.NumACs() {
 			panic(fmt.Sprintf("core: unknown AC %d", id))
 		}
 		b = stream.NewMailbox[any]()
+		if e.stopped {
+			// Nothing will ever drain this box; reject deliveries the
+			// same way sends to any stopped AC are rejected.
+			b.Close()
+		}
 		e.boxes[id] = b
+		e.publishRoutesLocked()
 	}
 	return b
 }
@@ -194,10 +256,45 @@ func (e *Engine) Stop() {
 	e.wg.Wait()
 }
 
-// realCtx implements Context on wall-clock time.
+// realCtx implements Context on wall-clock time. One instance lives per
+// AC goroutine; its outbox accumulates the sends of the current handler
+// invocation per destination, so a fan-out of N messages to one AC
+// leaves as one mailbox push and one wake when the handler returns.
 type realCtx struct {
 	e    *Engine
 	self ACID
+	// perDst[dst] buffers pending messages; dirty lists destinations
+	// with a non-empty buffer. Buffers keep their capacity across
+	// flushes, so steady-state outboxing allocates nothing.
+	perDst [][]any
+	dirty  []ACID
+}
+
+func (c *realCtx) enqueue(dst ACID, m any) {
+	if dst < 0 {
+		panic(fmt.Sprintf("core: send to unknown AC %d", dst))
+	}
+	if int(dst) >= len(c.perDst) {
+		grown := make([][]any, dst+1)
+		copy(grown, c.perDst)
+		c.perDst = grown
+	}
+	if len(c.perDst[dst]) == 0 {
+		c.dirty = append(c.dirty, dst)
+	}
+	c.perDst[dst] = append(c.perDst[dst], m)
+}
+
+// flush pushes every per-destination buffer as one batch + one wake.
+// SendBatch copies, so the buffers are immediately reusable.
+func (c *realCtx) flush() {
+	for _, dst := range c.dirty {
+		msgs := c.perDst[dst]
+		c.e.box(dst).SendBatch(msgs)
+		clear(msgs)
+		c.perDst[dst] = msgs[:0]
+	}
+	c.dirty = c.dirty[:0]
 }
 
 func (c *realCtx) Self() ACID    { return c.self }
@@ -206,9 +303,12 @@ func (c *realCtx) Now() sim.Time { return sim.Time(time.Since(c.e.start).Nanosec
 // Charge is a no-op for operation-scale costs (the real work already
 // took real time), but large modelled windows — a query optimizer's
 // compile time — occupy the AC for real, so beaming genuinely overlaps
-// transfers with compilation on this runtime too.
+// transfers with compilation on this runtime too. Pending outbox sends
+// flush before the window starts: messages issued before the charge
+// (beamed scans) must not wait out the modelled busy time.
 func (c *realCtx) Charge(d sim.Time) {
 	if d >= sim.Millisecond {
+		c.flush()
 		time.Sleep(time.Duration(d))
 	}
 }
@@ -218,17 +318,20 @@ func (c *realCtx) Offloaded(ACID) bool   { return false }
 
 func (c *realCtx) Send(dst ACID, ev *Event) {
 	if dst == ClientAC {
+		// Client completions resolve synchronously (they gate Future
+		// waiters); the callback must not retain the event.
 		if c.e.client != nil {
 			c.e.client(ev)
 		}
+		FreeEvent(ev)
 		return
 	}
-	c.e.box(dst).Send(ev)
+	c.enqueue(dst, ev)
 }
 
 func (c *realCtx) SendData(dst ACID, msg *DataMsg) {
 	if dst == ClientAC {
 		return
 	}
-	c.e.box(dst).Send(msg)
+	c.enqueue(dst, msg)
 }

@@ -40,4 +40,6 @@ func (s *Sequencer) OnEvent(ctx Context, _ *AC, ev *Event) {
 		ctx.Charge(ctx.Costs().SeqStamp)
 		ctx.Send(o.Dst, o.Ev)
 	}
+	// The batch's events are forwarded; the envelope is dead.
+	FreeEvent(ev)
 }

@@ -88,6 +88,7 @@ type ScanSpec struct {
 	schema *storage.Schema
 	batch  *storage.Batch
 	cols   []int
+	rowBuf storage.Row
 }
 
 // DefaultChunkRows bounds rows scanned per event; DefaultBatchRows is the
@@ -191,6 +192,7 @@ func (w *Worker) scanChunk(ctx core.Context, _ *core.AC, ev *core.Event, s *Scan
 			outCols[i] = t.Schema.Cols[s.cols[i]]
 		}
 		s.batch = storage.NewBatch(storage.NewSchema(s.Table+"_scan", outCols...))
+		s.rowBuf = make(storage.Row, len(s.cols))
 		if s.ChunkRows == 0 {
 			s.ChunkRows = DefaultChunkRows
 		}
@@ -208,11 +210,11 @@ func (w *Worker) scanChunk(ctx core.Context, _ *core.AC, ev *core.Event, s *Scan
 				return true
 			}
 		}
-		vals := make(storage.Row, len(s.cols))
+		// AppendRow copies, so one scratch row serves the whole scan.
 		for i, c := range s.cols {
-			vals[i] = row[c]
+			s.rowBuf[i] = row[c]
 		}
-		s.batch.AppendRow(vals)
+		s.batch.AppendRow(s.rowBuf)
 		if !offloaded {
 			// Shuffle partitioning runs on this core unless a DPI
 			// flow carries the stream (§4's co-processor effect).

@@ -83,6 +83,12 @@ type Dispatcher struct {
 	// only touched from this dispatcher's event handlers.
 	win sigWindow
 
+	// ops and groups are dispatch scratch, reused across transactions
+	// (a dispatcher runs on exactly one AC). Segments copy out of them,
+	// so the steady-state dispatch path allocates only the program ops.
+	ops    []Op
+	groups []segGroup
+
 	// Committed and Aborted are written on the dispatcher's AC
 	// goroutine and may be read concurrently by harness code, so they
 	// are atomic counters.
@@ -93,6 +99,12 @@ type Dispatcher struct {
 type queuedTxn struct {
 	id  core.TxnID
 	txn *tpcc.Txn
+}
+
+// segGroup accumulates the ops routed to one destination AC.
+type segGroup struct {
+	dst core.ACID
+	ops []Op
 }
 
 // DispatchConfig pairs a policy with its routing tables.
@@ -136,7 +148,11 @@ func (d *Dispatcher) OnEvent(ctx core.Context, ac *core.AC, ev *core.Event) {
 		if !ok {
 			panic("oltp: EvTxn payload must be *tpcc.Txn")
 		}
-		d.admit(ctx, cfg, ev.Txn, txn)
+		id := ev.Txn
+		// The envelope is dead once admission has the txn (queued
+		// admissions keep the payload, never the event).
+		core.FreeEvent(ev)
+		d.admit(ctx, cfg, id, txn)
 	case core.EvAck:
 		d.onAck(ctx, cfg, ev)
 	default:
@@ -156,10 +172,7 @@ func (d *Dispatcher) admit(ctx core.Context, cfg *DispatchConfig, id core.TxnID,
 			d.Aborted.Inc()
 			d.win.observeAbort()
 			d.win.maybeFlush(ctx, cfg.Policy)
-			ctx.Send(core.ClientAC, &core.Event{
-				Kind: core.EvTxnDone, Txn: id,
-				Payload: &DoneInfo{Committed: false, Home: txn.HomeWarehouse()},
-			})
+			sendTxnDone(ctx, id, false, txn.HomeWarehouse())
 			return
 		}
 	}
@@ -182,47 +195,79 @@ func (d *Dispatcher) admit(ctx core.Context, cfg *DispatchConfig, id core.TxnID,
 }
 
 // dispatch groups the transaction's operations by destination AC and
-// emits the segment events.
+// emits the segment events. Grouping runs over the dispatcher's scratch
+// buffers with a linear destination scan (a transaction routes to a
+// handful of ACs at most); the pooled segments copy their ops out, so
+// the scratch is free for the next transaction immediately.
 func (d *Dispatcher) dispatch(ctx core.Context, cfg *DispatchConfig, id core.TxnID, txn *tpcc.Txn) {
-	ops := Program(*txn)
-	type group struct {
-		dst core.ACID
-		ops []Op
-	}
-	var groups []group
-	idx := make(map[core.ACID]int)
-	for _, op := range ops {
+	d.ops = ProgramAppend(d.ops[:0], txn)
+	groups := d.groups
+	ng := 0
+	for _, op := range d.ops {
 		dst := route(cfg, op)
-		gi, seen := idx[dst]
-		if !seen {
-			gi = len(groups)
-			idx[dst] = gi
-			groups = append(groups, group{dst: dst})
+		gi := -1
+		for i := 0; i < ng; i++ {
+			if groups[i].dst == dst {
+				gi = i
+				break
+			}
+		}
+		if gi < 0 {
+			if ng < len(groups) {
+				groups[ng].dst = dst
+				groups[ng].ops = groups[ng].ops[:0]
+			} else {
+				groups = append(groups, segGroup{dst: dst})
+			}
+			gi = ng
+			ng++
 		}
 		groups[gi].ops = append(groups[gi].ops, op)
 	}
+	d.groups = groups
 
 	coord := cfg.Routes.Coord
 	if coord == core.NoAC {
 		coord = ctx.Self()
 	}
-	total := len(groups)
+	total := ng
 	if cfg.Policy == StreamingCC {
-		batch := &core.SeqBatch{}
-		for _, g := range groups {
-			seg := &Segment{Ops: g.ops, Coord: coord, Total: total}
+		batch := &core.SeqBatch{Events: make([]core.Outbound, 0, ng)}
+		for i := 0; i < ng; i++ {
 			batch.Events = append(batch.Events, core.Outbound{
-				Dst: g.dst,
-				Ev:  &core.Event{Kind: core.EvSegment, Txn: id, Payload: seg, Size: seg.wireSize()},
+				Dst: groups[i].dst,
+				Ev:  d.segmentEvent(id, groups[i].ops, coord, total),
 			})
 		}
-		ctx.Send(cfg.Routes.Seq, &core.Event{Kind: core.EvSeqStamp, Txn: id, Payload: batch})
+		seq := core.GetEvent()
+		seq.Kind, seq.Txn, seq.Payload = core.EvSeqStamp, id, batch
+		ctx.Send(cfg.Routes.Seq, seq)
 		return
 	}
-	for _, g := range groups {
-		seg := &Segment{Ops: g.ops, Coord: coord, Total: total}
-		ctx.Send(g.dst, &core.Event{Kind: core.EvSegment, Txn: id, Payload: seg, Size: seg.wireSize()})
+	for i := 0; i < ng; i++ {
+		ctx.Send(groups[i].dst, d.segmentEvent(id, groups[i].ops, coord, total))
 	}
+}
+
+// segmentEvent builds one pooled EvSegment event owning a copy of ops.
+func (d *Dispatcher) segmentEvent(id core.TxnID, ops []Op, coord core.ACID, total int) *core.Event {
+	seg := getSegment()
+	seg.Ops = append(seg.Ops[:0], ops...)
+	seg.Coord, seg.Total = coord, total
+	ev := core.GetEvent()
+	ev.Kind, ev.Txn, ev.Payload, ev.Size = core.EvSegment, id, seg, seg.wireSize()
+	return ev
+}
+
+// sendTxnDone emits the pooled EvTxnDone completion toward the client;
+// the consumer of the event frees the DoneInfo (FreeDoneInfo). Shared
+// by the dispatcher-embedded and dedicated-coordinator commit paths.
+func sendTxnDone(ctx core.Context, id core.TxnID, committed bool, home int) {
+	done := GetDoneInfo()
+	done.Committed, done.Home = committed, home
+	ev := core.GetEvent()
+	ev.Kind, ev.Txn, ev.Payload = core.EvTxnDone, id, done
+	ctx.Send(core.ClientAC, ev)
 }
 
 // route picks the destination AC for one op under the current policy.
@@ -241,27 +286,27 @@ func route(cfg *DispatchConfig, op Op) core.ACID {
 func (d *Dispatcher) onAck(ctx core.Context, cfg *DispatchConfig, ev *core.Event) {
 	ack := ev.Payload.(*Ack)
 	ctx.Charge(ctx.Costs().AckProcess)
-	got := d.pending[ev.Txn] + 1
-	if got < ack.Total {
-		d.pending[ev.Txn] = got
+	id, ackHome, ackTotal := ev.Txn, ack.Home, ack.Total
+	freeAck(ack)
+	core.FreeEvent(ev)
+	got := d.pending[id] + 1
+	if got < ackTotal {
+		d.pending[id] = got
 		return
 	}
-	delete(d.pending, ev.Txn)
+	delete(d.pending, id)
 	ctx.Charge(ctx.Costs().TxnCommit)
 	d.Committed.Inc()
 	d.win.observeCommit(false)
-	ctx.Send(core.ClientAC, &core.Event{
-		Kind: core.EvTxnDone, Txn: ev.Txn,
-		Payload: &DoneInfo{Committed: true, Home: ack.Home},
-	})
+	sendTxnDone(ctx, id, true, ackHome)
 	// Naive admission: release the home warehouse and start the next
 	// queued transaction.
 	if cfg.Policy == NaiveIntra {
-		home, ok := d.homeOf[ev.Txn]
+		home, ok := d.homeOf[id]
 		if !ok {
 			return
 		}
-		delete(d.homeOf, ev.Txn)
+		delete(d.homeOf, id)
 		q := d.queued[home]
 		if len(q) == 0 {
 			d.busy[home] = false

@@ -353,7 +353,22 @@ const orderYear = 2019
 
 // Program converts a generated transaction into its ordered operation
 // list.
-func Program(t tpcc.Txn) []Op {
+func Program(t tpcc.Txn) []Op { return ProgramAppend(nil, &t) }
+
+// paymentProgram holds the four payment ops in one block, so building a
+// payment program costs one allocation instead of four boxed ops.
+type paymentProgram struct {
+	w UpdateWarehouseYTD
+	d UpdateDistrictYTD
+	c PayCustomer
+	h InsertHistory
+}
+
+// ProgramAppend appends the transaction's ordered operation list to ops
+// (which may be a reused scratch slice) and returns it. The returned
+// ops reference freshly built operation values; the input transaction
+// is not retained beyond its Lines slices.
+func ProgramAppend(ops []Op, t *tpcc.Txn) []Op {
 	switch t.Kind {
 	case tpcc.TxnPayment:
 		p := t.Payment
@@ -361,27 +376,37 @@ func Program(t tpcc.Txn) []Op {
 		if p.ByLast {
 			cref = -int64(p.Last) - 1
 		}
-		return []Op{
-			&UpdateWarehouseYTD{W: p.W, Amount: p.Amount},
-			&UpdateDistrictYTD{W: p.W, D: p.D, Amount: p.Amount},
-			&PayCustomer{W: p.CW, D: p.CD, C: p.C, ByLast: p.ByLast, Last: p.Last, Amount: p.Amount},
-			&InsertHistory{W: p.W, D: p.D, CW: p.CW, CD: p.CD, CRef: cref, Amount: p.Amount},
+		pp := &paymentProgram{
+			w: UpdateWarehouseYTD{W: p.W, Amount: p.Amount},
+			d: UpdateDistrictYTD{W: p.W, D: p.D, Amount: p.Amount},
+			c: PayCustomer{W: p.CW, D: p.CD, C: p.C, ByLast: p.ByLast, Last: p.Last, Amount: p.Amount},
+			h: InsertHistory{W: p.W, D: p.D, CW: p.CW, CD: p.CD, CRef: cref, Amount: p.Amount},
 		}
+		return append(ops, &pp.w, &pp.d, &pp.c, &pp.h)
 	case tpcc.TxnNewOrder:
 		no := t.NewOrder
-		ops := []Op{
-			&InsertOrder{W: no.W, D: no.D, C: no.C, Lines: no.Lines, Year: orderYear},
-		}
-		byW := make(map[int][]tpcc.NewOrderLine)
-		var order []int
-		for _, l := range no.Lines {
-			if _, seen := byW[l.SupplyW]; !seen {
-				order = append(order, l.SupplyW)
+		ops = append(ops, &InsertOrder{W: no.W, D: no.D, C: no.C, Lines: no.Lines, Year: orderYear})
+		// Group lines by supply warehouse in first-seen order. Orders
+		// have at most a handful of lines, so the quadratic scan beats
+		// a map.
+		for i, l := range no.Lines {
+			dup := false
+			for j := 0; j < i; j++ {
+				if no.Lines[j].SupplyW == l.SupplyW {
+					dup = true
+					break
+				}
 			}
-			byW[l.SupplyW] = append(byW[l.SupplyW], l)
-		}
-		for _, w := range order {
-			ops = append(ops, &UpdateStock{SupplyW: w, Lines: byW[w]})
+			if dup {
+				continue
+			}
+			var lines []tpcc.NewOrderLine
+			for j := i; j < len(no.Lines); j++ {
+				if no.Lines[j].SupplyW == l.SupplyW {
+					lines = append(lines, no.Lines[j])
+				}
+			}
+			ops = append(ops, &UpdateStock{SupplyW: l.SupplyW, Lines: lines})
 		}
 		return ops
 	default:

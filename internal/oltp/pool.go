@@ -1,0 +1,47 @@
+package oltp
+
+import "sync"
+
+// Pools for the OLTP hot-path payloads. Every transaction allocates a
+// Segment per routed group, an Ack per segment, and a DoneInfo — with
+// the pooled core.Event envelopes these are the entire steady-state
+// allocation profile of the message plane. Ownership is single-consumer
+// throughout: a Segment dies at the executor that ran it, an Ack at the
+// coordinator that counted it, a DoneInfo at the client that resolved
+// the waiter. Frees are optional (missed ones fall back to the GC), so
+// the simulation runtime and tests that drop messages stay correct.
+var (
+	segPool  = sync.Pool{New: func() any { return new(Segment) }}
+	ackPool  = sync.Pool{New: func() any { return new(Ack) }}
+	donePool = sync.Pool{New: func() any { return new(DoneInfo) }}
+)
+
+func getSegment() *Segment { return segPool.Get().(*Segment) }
+
+// freeSegment recycles a fully executed segment, keeping the Ops
+// capacity. The op references are cleared so the program block of the
+// owning transaction is not pinned by the pool.
+func freeSegment(s *Segment) {
+	clear(s.Ops)
+	s.Ops = s.Ops[:0]
+	s.Coord, s.Total = 0, 0
+	segPool.Put(s)
+}
+
+func getAck() *Ack { return ackPool.Get().(*Ack) }
+
+func freeAck(a *Ack) {
+	*a = Ack{}
+	ackPool.Put(a)
+}
+
+// GetDoneInfo returns a zeroed DoneInfo from the pool. The dispatch side
+// allocates it; whoever consumes the EvTxnDone (the anydb client
+// callback) frees it with FreeDoneInfo once the outcome is recorded.
+func GetDoneInfo() *DoneInfo { return donePool.Get().(*DoneInfo) }
+
+// FreeDoneInfo recycles d. Callers must not touch d afterwards.
+func FreeDoneInfo(d *DoneInfo) {
+	*d = DoneInfo{}
+	donePool.Put(d)
+}

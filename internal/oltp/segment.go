@@ -42,6 +42,15 @@ type Executor struct {
 	DB *storage.Database
 	// Executed counts segments for observability.
 	Executed int64
+
+	// undo and exec are reused across segments: an executor runs on
+	// exactly one AC, segments execute to completion, and Commit keeps
+	// the log's capacity — so the execution environment costs nothing
+	// per segment in steady state. execCtx caches the context the exec
+	// was built against (stable per goroutine on the real runtime).
+	undo    storage.UndoLog
+	exec    Exec
+	execCtx core.Context
 }
 
 // OnEvent implements core.Behavior for EvSegment.
@@ -50,22 +59,32 @@ func (x *Executor) OnEvent(ctx core.Context, _ *core.AC, ev *core.Event) {
 	if !ok {
 		panic("oltp: EvSegment payload must be *Segment")
 	}
-	var undo storage.UndoLog
-	e := NewExec(ctx, x.DB, &undo)
+	if x.execCtx != ctx {
+		x.exec = Exec{DB: x.DB, Costs: ctx.Costs(), Charge: ctx.Charge, Undo: &x.undo}
+		x.execCtx = ctx
+	}
 	for _, op := range seg.Ops {
-		if err := op.Run(e); err != nil {
+		if err := op.Run(&x.exec); err != nil {
 			// AnyDB pre-validates transactions at dispatch, so a
 			// logical abort inside a routed segment is a bug.
 			panic(fmt.Sprintf("oltp: unexpected abort in routed segment: %v", err))
 		}
 	}
-	undo.Commit()
+	x.undo.Commit()
 	x.Executed++
-	ack := &Ack{Total: seg.Total}
+	ack := getAck()
+	ack.Total = seg.Total
 	if len(seg.Ops) > 0 {
 		ack.Home = seg.Ops[0].Warehouse()
 	}
-	ctx.Send(seg.Coord, &core.Event{Kind: core.EvAck, Txn: ev.Txn, Payload: ack})
+	coord, id := seg.Coord, ev.Txn
+	// The segment and its envelope die here; the ack rides a fresh
+	// pooled event.
+	freeSegment(seg)
+	core.FreeEvent(ev)
+	ackEv := core.GetEvent()
+	ackEv.Kind, ackEv.Txn, ackEv.Payload = core.EvAck, id, ack
+	ctx.Send(coord, ackEv)
 }
 
 // Coordinator is the commit-coordination behavior: it counts segment
@@ -95,20 +114,20 @@ func (c *Coordinator) SetTelemetry(t Telemetry) { c.win.SetTelemetry(t) }
 func (c *Coordinator) OnEvent(ctx core.Context, _ *core.AC, ev *core.Event) {
 	ack := ev.Payload.(*Ack)
 	ctx.Charge(ctx.Costs().AckProcess)
-	got := c.pending[ev.Txn] + 1
-	if got < ack.Total {
-		c.pending[ev.Txn] = got
+	id, ackHome, ackTotal := ev.Txn, ack.Home, ack.Total
+	freeAck(ack)
+	core.FreeEvent(ev)
+	got := c.pending[id] + 1
+	if got < ackTotal {
+		c.pending[id] = got
 		return
 	}
-	delete(c.pending, ev.Txn)
+	delete(c.pending, id)
 	ctx.Charge(ctx.Costs().TxnCommit)
 	c.Committed.Inc()
 	// A dedicated coordinator only runs under streaming CC; its windows
 	// advance on commits (it never sees admissions).
 	c.win.observeCommit(true)
 	c.win.maybeFlush(ctx, StreamingCC)
-	ctx.Send(core.ClientAC, &core.Event{
-		Kind: core.EvTxnDone, Txn: ev.Txn,
-		Payload: &DoneInfo{Committed: true, Home: ack.Home},
-	})
+	sendTxnDone(ctx, id, true, ackHome)
 }

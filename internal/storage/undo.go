@@ -53,9 +53,15 @@ func (u *UndoLog) Rollback() int {
 			e.table.Delete(e.key)
 		}
 	}
+	clear(u.entries)
 	u.entries = u.entries[:0]
 	return n
 }
 
-// Commit discards the log (nothing to undo anymore).
-func (u *UndoLog) Commit() { u.entries = u.entries[:0] }
+// Commit discards the log (nothing to undo anymore). The backing array
+// is kept — a reused log allocates only until it has seen its largest
+// transaction — but entries are cleared so no row images stay pinned.
+func (u *UndoLog) Commit() {
+	clear(u.entries)
+	u.entries = u.entries[:0]
+}

@@ -1,0 +1,194 @@
+package stream
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// item tags a message with its producer and per-producer sequence so the
+// consumer can verify FIFO order and exactly-once delivery.
+type item struct {
+	producer int
+	seq      int
+}
+
+// TestMPSCPushBatchOrder checks that batches keep their internal order
+// and do not interleave with other pushes from the same producer.
+func TestMPSCPushBatchOrder(t *testing.T) {
+	q := NewMPSC[int]()
+	q.Push(1)
+	q.PushBatch([]int{2, 3, 4})
+	q.Push(5)
+	q.PushBatch(nil)
+	q.PushBatch([]int{6})
+	buf := make([]int, 4)
+	if n := q.PopMany(buf); n != 4 || buf[0] != 1 || buf[1] != 2 || buf[2] != 3 || buf[3] != 4 {
+		t.Fatalf("PopMany = %d %v", n, buf)
+	}
+	if v, ok := q.Pop(); !ok || v != 5 {
+		t.Fatalf("Pop = %d %v", v, ok)
+	}
+	if n := q.PopMany(buf); n != 1 || buf[0] != 6 {
+		t.Fatalf("PopMany = %d %v", n, buf)
+	}
+	if n := q.PopMany(buf); n != 0 {
+		t.Fatalf("drained queue returned %d", n)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+}
+
+// TestMailboxBatchStress drives many concurrent producers issuing an
+// interleaved mix of Send and SendBatch at a single RecvBatch consumer,
+// with a Close landing mid-stream. It asserts the drain-or-reject
+// guarantee: every message whose send reported true arrives exactly
+// once, in per-producer FIFO order, and no message arrives twice or out
+// of nowhere. Run under -race this is the batch plane's memory-model
+// test as well.
+func TestMailboxBatchStress(t *testing.T) {
+	const (
+		producers = 8
+		perProd   = 4000
+		batchMax  = 7
+	)
+	m := NewMailbox[item]()
+
+	// accepted[p][seq] records sends that returned true; sent counts
+	// them for the mid-stream Close trigger below.
+	accepted := make([][]bool, producers)
+	var sent atomic.Int64
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		accepted[p] = make([]bool, perProd)
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			batch := make([]item, 0, batchMax)
+			seq := 0
+			flush := func() {
+				if len(batch) == 0 {
+					return
+				}
+				if m.SendBatch(batch) {
+					for _, it := range batch {
+						accepted[p][it.seq] = true
+					}
+					sent.Add(int64(len(batch)))
+				}
+				batch = batch[:0]
+			}
+			for seq < perProd {
+				// Interleave singles and batches of varying size.
+				if seq%(batchMax+2) == 0 {
+					if m.Send(item{p, seq}) {
+						accepted[p][seq] = true
+						sent.Add(1)
+					}
+					seq++
+					continue
+				}
+				n := 1 + seq%batchMax
+				for i := 0; i < n && seq < perProd; i++ {
+					batch = append(batch, item{p, seq})
+					seq++
+				}
+				flush()
+			}
+			flush()
+		}(p)
+	}
+
+	// Close mid-stream from yet another goroutine.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for sent.Load() < producers*perProd/4 {
+			// Let roughly a quarter of the load through first.
+		}
+		m.Close()
+	}()
+
+	// Single consumer drains in chunks until closed-and-drained.
+	got := make([][]int, producers)
+	buf := make([]item, 64)
+	for {
+		n, ok := m.RecvBatch(buf)
+		if !ok {
+			break
+		}
+		for _, it := range buf[:n] {
+			got[it.producer] = append(got[it.producer], it.seq)
+		}
+	}
+	wg.Wait()
+
+	for p := 0; p < producers; p++ {
+		seen := make([]bool, perProd)
+		last := -1
+		for _, seq := range got[p] {
+			if seen[seq] {
+				t.Fatalf("producer %d: message %d delivered twice", p, seq)
+			}
+			seen[seq] = true
+			if seq <= last {
+				t.Fatalf("producer %d: FIFO violated (%d after %d)", p, seq, last)
+			}
+			last = seq
+		}
+		for seq := 0; seq < perProd; seq++ {
+			if accepted[p][seq] && !seen[seq] {
+				t.Fatalf("producer %d: accepted message %d lost", p, seq)
+			}
+			if !accepted[p][seq] && seen[seq] {
+				t.Fatalf("producer %d: rejected message %d delivered", p, seq)
+			}
+		}
+	}
+}
+
+// TestMailboxCloseRejectsAfterDrain pins the documented guarantee on the
+// closed side: once Recv reported closed-and-drained, no Send succeeds.
+func TestMailboxCloseRejectsAfterDrain(t *testing.T) {
+	m := NewMailbox[int]()
+	if !m.Send(1) {
+		t.Fatal("send on open mailbox failed")
+	}
+	m.Close()
+	if v, ok := m.Recv(); !ok || v != 1 {
+		t.Fatalf("Recv = %d %v, want pre-close element", v, ok)
+	}
+	if _, ok := m.Recv(); ok {
+		t.Fatal("Recv after drain should report closed")
+	}
+	if m.Send(2) {
+		t.Fatal("Send after closed-and-drained must reject")
+	}
+	if m.SendBatch([]int{3, 4}) {
+		t.Fatal("SendBatch after closed-and-drained must reject")
+	}
+	if n, ok := m.RecvBatch(make([]int, 4)); ok || n != 0 {
+		t.Fatalf("RecvBatch on drained mailbox = %d %v", n, ok)
+	}
+}
+
+// TestMailboxRecvBatchBlocks checks RecvBatch wakes on a later send.
+func TestMailboxRecvBatchBlocks(t *testing.T) {
+	m := NewMailbox[int]()
+	done := make(chan []int)
+	go func() {
+		buf := make([]int, 8)
+		n, ok := m.RecvBatch(buf)
+		if !ok {
+			t.Error("RecvBatch reported closed on open mailbox")
+		}
+		done <- append([]int(nil), buf[:n]...)
+	}()
+	m.SendBatch([]int{7, 8, 9})
+	got := <-done
+	if len(got) != 3 || got[0] != 7 || got[2] != 9 {
+		t.Fatalf("RecvBatch = %v", got)
+	}
+	m.Close()
+}
