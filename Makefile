@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json profile fmt vet figures ci
+.PHONY: all build test race bench bench-submit bench-json profile fmt vet figures ci
 
 all: build
 
@@ -22,21 +22,32 @@ race:
 bench:
 	$(GO) test -bench . -benchtime=1x -run '^$$' ./...
 
+# Contention smoke: the submission-plane and topology-read benchmarks at
+# -cpu 1,4, so a regression that re-serializes the entry (a lock on the
+# hot path scales visibly worse at 4) shows up in CI. Short benchtime —
+# this watches the slope and allocs/op, not absolute throughput.
+bench-submit:
+	$(GO) test -run '^$$' -bench 'BenchmarkSubmitContention|BenchmarkPaymentPipelined' \
+		-benchmem -benchtime 0.3s -cpu 1,4 .
+	$(GO) test -run '^$$' -bench 'BenchmarkTopologyRead' -benchmem -benchtime 0.3s -cpu 1,4 ./internal/core
+	$(GO) test -run '^$$' -bench 'BenchmarkScanFlush' -benchmem -benchtime 0.3s ./internal/olap
+
 # Machine-readable benchmark summary: per-policy + adaptive throughput
-# on the evolving workload. CI uploads BENCH_PR3.json as an artifact,
+# on the evolving workload. CI uploads BENCH_PR4.json as an artifact,
 # and benchdata/ keeps the committed per-PR trajectory points for
 # comparison. Deterministic virtual-time runs — the short phase keeps
 # it a smoke, shapes are scale-invariant.
 bench-json:
-	$(GO) run ./cmd/anydb-bench -phase-ms 6 -json BENCH_PR3.json
+	$(GO) run ./cmd/anydb-bench -phase-ms 6 -json BENCH_PR4.json
 
-# CPU + allocation profiles of the pipelined payment benchmark (the
-# public API's submission hot path). Inspect with `go tool pprof
-# cpu.prof` / `go tool pprof -sample_index=alloc_objects mem.prof`.
+# CPU + allocation profiles of the parallel submission hot path (the
+# public API entry under GOMAXPROCS submitters). Inspect with `go tool
+# pprof cpu.prof` / `go tool pprof -sample_index=alloc_objects mem.prof`;
+# add -mutexprofile to verify the uncontended entry takes no mutex.
 profile:
-	$(GO) test -run '^$$' -bench BenchmarkPaymentPipelined -benchtime 3s \
-		-cpuprofile cpu.prof -memprofile mem.prof -o anydb-profile.test .
-	@echo "wrote cpu.prof, mem.prof (binary: anydb-profile.test)"
+	$(GO) test -run '^$$' -bench 'BenchmarkSubmitContention/NoChurn' -benchtime 3s \
+		-cpuprofile cpu.prof -memprofile mem.prof -mutexprofile mutex.prof -o anydb-profile.test .
+	@echo "wrote cpu.prof, mem.prof, mutex.prof (binary: anydb-profile.test)"
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

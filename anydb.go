@@ -36,6 +36,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -126,28 +127,42 @@ type Cluster struct {
 	// servers) so the submission hot path allocates nothing for it.
 	lay route.Layout
 
-	mu      sync.Mutex
-	policy  Policy
-	dispers map[core.ACID]*oltp.Dispatcher
-	nextTxn core.TxnID
-	nextQ   core.QueryID
-	txnWait map[core.TxnID]*Future
-	qWait   map[core.QueryID]chan *olap.QueryResult
-	// inflight and qInflight count submitted transactions and analytical
-	// queries not yet resolved; draining gates new work while a policy
-	// switch waits for both to reach zero. The waits are channel-based
-	// (idleDone/drainDone) rather than a sync.Cond so every blocked
-	// entry point can also select on its caller's context.
-	inflight  int
-	qInflight int
-	draining  bool
-	closed    bool
-	// idleDone is closed (and nil'd) whenever inflight drops to zero, or
-	// on Close. Wakeups are advisory: waiters re-check their predicate.
-	idleDone chan struct{}
-	// drainDone is non-nil exactly while draining and closed when the
-	// drain ends, releasing gated submitters.
-	drainDone chan struct{}
+	// The submission plane (see submit.go). shards holds the global
+	// in-flight counters (transactions AND analytical queries — a drain
+	// covers both); sub is the current epoch, carrying the active
+	// routing policy and the draining gate. The steady-state entry
+	// (enter/exitShard) takes no mutex; switchMu serializes the slow
+	// path only — epoch transitions by SetPolicy, Verify and Close.
+	shards    []submitShard
+	shardMask int32
+	sub       atomic.Pointer[submitEpoch]
+	drainWake chan struct{}
+	switchMu  sync.Mutex
+	// closed flips once (Close); closedCh unblocks every parked entry
+	// and drain, closeDrained marks the final drain's completion (safe
+	// to read the database), closeDone marks full teardown.
+	closed       atomic.Bool
+	closedCh     chan struct{}
+	closeDrained chan struct{}
+	closeDone    chan struct{}
+
+	nextTxn atomic.Uint64
+	nextQ   atomic.Uint64
+
+	// qMu guards the analytical-query completion table. Queries keep a
+	// registration map (results are streamed values, not tokens); their
+	// in-flight counts still live in the lock-free shards. Off the
+	// transaction hot path.
+	qMu   sync.Mutex
+	qWait map[core.QueryID]*queryWait
+
+	// mu guards the remaining slow-path state: the dispatcher registry
+	// (grown servers register while switches reconfigure), the policy
+	// those dispatchers were last configured with, the adaptation log
+	// and decision queue, and the Events subscribers.
+	mu        sync.Mutex
+	curPolicy Policy
+	dispers   map[core.ACID]*oltp.Dispatcher
 	// subs are live Events subscribers; a subscriber detaches when its
 	// context ends (reaped lazily at the next publish) and all remaining
 	// channels close on Close.
@@ -211,11 +226,30 @@ func Open(cfg Config) (*Cluster, error) {
 
 	c := &Cluster{
 		db: db, cfg: tc, cores: cfg.CoresPerServer,
-		dispers: make(map[core.ACID]*oltp.Dispatcher),
-		txnWait: make(map[core.TxnID]*Future),
-		qWait:   make(map[core.QueryID]chan *olap.QueryResult),
-		start:   time.Now(),
+		dispers:      make(map[core.ACID]*oltp.Dispatcher),
+		qWait:        make(map[core.QueryID]*queryWait),
+		drainWake:    make(chan struct{}, 1),
+		closedCh:     make(chan struct{}),
+		closeDrained: make(chan struct{}),
+		closeDone:    make(chan struct{}),
+		start:        time.Now(),
 	}
+	// Size the submission shards to the parallelism the runtime can
+	// actually offer (power of two for cheap masking, padded to cache
+	// lines): enough that concurrent sessions rarely share a counter.
+	nshards := 1
+	for nshards < 4*runtime.GOMAXPROCS(0) {
+		nshards <<= 1
+	}
+	if nshards < 8 {
+		nshards = 8
+	}
+	if nshards > 256 {
+		nshards = 256
+	}
+	c.shards = make([]submitShard, nshards)
+	c.shardMask = int32(nshards - 1)
+	c.sub.Store(newEpoch(SharedNothing))
 	c.topo = core.NewTopology(db)
 	c.execs = c.topo.AddServer(cfg.CoresPerServer)
 	c.ctrl = c.topo.AddServer(cfg.CoresPerServer)
@@ -275,7 +309,7 @@ func (c *Cluster) setupAC(ac *core.AC) {
 	// critical section so a concurrent SetPolicy either sees the new
 	// dispatcher in the map or runs before it configures itself.
 	c.mu.Lock()
-	pol := c.policy
+	pol := c.curPolicy
 	d := oltp.NewDispatcher(oltp.Policy(pol), c.db, c.routes(pol))
 	d.SetTelemetry(tel)
 	c.dispers[ac.ID] = d
@@ -310,91 +344,38 @@ func (c *Cluster) SetPolicy(ctx context.Context, p Policy) error {
 // setPolicy is the switch path shared by SetPolicy and the adaptation
 // applier. The drain covers transactions AND analytical queries: under
 // the fine-grained policies writes execute off the partition owners, so
-// a query scan straddling the switch could race them.
+// a query scan straddling the switch could race them. The switch is an
+// epoch transition: close the current epoch (one flag store — gating
+// every submitter), wait for the sharded in-flight counters to drain,
+// reconfigure the dispatchers, publish a fresh epoch under the new
+// policy.
 func (c *Cluster) setPolicy(ctx context.Context, p Policy) error {
-	// gate also serializes switches: only one drain at a time.
-	if err := c.gate(ctx); err != nil {
-		return err
-	}
-	c.draining = true
-	c.drainDone = make(chan struct{})
-	for (c.inflight > 0 || c.qInflight > 0) && !c.closed {
-		ch := c.idleCh()
-		c.mu.Unlock()
-		select {
-		case <-ch:
-		case <-ctx.Done():
-			c.mu.Lock()
-			c.endDrainLocked()
-			c.mu.Unlock()
-			return ctx.Err()
-		}
-		c.mu.Lock()
-	}
-	if c.closed {
-		// Close raced the drain; don't reconfigure a stopped cluster.
-		c.endDrainLocked()
-		c.mu.Unlock()
+	c.switchMu.Lock()
+	defer c.switchMu.Unlock()
+	if c.closed.Load() {
 		return ErrClosed
 	}
-	c.policy = p
+	e := c.sub.Load()
+	e.closed.Store(true)
+	if err := c.drainLocked(ctx); err != nil {
+		if !errors.Is(err, ErrClosed) {
+			// Canceled: abandon the switch, the old routing stays in
+			// effect, gated submitters resume under it.
+			c.reopenLocked(e, e.policy)
+		}
+		// On ErrClosed the plane stays closed — Close owns it now and
+		// closedCh has already released every gated submitter.
+		return err
+	}
+	c.mu.Lock()
+	c.curPolicy = p
 	routes := c.routes(p)
 	for _, d := range c.dispers {
 		d.SetConfig(oltp.Policy(p), routes)
 	}
-	c.endDrainLocked()
 	c.mu.Unlock()
+	c.reopenLocked(e, p)
 	return nil
-}
-
-// gate blocks while a policy switch drains, then returns with mu HELD
-// and the cluster open (nil error), ready for the caller to register
-// work. On cancellation or Close it returns the error with mu released.
-func (c *Cluster) gate(ctx context.Context) error {
-	c.mu.Lock()
-	for c.draining && !c.closed {
-		gate := c.drainDone
-		c.mu.Unlock()
-		select {
-		case <-gate:
-		case <-ctx.Done():
-			return ctx.Err()
-		}
-		c.mu.Lock()
-	}
-	if c.closed {
-		c.mu.Unlock()
-		return ErrClosed
-	}
-	return nil
-}
-
-// idleCh returns a channel closed at the next advisory idle wakeup
-// (inflight or qInflight hitting zero, or Close); waiters re-check
-// their own predicate on wake. mu must be held.
-func (c *Cluster) idleCh() chan struct{} {
-	if c.idleDone == nil {
-		c.idleDone = make(chan struct{})
-	}
-	return c.idleDone
-}
-
-// signalIdle wakes idle waiters. mu must be held.
-func (c *Cluster) signalIdle() {
-	if c.idleDone != nil {
-		close(c.idleDone)
-		c.idleDone = nil
-	}
-}
-
-// endDrainLocked ends the drain and releases gated submitters. mu must
-// be held; only the goroutine that set draining calls it.
-func (c *Cluster) endDrainLocked() {
-	c.draining = false
-	if c.drainDone != nil {
-		close(c.drainDone)
-		c.drainDone = nil
-	}
 }
 
 // Payment identifies a TPC-C payment (§2.5).
@@ -419,18 +400,24 @@ type NewOrder struct {
 	Lines                         []OrderLine
 }
 
+// paymentTxn builds a pooled transaction; the dispatcher recycles it
+// once the op program is compiled (ROADMAP: the client-side *tpcc.Txn
+// was one of the three remaining steady-state allocations).
 func paymentTxn(p Payment) (*tpcc.Txn, error) {
 	cw, cd := p.CustomerWarehouse, p.CustomerDistrict
 	if cw == 0 && cd == 0 {
 		cw, cd = p.Warehouse, p.District
 	}
-	t := &tpcc.Txn{Kind: tpcc.TxnPayment, Payment: tpcc.Payment{
+	t := tpcc.GetTxn()
+	t.Kind = tpcc.TxnPayment
+	t.Payment = tpcc.Payment{
 		W: p.Warehouse, D: p.District, CW: cw, CD: cd,
 		C: p.Customer, ByLast: p.ByLastName, Amount: p.Amount,
-	}}
+	}
 	if p.ByLastName {
 		num := tpcc.LastNameNum(p.LastName)
 		if num < 0 {
+			tpcc.FreeTxn(t)
 			return nil, fmt.Errorf("anydb: %q is not a TPC-C last name", p.LastName)
 		}
 		t.Payment.Last = num
@@ -439,9 +426,9 @@ func paymentTxn(p Payment) (*tpcc.Txn, error) {
 }
 
 func newOrderTxn(no NewOrder) *tpcc.Txn {
-	t := &tpcc.Txn{Kind: tpcc.TxnNewOrder, NewOrder: tpcc.NewOrder{
-		W: no.Warehouse, D: no.District, C: no.Customer,
-	}}
+	t := tpcc.GetTxn()
+	t.Kind = tpcc.TxnNewOrder
+	t.NewOrder = tpcc.NewOrder{W: no.Warehouse, D: no.District, C: no.Customer}
 	for _, l := range no.Lines {
 		t.NewOrder.Lines = append(t.NewOrder.Lines, tpcc.NewOrderLine{
 			Item: l.Item, Qty: l.Qty, SupplyW: l.SupplyWarehouse,
@@ -458,6 +445,12 @@ func newOrderTxn(no NewOrder) *tpcc.Txn {
 type Future struct {
 	c  *Cluster
 	ch chan bool
+	// shard is the submission shard this future's transaction entered;
+	// the completion callback releases exactly that count (see
+	// submit.go). The future itself is the completion token: it rides
+	// the event plane (core.Event.Client) and comes back on the
+	// DoneInfo, so resolving needs no shared lookup table.
+	shard int32
 	// state sequences the waiter against the completion callback:
 	// whichever side transitions it out of futPending owns delivery
 	// (resolver) or abandonment (waiter); the loser follows the winner
@@ -564,21 +557,24 @@ func (c *Cluster) NewOrder(no NewOrder) (bool, error) {
 	return f.Wait(context.Background())
 }
 
+// submit is the transaction entry hot path. Uncontended it takes zero
+// locks: epoch entry is an atomic add on a goroutine-affine shard, the
+// id an atomic counter, the event and future pooled, and the future
+// itself travels as the completion token — nothing left to serialize.
 func (c *Cluster) submit(ctx context.Context, t *tpcc.Txn) (*Future, error) {
-	if err := c.gate(ctx); err != nil {
+	e, si, err := c.enter(ctx)
+	if err != nil {
+		tpcc.FreeTxn(t)
 		return nil, err
 	}
-	c.nextTxn++
-	id := c.nextTxn
+	id := core.TxnID(c.nextTxn.Add(1))
 	f := c.getFuture()
-	c.txnWait[id] = f
-	pol := c.policy
-	c.inflight++
-	c.mu.Unlock()
-
-	entry := route.Entry(oltp.Policy(pol), c.lay, t.HomeWarehouse())
+	f.shard = si
+	// Resolve the entry AC before injecting: the dispatcher consumes
+	// (and recycles) the txn, so it must not be touched after Inject.
+	entry := route.Entry(oltp.Policy(e.policy), c.lay, t.HomeWarehouse())
 	ev := core.GetEvent()
-	ev.Kind, ev.Txn, ev.Payload = core.EvTxn, id, t
+	ev.Kind, ev.Txn, ev.Payload, ev.Client = core.EvTxn, id, t, f
 	c.eng.Inject(entry, ev)
 	return f, nil
 }
@@ -616,15 +612,10 @@ func (c *Cluster) OpenOrders(ctx context.Context) (int64, error) {
 // switches drain in-flight queries, so a query never straddles a
 // routing change.
 func (c *Cluster) OpenOrdersOpts(ctx context.Context, o QueryOptions) (int64, error) {
-	if err := c.gate(ctx); err != nil {
+	qid, ch, err := c.registerQuery(ctx)
+	if err != nil {
 		return 0, err
 	}
-	c.nextQ++
-	qid := c.nextQ
-	ch := make(chan *olap.QueryResult, 1)
-	c.qWait[qid] = ch
-	c.qInflight++
-	c.mu.Unlock()
 
 	parts := make([]int, c.cfg.Warehouses)
 	for i := range parts {
@@ -661,14 +652,10 @@ func (c *Cluster) Query(ctx context.Context, text string) (int64, [][]any, error
 	if err != nil {
 		return 0, nil, err
 	}
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
+	if c.closed.Load() {
 		return 0, nil, ErrClosed
 	}
-	c.nextQ++
-	qid := c.nextQ
-	c.mu.Unlock()
+	qid := core.QueryID(c.nextQ.Add(1))
 
 	parts := make([]int, c.cfg.Warehouses)
 	for i := range parts {
@@ -681,15 +668,12 @@ func (c *Cluster) Query(ctx context.Context, text string) (int64, [][]any, error
 	}
 	p.Beam = true
 
-	ch := make(chan *olap.QueryResult, 1)
-	// gate re-checks closed: Close may have swept qWait while CompileSQL
-	// ran, and a channel registered after that sweep would never resolve.
-	if err := c.gate(ctx); err != nil {
+	// Enter the epoch only once compilation succeeded (enter re-checks
+	// closed, so a registration can never slip past Close's drain).
+	ch, err := c.registerQueryID(ctx, qid)
+	if err != nil {
 		return 0, nil, err
 	}
-	c.qWait[qid] = ch
-	c.qInflight++
-	c.mu.Unlock()
 	c.eng.Inject(c.ctrl[3], &core.Event{Kind: core.EvQuery, Query: qid, Payload: p})
 	res, err := c.awaitQuery(ctx, qid, ch)
 	if err != nil {
@@ -713,6 +697,37 @@ func (c *Cluster) Query(ctx context.Context, text string) (int64, [][]any, error
 	return res.Rows, rows, nil
 }
 
+// queryWait is one registered analytical query: the 1-buffered result
+// channel (nil once the waiter abandoned) and the submission shard the
+// query entered, released when the result arrives.
+type queryWait struct {
+	ch    chan *olap.QueryResult
+	shard int32
+}
+
+// registerQuery allocates a query id and registers it; see
+// registerQueryID.
+func (c *Cluster) registerQuery(ctx context.Context) (core.QueryID, chan *olap.QueryResult, error) {
+	qid := core.QueryID(c.nextQ.Add(1))
+	ch, err := c.registerQueryID(ctx, qid)
+	return qid, ch, err
+}
+
+// registerQueryID enters the submission epoch (queries count toward the
+// same sharded in-flight accounting as transactions — a drain covers
+// both) and registers the completion channel for qid.
+func (c *Cluster) registerQueryID(ctx context.Context, qid core.QueryID) (chan *olap.QueryResult, error) {
+	_, si, err := c.enter(ctx)
+	if err != nil {
+		return nil, err
+	}
+	ch := make(chan *olap.QueryResult, 1)
+	c.qMu.Lock()
+	c.qWait[qid] = &queryWait{ch: ch, shard: si}
+	c.qMu.Unlock()
+	return ch, nil
+}
+
 // awaitQuery blocks for a registered query result, the context, or
 // Close (which closes the channel).
 func (c *Cluster) awaitQuery(ctx context.Context, qid core.QueryID, ch chan *olap.QueryResult) (*olap.QueryResult, error) {
@@ -723,50 +738,52 @@ func (c *Cluster) awaitQuery(ctx context.Context, qid core.QueryID, ch chan *ola
 		}
 		return res, nil
 	case <-ctx.Done():
-		// Abandon the wait: deregister so Close's sweep skips the
-		// channel; a result already being delivered lands in the buffer
-		// and is dropped.
-		c.mu.Lock()
-		delete(c.qWait, qid)
-		c.mu.Unlock()
+		// Abandon the wait: drop the channel so the eventual result is
+		// discarded, but keep the registration — the query still runs,
+		// and its completion must release the in-flight count.
+		c.qMu.Lock()
+		if qw := c.qWait[qid]; qw != nil {
+			qw.ch = nil
+		}
+		c.qMu.Unlock()
 		return nil, ctx.Err()
 	}
 }
 
 // onDone resolves waiting callers. It runs on AC goroutines and must
-// never block.
+// never block. The transaction path is lock-free: the DoneInfo carries
+// the submitter's *Future back as its client token, so resolution is a
+// CAS on the future plus one atomic shard release.
 func (c *Cluster) onDone(ev *core.Event) {
 	switch p := ev.Payload.(type) {
 	case *oltp.DoneInfo:
 		committed := p.Committed
+		f, _ := p.Client.(*Future)
 		oltp.FreeDoneInfo(p)
-		c.mu.Lock()
-		f := c.txnWait[ev.Txn]
-		delete(c.txnWait, ev.Txn)
-		if f != nil {
-			c.inflight--
-			if c.inflight == 0 {
-				c.signalIdle()
-			}
-		}
-		c.mu.Unlock()
-		if f != nil {
-			f.resolve(committed)
-		} else {
+		if f == nil {
+			// Every public submission carries its future; a completion
+			// without one is a lost or duplicated resolution.
 			c.unmatchedDone.Add(1)
+			return
 		}
+		// Read the shard before resolving: resolve may recycle the
+		// future into the pool, where another session can claim it.
+		si := f.shard
+		f.resolve(committed)
+		c.exitShard(si)
 	case *olap.QueryResult:
-		c.mu.Lock()
-		ch := c.qWait[p.Query]
+		c.qMu.Lock()
+		qw := c.qWait[p.Query]
 		delete(c.qWait, p.Query)
-		c.qInflight--
-		if c.qInflight == 0 {
-			c.signalIdle()
+		c.qMu.Unlock()
+		if qw == nil {
+			c.unmatchedDone.Add(1)
+			return
 		}
-		c.mu.Unlock()
-		if ch != nil {
-			ch <- p
+		if qw.ch != nil {
+			qw.ch <- p
 		}
+		c.exitShard(qw.shard)
 		if c.adaptCtrl != nil && !c.growAsked.Load() {
 			// Feed analytical activity into the signal stream so the
 			// controller can react with elasticity (a one-shot
@@ -840,7 +857,7 @@ func (c *Cluster) Events(ctx context.Context) <-chan AdaptationEvent {
 	ch := make(chan AdaptationEvent, 16)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.closed || ctx.Err() != nil {
+	if c.closed.Load() || ctx.Err() != nil {
 		close(ch)
 		return ch
 	}
@@ -873,10 +890,7 @@ func (c *Cluster) drainDecisions() {
 }
 
 func (c *Cluster) applyDecision(d *adapt.Decision) {
-	c.mu.Lock()
-	closed := c.closed
-	c.mu.Unlock()
-	if closed {
+	if c.closed.Load() {
 		return
 	}
 	ev := AdaptationEvent{
@@ -925,18 +939,27 @@ func (c *Cluster) applyDecision(d *adapt.Decision) {
 }
 
 // Verify checks the TPC-C consistency conditions over the current state.
+// It quiesces the cluster first — an epoch drain, exactly like a policy
+// switch: submissions arriving mid-verify briefly gate, in-flight work
+// completes, the check runs over a stable snapshot, and the plane
+// reopens under the unchanged policy. Concurrent with Close it waits
+// for Close's own final drain instead (the engine is stopped, so the
+// read is equally stable).
 func (c *Cluster) Verify() error {
-	c.mu.Lock()
-	// Wait for a true drain even if Close runs concurrently: Close also
-	// waits for inflight to reach zero before stopping the engine, so
-	// this terminates — and never reads the database mid-transaction.
-	for c.inflight > 0 {
-		ch := c.idleCh()
-		c.mu.Unlock()
-		<-ch
-		c.mu.Lock()
+	c.switchMu.Lock()
+	if !c.closed.Load() {
+		e := c.sub.Load()
+		e.closed.Store(true)
+		if err := c.drainLocked(context.Background()); err == nil {
+			_, verr := tpcc.Verify(c.db, c.cfg)
+			c.reopenLocked(e, e.policy)
+			c.switchMu.Unlock()
+			return verr
+		}
+		// Close raced the drain and owns the plane now; fall through.
 	}
-	c.mu.Unlock()
+	c.switchMu.Unlock()
+	<-c.closeDrained
 	_, err := tpcc.Verify(c.db, c.cfg)
 	return err
 }
@@ -960,36 +983,41 @@ func (c *Cluster) Stats() Stats {
 	}
 }
 
-// Close stops all AC goroutines.
+// Close stops all AC goroutines. It closes the submission plane (every
+// gated or future entry observes ErrClosed), waits for all in-flight
+// transactions and analytical queries to drain — so no work is ever cut
+// off mid-flight and the database is left consistent — then stops the
+// engine and tears down subscriptions. Concurrent and repeated calls
+// wait for the teardown to finish.
 func (c *Cluster) Close() {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
+	if !c.closed.CompareAndSwap(false, true) {
+		<-c.closeDone
 		return
 	}
-	c.closed = true
-	// Advisory wake: a policy switch waiting for idle re-checks closed,
-	// ends its drain and thereby releases gated submitters too.
-	c.signalIdle()
-	for c.inflight > 0 {
-		ch := c.idleCh()
-		c.mu.Unlock()
-		<-ch
-		c.mu.Lock()
+	// Release every parked submitter and abort any in-progress policy
+	// switch (it observes closedCh, returns ErrClosed, and leaves the
+	// plane closed for us).
+	close(c.closedCh)
+	c.switchMu.Lock()
+	c.sub.Load().closed.Store(true)
+	for c.inflightCount() != 0 {
+		<-c.drainWake
 	}
-	c.mu.Unlock()
+	c.switchMu.Unlock()
+	close(c.closeDrained)
 	c.eng.Stop()
-	// The transaction drain above resolves every submitted transaction,
-	// but queries have no inflight accounting: a query whose result was
-	// still streaming when the engine stopped would leave its caller
-	// blocked forever. All AC goroutines are gone now, so closing the
-	// channels is race-free and unblocks those callers with an error.
-	c.mu.Lock()
-	for qid, ch := range c.qWait {
+	// The drain above resolved every transaction and delivered every
+	// query result, so the wait table is empty unless something slipped
+	// past accounting; closing leftovers (race-free now — all AC
+	// goroutines are gone) unblocks their callers with ErrClosed.
+	c.qMu.Lock()
+	for qid, qw := range c.qWait {
 		delete(c.qWait, qid)
-		close(ch)
+		if qw.ch != nil {
+			close(qw.ch)
+		}
 	}
-	c.mu.Unlock()
+	c.qMu.Unlock()
 	if c.decKick != nil {
 		// No more decisions can arrive either; drain the applier.
 		close(c.decKick)
@@ -1004,6 +1032,7 @@ func (c *Cluster) Close() {
 	for _, s := range subs {
 		close(s.ch)
 	}
+	close(c.closeDone)
 }
 
 // Costs exposes the engine's cost model (used by the examples to print

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"anydb"
 	"anydb/internal/bench"
@@ -118,6 +119,79 @@ func BenchmarkPaymentBlocking(b *testing.B) {
 		}(g)
 	}
 	wg.Wait()
+}
+
+// BenchmarkSubmitContention measures the cluster-entry path under
+// maximum submitter parallelism: GOMAXPROCS sessions pipeline payments
+// (a 64-deep window each), so every submission hits the gate/inflight
+// accounting at the same time. The NoChurn variant is the steady state;
+// PolicyChurn keeps a concurrent SetPolicy loop flipping the routing, so
+// the drain/reopen slow path stays exercised while submitters race it.
+// Run with -cpu 1,4 to see the contention slope, and with
+// -mutexprofile to verify the uncontended path takes no mutex.
+func BenchmarkSubmitContention(b *testing.B) {
+	for _, churn := range []bool{false, true} {
+		name := "NoChurn"
+		if churn {
+			name = "PolicyChurn"
+		}
+		b.Run(name, func(b *testing.B) {
+			c := openBenchCluster(b)
+			ctx := context.Background()
+			stop := make(chan struct{})
+			var churner sync.WaitGroup
+			if churn {
+				churner.Add(1)
+				go func() {
+					defer churner.Done()
+					pols := []anydb.Policy{anydb.StreamingCC, anydb.SharedNothing}
+					for i := 0; ; i++ {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						sctx, cancel := context.WithTimeout(ctx, 5*time.Millisecond)
+						c.SetPolicy(sctx, pols[i%len(pols)])
+						cancel()
+						time.Sleep(time.Millisecond)
+					}
+				}()
+			}
+			b.ResetTimer()
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				const window = 64
+				futs := make([]*anydb.Future, 0, window)
+				flush := func() {
+					for _, f := range futs {
+						if _, err := f.Wait(ctx); err != nil {
+							b.Error(err)
+						}
+					}
+					futs = futs[:0]
+				}
+				i := 0
+				for pb.Next() {
+					f, err := c.SubmitPayment(ctx, anydb.Payment{
+						Warehouse: i % 4, District: 1 + i%4, Customer: 1 + i%100, Amount: 1,
+					})
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					if futs = append(futs, f); len(futs) == window {
+						flush()
+					}
+					i++
+				}
+				flush()
+			})
+			b.StopTimer()
+			close(stop)
+			churner.Wait()
+		})
+	}
 }
 
 // BenchmarkPaymentPipelined drives the same payments from the same

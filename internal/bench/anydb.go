@@ -173,12 +173,15 @@ func (a *AnyDB) entryAC(txn *tpcc.Txn) core.ACID {
 }
 
 // injectNext issues one transaction from the generator (closed loop).
+// The txn rides the pool: the dispatcher frees it once the op program
+// is compiled, so the closed loop allocates no Txn in steady state.
 func (a *AnyDB) injectNext(at sim.Time) {
-	txn := a.gen.Next()
+	txn := tpcc.GetTxn()
+	a.gen.NextInto(txn)
 	a.nextTxn++
 	a.inflight++
-	a.Cl.Inject(a.entryAC(&txn), &core.Event{
-		Kind: core.EvTxn, Txn: a.nextTxn, Payload: &txn,
+	a.Cl.Inject(a.entryAC(txn), &core.Event{
+		Kind: core.EvTxn, Txn: a.nextTxn, Payload: txn,
 	}, at)
 }
 

@@ -45,7 +45,10 @@ type Behavior interface {
 // incrementally (OLAP operators).
 type DataSink interface {
 	// OnData handles one batch for a stream the behavior subscribed to
-	// via AC.Subscribe.
+	// via AC.Subscribe. The *DataMsg envelope is owned by the runtime
+	// and recycled when OnData returns — sinks must not retain it.
+	// msg.Batch MAY be retained (or freed via storage.FreeBatch at the
+	// row data's own death point).
 	OnData(ctx Context, ac *AC, msg *DataMsg)
 }
 
@@ -162,43 +165,59 @@ func (ac *AC) dispatch(ctx Context, ev *Event) {
 }
 
 // HandleData stages or forwards one data message, then unparks any
-// events whose prerequisites it satisfied.
+// events whose prerequisites it satisfied. The AC is each message's
+// single consumer: envelopes that were delivered to a sink (or carried
+// only an EOS marker) are recycled here; staged envelopes are recycled
+// when Subscribe replays them.
 func (ac *AC) HandleData(ctx Context, msg *DataMsg) {
 	ac.DataHandled++
-	s := ac.stream(msg.Stream)
+	sid, query, last, producers := msg.Stream, msg.Query, msg.Last, msg.Producers
+	s := ac.stream(sid)
 	if msg.Batch != nil {
 		// Batches forward (or stage) without the Last flag: with
 		// multiple producers each sends its own marker, and the sink
 		// must see exactly one synthetic EOS — emitted below once the
 		// full fan-in closed.
 		batchOnly := msg
-		if msg.Last {
-			batchOnly = &DataMsg{Stream: msg.Stream, Query: msg.Query, Batch: msg.Batch}
+		if last {
+			// The split deliberately does not carry Prehashed: the
+			// final batch of a stream charges at the full rate, which
+			// is what the cost calibration (and the committed figures)
+			// established.
+			batchOnly = GetDataMsg()
+			batchOnly.Stream, batchOnly.Query, batchOnly.Batch = sid, query, msg.Batch
+			FreeDataMsg(msg)
 		}
 		if s.sink != nil {
 			s.sink.OnData(ctx, ac, batchOnly)
+			FreeDataMsg(batchOnly)
 		} else {
 			s.Pending = append(s.Pending, batchOnly)
 			s.Bytes += batchOnly.WireSize()
 		}
+	} else if last {
+		// Pure EOS marker: dead once counted below.
+		FreeDataMsg(msg)
 	}
-	if msg.Last {
+	if last {
 		s.eos++
-		expect := msg.Producers
-		if expect <= 0 {
-			expect = 1
+		if producers <= 0 {
+			producers = 1
 		}
-		if expect > s.expect {
-			s.expect = expect
+		if producers > s.expect {
+			s.expect = producers
 		}
 		if s.eos >= s.expect && !s.Closed {
 			s.Closed = true
 			if s.sink != nil {
-				s.sink.OnData(ctx, ac, &DataMsg{Stream: msg.Stream, Query: msg.Query, Last: true})
+				eos := GetDataMsg()
+				eos.Stream, eos.Query, eos.Last = sid, query, true
+				s.sink.OnData(ctx, ac, eos)
+				FreeDataMsg(eos)
 			}
 		}
 	}
-	ac.unpark(ctx, msg.Stream)
+	ac.unpark(ctx, sid)
 }
 
 // unpark re-dispatches events waiting on stream sid whose prerequisites
@@ -227,19 +246,25 @@ func (ac *AC) unpark(ctx Context, sid StreamID) {
 }
 
 // Subscribe hands all current and future batches of a stream to sink.
-// Buffered (beamed) batches are replayed immediately in arrival order.
+// Buffered (beamed) batches are replayed immediately in arrival order;
+// their envelopes die (and are recycled) as they replay.
 func (ac *AC) Subscribe(ctx Context, sid StreamID, sink DataSink) {
 	s := ac.stream(sid)
 	if s.sink != nil {
 		panic(fmt.Sprintf("core: stream %d already subscribed on AC %d", sid, ac.ID))
 	}
 	s.sink = sink
-	for _, m := range s.Pending {
+	for i, m := range s.Pending {
+		s.Pending[i] = nil
 		sink.OnData(ctx, ac, m)
+		FreeDataMsg(m)
 	}
 	s.Pending = nil
 	if s.Closed {
-		sink.OnData(ctx, ac, &DataMsg{Stream: sid, Last: true})
+		eos := GetDataMsg()
+		eos.Stream, eos.Last = sid, true
+		sink.OnData(ctx, ac, eos)
+		FreeDataMsg(eos)
 	}
 }
 

@@ -107,6 +107,13 @@ type Event struct {
 	// Payload is the behavior-specific body (*oltp.Segment,
 	// *olap.OpSpec, query text, ...).
 	Payload any
+	// Client is an opaque completion token the submitter attaches to
+	// EvTxn; the OLTP pipeline threads it through segments and acks so
+	// the EvTxnDone payload carries it back. Completions then resolve
+	// without any shared lookup table — the paper's "events fully
+	// describe what to do" applied to the client boundary. Nil for
+	// harness-injected work.
+	Client any
 	// Size approximates the wire size in bytes for transfer modelling.
 	Size int64
 }
@@ -167,4 +174,24 @@ func (m *DataMsg) WireSize() int64 {
 		return 32
 	}
 	return 32 + m.Batch.Bytes()
+}
+
+// dataPool recycles DataMsgs on the OLAP hot path: every scan flush and
+// join emit wraps its batch in one, and each dies at exactly one
+// consuming AC (HandleData/Subscribe), so pooling them removes the
+// per-flush envelope allocation of the data plane.
+var dataPool = sync.Pool{New: func() any { return new(DataMsg) }}
+
+// GetDataMsg returns a zeroed DataMsg from the pool. Pair with
+// FreeDataMsg at the message's single-consumer death point.
+func GetDataMsg() *DataMsg { return dataPool.Get().(*DataMsg) }
+
+// FreeDataMsg recycles m (not its Batch — batches have their own pool
+// and their own, usually later, death point). The same ownership rules
+// as FreeEvent apply: only the consumer a message was delivered to may
+// free it, and only when no reference escaped. Frees are optional;
+// missed ones fall back to the GC.
+func FreeDataMsg(m *DataMsg) {
+	*m = DataMsg{}
+	dataPool.Put(m)
 }

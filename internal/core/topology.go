@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"anydb/internal/storage"
 )
@@ -14,12 +15,16 @@ import (
 // records routed to its owner execute with full locality and no
 // concurrency control.
 //
-// On the goroutine runtime the topology grows at runtime (elasticity)
-// while AC goroutines route against it, so all access goes through an
-// RWMutex; the virtual-time runtime is single-threaded and pays only
-// the uncontended fast path.
+// Reads ride an immutable, atomically published snapshot — the same
+// treatment the engine's routing table gets — so ServerOf/SameServer/
+// Owner on the per-message data-send paths are one atomic load plus
+// indexed reads, with no lock. The mutex survives only for writers
+// (AddServer, SetOwner), which rebuild and publish a fresh snapshot;
+// topology changes are rare (elastic growth, repartitioning handoff).
 type Topology struct {
-	mu         sync.RWMutex
+	snap atomic.Pointer[topoSnap]
+
+	mu         sync.Mutex // writers only
 	serverOf   map[ACID]int
 	acsOf      map[int][]ACID
 	nextAC     ACID
@@ -28,14 +33,55 @@ type Topology struct {
 	numServers int
 }
 
+// topoSnap is one immutable topology version. Slices are never mutated
+// after publication; writers copy and republish.
+type topoSnap struct {
+	serverOf []int    // ACID-indexed
+	owner    []ACID   // partition-indexed; NoAC = unassigned
+	acsOf    [][]ACID // server-indexed; the per-server slices are stable
+	numACs   int
+}
+
 // NewTopology returns a topology over db with no servers yet.
 func NewTopology(db *storage.Database) *Topology {
-	return &Topology{
+	t := &Topology{
 		serverOf: make(map[ACID]int),
 		acsOf:    make(map[int][]ACID),
 		owner:    make(map[int]ACID),
 		db:       db,
 	}
+	t.publishLocked()
+	return t
+}
+
+// publishLocked snapshots the maps into a fresh immutable version and
+// publishes it. mu must be held.
+func (t *Topology) publishLocked() {
+	parts := t.db.NumPartitions()
+	for p := range t.owner {
+		if p >= parts {
+			parts = p + 1
+		}
+	}
+	s := &topoSnap{
+		serverOf: make([]int, t.nextAC),
+		owner:    make([]ACID, parts),
+		acsOf:    make([][]ACID, t.numServers),
+		numACs:   int(t.nextAC),
+	}
+	for id, srv := range t.serverOf {
+		s.serverOf[id] = srv
+	}
+	for i := range s.owner {
+		s.owner[i] = NoAC
+	}
+	for p, ac := range t.owner {
+		s.owner[p] = ac
+	}
+	for srv, acs := range t.acsOf {
+		s.acsOf[srv] = acs
+	}
+	t.snap.Store(s)
 }
 
 // AddServer adds a server with cores ACs and returns their ids. Servers
@@ -54,55 +100,57 @@ func (t *Topology) AddServer(cores int) []ACID {
 		t.acsOf[sid] = append(t.acsOf[sid], id)
 		ids[i] = id
 	}
+	t.publishLocked()
 	return ids
 }
 
 // NumServers returns the server count.
 func (t *Topology) NumServers() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.numServers
+	return len(t.snap.Load().acsOf)
 }
 
 // NumACs returns the total AC count.
 func (t *Topology) NumACs() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return int(t.nextAC)
+	return t.snap.Load().numACs
 }
 
 // ACs returns the ACs of one server. The returned slice is never
-// mutated after the server exists, so it is safe to hold.
+// mutated after the server's last core registered, so it is safe to
+// hold.
 func (t *Topology) ACs(server int) []ACID {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.acsOf[server]
+	return t.snap.Load().acsOf[server]
 }
 
 // AllACs returns every AC id in order.
 func (t *Topology) AllACs() []ACID {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	out := make([]ACID, 0, t.nextAC)
-	for i := ACID(0); i < t.nextAC; i++ {
+	n := t.snap.Load().numACs
+	out := make([]ACID, 0, n)
+	for i := ACID(0); i < ACID(n); i++ {
 		out = append(out, i)
 	}
 	return out
 }
 
-// ServerOf returns the server hosting an AC.
+// serverAt resolves an AC's server against one snapshot; unknown ACs
+// report server 0, matching the old map-lookup zero value.
+func serverAt(s *topoSnap, ac ACID) int {
+	if ac < 0 || int(ac) >= len(s.serverOf) {
+		return 0
+	}
+	return s.serverOf[ac]
+}
+
+// ServerOf returns the server hosting an AC. Lock-free: one snapshot
+// load and an indexed read.
 func (t *Topology) ServerOf(ac ACID) int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.serverOf[ac]
+	return serverAt(t.snap.Load(), ac)
 }
 
 // SameServer reports whether two ACs share a server (local shared-memory
-// hop vs network hop).
+// hop vs network hop). Lock-free.
 func (t *Topology) SameServer(a, b ACID) bool {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.serverOf[a] == t.serverOf[b]
+	s := t.snap.Load()
+	return serverAt(s, a) == serverAt(s, b)
 }
 
 // SetOwner assigns a storage partition to an AC. Re-assignment is
@@ -112,26 +160,25 @@ func (t *Topology) SetOwner(partition int, ac ACID) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.owner[partition] = ac
+	t.publishLocked()
 }
 
-// Owner returns the AC owning a partition.
+// Owner returns the AC owning a partition. Lock-free: it sits on every
+// routed operation of the dispatch hot path.
 func (t *Topology) Owner(partition int) ACID {
-	t.mu.RLock()
-	ac, ok := t.owner[partition]
-	t.mu.RUnlock()
-	if !ok {
+	s := t.snap.Load()
+	if partition < 0 || partition >= len(s.owner) || s.owner[partition] == NoAC {
 		panic(fmt.Sprintf("core: partition %d has no owner", partition))
 	}
-	return ac
+	return s.owner[partition]
 }
 
 // OwnedPartitions returns the partitions owned by ac (ascending).
 func (t *Topology) OwnedPartitions(ac ACID) []int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	s := t.snap.Load()
 	var out []int
-	for p := 0; p < t.db.NumPartitions(); p++ {
-		if owner, ok := t.owner[p]; ok && owner == ac {
+	for p, owner := range s.owner {
+		if owner == ac {
 			out = append(out, p)
 		}
 	}

@@ -1,0 +1,31 @@
+package core
+
+import "testing"
+
+// BenchmarkTopologyRead measures the read side of the topology on the
+// data-send pattern: every cross-AC send resolves ServerOf/SameServer
+// and every routed operation resolves Owner. These sit on the hot path
+// of both runtimes, so they must scale with readers (run with -cpu 1,4).
+func BenchmarkTopologyRead(b *testing.B) {
+	topo := NewTopology(testDB(8))
+	execs := topo.AddServer(4)
+	topo.AddServer(4)
+	for w := 0; w < 8; w++ {
+		topo.SetOwner(w, execs[w%len(execs)])
+	}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		sink := 0
+		for pb.Next() {
+			a := ACID(i % 8)
+			sink += topo.ServerOf(a)
+			if topo.SameServer(a, ACID((i+3)%8)) {
+				sink++
+			}
+			sink += int(topo.Owner(i % 8))
+			i++
+		}
+		_ = sink
+	})
+}

@@ -191,7 +191,7 @@ func (w *Worker) scanChunk(ctx core.Context, _ *core.AC, ev *core.Event, s *Scan
 			s.cols[i] = t.Schema.MustCol(c)
 			outCols[i] = t.Schema.Cols[s.cols[i]]
 		}
-		s.batch = storage.NewBatch(storage.NewSchema(s.Table+"_scan", outCols...))
+		s.batch = storage.GetBatch(storage.NewSchema(s.Table+"_scan", outCols...))
 		s.rowBuf = make(storage.Row, len(s.cols))
 		if s.ChunkRows == 0 {
 			s.ChunkRows = DefaultChunkRows
@@ -234,15 +234,30 @@ func (w *Worker) scanChunk(ctx core.Context, _ *core.AC, ev *core.Event, s *Scan
 	ctx.Send(ctx.Self(), ev)
 }
 
+// flush emits the accumulated batch (if any) as one pooled data message.
+// The scan's batch scratch is recycled, not reallocated: the consumer
+// frees each emitted batch at its death point, so steady-state flushing
+// allocates nothing.
 func (w *Worker) flush(ctx core.Context, s *ScanSpec, last bool) {
-	if s.batch.Len() > 0 || last {
-		msg := &core.DataMsg{Stream: s.Out, Query: s.Query, Last: last, Producers: s.Producers}
-		if s.batch.Len() > 0 {
-			msg.Batch = s.batch
-			s.batch = storage.NewBatch(msg.Batch.Schema)
-		}
-		ctx.SendData(s.To, msg)
+	if s.batch.Len() == 0 && !last {
+		return
 	}
+	msg := core.GetDataMsg()
+	msg.Stream, msg.Query, msg.Last, msg.Producers = s.Out, s.Query, last, s.Producers
+	if s.batch.Len() > 0 {
+		msg.Batch = s.batch
+		if last {
+			s.batch = nil
+		} else {
+			s.batch = storage.GetBatch(msg.Batch.Schema)
+		}
+	} else {
+		// Final flush with an empty scratch: the scan is done, the
+		// scratch dies here.
+		storage.FreeBatch(s.batch)
+		s.batch = nil
+	}
+	ctx.SendData(s.To, msg)
 }
 
 // joinState is a two-phase hash join bound to one AC.
@@ -296,11 +311,20 @@ func (j *joinBuildSink) OnData(ctx core.Context, ac *core.AC, msg *core.DataMsg)
 		}
 		cols := colIdx(msg.Batch.Schema, st.spec.BuildKey)
 		bi := len(st.build)
-		st.build = append(st.build, msg.Batch)
+		if !st.spec.Semi {
+			// Inner joins materialize build rows at probe time, so the
+			// batch must live until the probe side closes.
+			st.build = append(st.build, msg.Batch)
+		}
 		for r := 0; r < msg.Batch.Len(); r++ {
 			ctx.Charge(buildCost)
 			k := keyOf(msg.Batch, r, cols)
 			st.ht[k] = append(st.ht[k], int32(bi)<<16|int32(r))
+		}
+		if st.spec.Semi {
+			// A semi join only ever consults key presence: the build
+			// rows are dead as soon as they are hashed.
+			storage.FreeBatch(msg.Batch)
 		}
 	}
 	if msg.Last {
@@ -329,7 +353,7 @@ func (j *joinProbeSink) OnData(ctx core.Context, ac *core.AC, msg *core.DataMsg)
 		}
 		cols := colIdx(msg.Batch.Schema, spec.ProbeKey)
 		if st.out == nil {
-			st.out = storage.NewBatch(outSchema(st, msg.Batch.Schema))
+			st.out = storage.GetBatch(outSchema(st, msg.Batch.Schema))
 		}
 		for r := 0; r < msg.Batch.Len(); r++ {
 			ctx.Charge(probeCost)
@@ -350,12 +374,18 @@ func (j *joinProbeSink) OnData(ctx core.Context, ac *core.AC, msg *core.DataMsg)
 				st.emit(ctx, false)
 			}
 		}
+		// AppendRow/Row copy, so the probe batch dies here.
+		storage.FreeBatch(msg.Batch)
 	}
 	if msg.Last {
-		if st.out == nil {
-			st.out = storage.NewBatch(storage.NewSchema("join_empty"))
-		}
 		st.emit(ctx, true)
+		// The join is over: release the build side (inner joins only —
+		// semi builds were recycled as they were hashed) and the hash
+		// table.
+		for _, b := range st.build {
+			storage.FreeBatch(b)
+		}
+		st.build, st.ht = nil, nil
 		if spec.Notify != core.NoAC {
 			ctx.Send(spec.Notify, &core.Event{
 				Kind: core.EvOpDone, Query: spec.Query,
@@ -365,11 +395,21 @@ func (j *joinProbeSink) OnData(ctx core.Context, ac *core.AC, msg *core.DataMsg)
 	}
 }
 
+// emit forwards the accumulated output batch (if any) as one pooled
+// data message; the downstream consumer recycles both.
 func (st *joinState) emit(ctx core.Context, last bool) {
-	msg := &core.DataMsg{Stream: st.spec.Out, Query: st.spec.Query, Last: last, Producers: st.spec.Producers}
-	if st.out.Len() > 0 {
+	msg := core.GetDataMsg()
+	msg.Stream, msg.Query, msg.Last, msg.Producers = st.spec.Out, st.spec.Query, last, st.spec.Producers
+	if st.out != nil && st.out.Len() > 0 {
 		msg.Batch = st.out
-		st.out = storage.NewBatch(msg.Batch.Schema)
+		if last {
+			st.out = nil
+		} else {
+			st.out = storage.GetBatch(msg.Batch.Schema)
+		}
+	} else if last {
+		storage.FreeBatch(st.out)
+		st.out = nil
 	}
 	ctx.SendData(st.spec.To, msg)
 }
@@ -399,6 +439,8 @@ func (a *aggState) OnData(ctx core.Context, _ *core.AC, msg *core.DataMsg) {
 	if msg.Batch != nil {
 		ctx.Charge(ctx.Costs().AggRow * sim.Time(msg.Batch.Len()))
 		a.rows += int64(msg.Batch.Len())
+		// The aggregate only counts: the batch dies here.
+		storage.FreeBatch(msg.Batch)
 	}
 	if msg.Last {
 		ctx.Send(a.spec.Notify, &core.Event{
@@ -428,6 +470,9 @@ func (c *collectState) OnData(ctx core.Context, _ *core.AC, msg *core.DataMsg) {
 			}
 			c.rows = append(c.rows, proj.Row(r))
 		}
+		// Row copies out of the projection; both batches die here.
+		storage.FreeBatch(proj)
+		storage.FreeBatch(msg.Batch)
 	}
 	if msg.Last {
 		ctx.Send(c.spec.Notify, &core.Event{

@@ -97,8 +97,9 @@ type Dispatcher struct {
 }
 
 type queuedTxn struct {
-	id  core.TxnID
-	txn *tpcc.Txn
+	id     core.TxnID
+	txn    *tpcc.Txn
+	client any
 }
 
 // segGroup accumulates the ops routed to one destination AC.
@@ -148,11 +149,11 @@ func (d *Dispatcher) OnEvent(ctx core.Context, ac *core.AC, ev *core.Event) {
 		if !ok {
 			panic("oltp: EvTxn payload must be *tpcc.Txn")
 		}
-		id := ev.Txn
+		id, client := ev.Txn, ev.Client
 		// The envelope is dead once admission has the txn (queued
 		// admissions keep the payload, never the event).
 		core.FreeEvent(ev)
-		d.admit(ctx, cfg, id, txn)
+		d.admit(ctx, cfg, id, txn, client)
 	case core.EvAck:
 		d.onAck(ctx, cfg, ev)
 	default:
@@ -160,7 +161,7 @@ func (d *Dispatcher) OnEvent(ctx core.Context, ac *core.AC, ev *core.Event) {
 	}
 }
 
-func (d *Dispatcher) admit(ctx core.Context, cfg *DispatchConfig, id core.TxnID, txn *tpcc.Txn) {
+func (d *Dispatcher) admit(ctx core.Context, cfg *DispatchConfig, id core.TxnID, txn *tpcc.Txn, client any) {
 	ctx.Charge(ctx.Costs().TxnBegin)
 	// Reconnaissance (Calvin-style): validate new-order items against
 	// the replicated catalog before dispatching anything, so routed
@@ -172,7 +173,9 @@ func (d *Dispatcher) admit(ctx core.Context, cfg *DispatchConfig, id core.TxnID,
 			d.Aborted.Inc()
 			d.win.observeAbort()
 			d.win.maybeFlush(ctx, cfg.Policy)
-			sendTxnDone(ctx, id, false, txn.HomeWarehouse())
+			home := txn.HomeWarehouse()
+			tpcc.FreeTxn(txn)
+			sendTxnDone(ctx, id, false, home, client)
 			return
 		}
 	}
@@ -185,13 +188,13 @@ func (d *Dispatcher) admit(ctx core.Context, cfg *DispatchConfig, id core.TxnID,
 		if d.busy[home] {
 			// The op program is compiled lazily at dispatch, so a
 			// queued transaction holds one pointer, not a slice.
-			d.queued[home] = append(d.queued[home], queuedTxn{id: id, txn: txn})
+			d.queued[home] = append(d.queued[home], queuedTxn{id: id, txn: txn, client: client})
 			return
 		}
 		d.busy[home] = true
 		d.homeOf[id] = home
 	}
-	d.dispatch(ctx, cfg, id, txn)
+	d.dispatch(ctx, cfg, id, txn, client)
 }
 
 // dispatch groups the transaction's operations by destination AC and
@@ -199,8 +202,12 @@ func (d *Dispatcher) admit(ctx core.Context, cfg *DispatchConfig, id core.TxnID,
 // buffers with a linear destination scan (a transaction routes to a
 // handful of ACs at most); the pooled segments copy their ops out, so
 // the scratch is free for the next transaction immediately.
-func (d *Dispatcher) dispatch(ctx core.Context, cfg *DispatchConfig, id core.TxnID, txn *tpcc.Txn) {
+func (d *Dispatcher) dispatch(ctx core.Context, cfg *DispatchConfig, id core.TxnID, txn *tpcc.Txn, client any) {
 	d.ops = ProgramAppend(d.ops[:0], txn)
+	// The transaction parameters are fully compiled into the op program
+	// now; the txn itself dies here and is recycled for the next
+	// submission (both runtimes inject pooled txns).
+	tpcc.FreeTxn(txn)
 	groups := d.groups
 	ng := 0
 	for _, op := range d.ops {
@@ -236,7 +243,7 @@ func (d *Dispatcher) dispatch(ctx core.Context, cfg *DispatchConfig, id core.Txn
 		for i := 0; i < ng; i++ {
 			batch.Events = append(batch.Events, core.Outbound{
 				Dst: groups[i].dst,
-				Ev:  d.segmentEvent(id, groups[i].ops, coord, total),
+				Ev:  d.segmentEvent(id, groups[i].ops, coord, total, client),
 			})
 		}
 		seq := core.GetEvent()
@@ -245,15 +252,15 @@ func (d *Dispatcher) dispatch(ctx core.Context, cfg *DispatchConfig, id core.Txn
 		return
 	}
 	for i := 0; i < ng; i++ {
-		ctx.Send(groups[i].dst, d.segmentEvent(id, groups[i].ops, coord, total))
+		ctx.Send(groups[i].dst, d.segmentEvent(id, groups[i].ops, coord, total, client))
 	}
 }
 
 // segmentEvent builds one pooled EvSegment event owning a copy of ops.
-func (d *Dispatcher) segmentEvent(id core.TxnID, ops []Op, coord core.ACID, total int) *core.Event {
+func (d *Dispatcher) segmentEvent(id core.TxnID, ops []Op, coord core.ACID, total int, client any) *core.Event {
 	seg := getSegment()
 	seg.Ops = append(seg.Ops[:0], ops...)
-	seg.Coord, seg.Total = coord, total
+	seg.Coord, seg.Total, seg.Client = coord, total, client
 	ev := core.GetEvent()
 	ev.Kind, ev.Txn, ev.Payload, ev.Size = core.EvSegment, id, seg, seg.wireSize()
 	return ev
@@ -262,9 +269,10 @@ func (d *Dispatcher) segmentEvent(id core.TxnID, ops []Op, coord core.ACID, tota
 // sendTxnDone emits the pooled EvTxnDone completion toward the client;
 // the consumer of the event frees the DoneInfo (FreeDoneInfo). Shared
 // by the dispatcher-embedded and dedicated-coordinator commit paths.
-func sendTxnDone(ctx core.Context, id core.TxnID, committed bool, home int) {
+// client is the submitter's completion token, handed back untouched.
+func sendTxnDone(ctx core.Context, id core.TxnID, committed bool, home int, client any) {
 	done := GetDoneInfo()
-	done.Committed, done.Home = committed, home
+	done.Committed, done.Home, done.Client = committed, home, client
 	ev := core.GetEvent()
 	ev.Kind, ev.Txn, ev.Payload = core.EvTxnDone, id, done
 	ctx.Send(core.ClientAC, ev)
@@ -284,21 +292,14 @@ func route(cfg *DispatchConfig, op Op) core.ACID {
 }
 
 func (d *Dispatcher) onAck(ctx core.Context, cfg *DispatchConfig, ev *core.Event) {
-	ack := ev.Payload.(*Ack)
-	ctx.Charge(ctx.Costs().AckProcess)
-	id, ackHome, ackTotal := ev.Txn, ack.Home, ack.Total
-	freeAck(ack)
-	core.FreeEvent(ev)
-	got := d.pending[id] + 1
-	if got < ackTotal {
-		d.pending[id] = got
+	id, ackHome, client, done := takeAck(ctx, d.pending, ev)
+	if !done {
 		return
 	}
-	delete(d.pending, id)
 	ctx.Charge(ctx.Costs().TxnCommit)
 	d.Committed.Inc()
 	d.win.observeCommit(false)
-	sendTxnDone(ctx, id, true, ackHome)
+	sendTxnDone(ctx, id, true, ackHome, client)
 	// Naive admission: release the home warehouse and start the next
 	// queued transaction.
 	if cfg.Policy == NaiveIntra {
@@ -315,6 +316,6 @@ func (d *Dispatcher) onAck(ctx core.Context, cfg *DispatchConfig, ev *core.Event
 		next := q[0]
 		d.queued[home] = q[1:]
 		d.homeOf[next.id] = home
-		d.dispatch(ctx, cfg, next.id, next.txn)
+		d.dispatch(ctx, cfg, next.id, next.txn, next.client)
 	}
 }

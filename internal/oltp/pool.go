@@ -24,7 +24,7 @@ func getSegment() *Segment { return segPool.Get().(*Segment) }
 func freeSegment(s *Segment) {
 	clear(s.Ops)
 	s.Ops = s.Ops[:0]
-	s.Coord, s.Total = 0, 0
+	s.Coord, s.Total, s.Client = 0, 0, nil
 	segPool.Put(s)
 }
 

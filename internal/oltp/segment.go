@@ -15,6 +15,10 @@ type Segment struct {
 	Ops   []Op
 	Coord core.ACID // where the ack goes
 	Total int       // segments in the whole transaction
+	// Client is the submitter's completion token (core.Event.Client),
+	// threaded through every segment so the commit path can return it
+	// on the DoneInfo without any shared lookup table.
+	Client any
 }
 
 // wireSize approximates the event payload size.
@@ -22,14 +26,18 @@ func (s *Segment) wireSize() int64 { return int64(len(s.Ops)) * 48 }
 
 // Ack is the payload of core.EvAck.
 type Ack struct {
-	Total int
-	Home  int // home warehouse (admission bookkeeping)
+	Total  int
+	Home   int // home warehouse (admission bookkeeping)
+	Client any // completion token, carried from the segment
 }
 
 // DoneInfo is the payload of core.EvTxnDone toward the client.
 type DoneInfo struct {
 	Committed bool
 	Home      int
+	// Client is the token the submitter attached at injection (nil for
+	// harness-driven transactions, which match completions themselves).
+	Client any
 }
 
 // Executor is the worker-side behavior: it runs segments against the
@@ -73,7 +81,7 @@ func (x *Executor) OnEvent(ctx core.Context, _ *core.AC, ev *core.Event) {
 	x.undo.Commit()
 	x.Executed++
 	ack := getAck()
-	ack.Total = seg.Total
+	ack.Total, ack.Client = seg.Total, seg.Client
 	if len(seg.Ops) > 0 {
 		ack.Home = seg.Ops[0].Warehouse()
 	}
@@ -110,24 +118,39 @@ func NewCoordinator() *Coordinator {
 // controller. Install before the engine starts delivering events.
 func (c *Coordinator) SetTelemetry(t Telemetry) { c.win.SetTelemetry(t) }
 
-// OnEvent implements core.Behavior for EvAck.
-func (c *Coordinator) OnEvent(ctx core.Context, _ *core.AC, ev *core.Event) {
+// takeAck consumes one pooled ack event — the shared half of the two
+// commit-coordination paths (dedicated Coordinator and embedded
+// Dispatcher.onAck). It copies the fields out, recycles the ack and its
+// envelope (the pooled-ownership rule lives here, in one place), counts
+// the ack against pending, and reports whether the transaction is now
+// fully acked.
+func takeAck(ctx core.Context, pending map[core.TxnID]int, ev *core.Event) (id core.TxnID, home int, client any, done bool) {
 	ack := ev.Payload.(*Ack)
 	ctx.Charge(ctx.Costs().AckProcess)
-	id, ackHome, ackTotal := ev.Txn, ack.Home, ack.Total
+	var total int
+	id, home, total, client = ev.Txn, ack.Home, ack.Total, ack.Client
 	freeAck(ack)
 	core.FreeEvent(ev)
-	got := c.pending[id] + 1
-	if got < ackTotal {
-		c.pending[id] = got
+	got := pending[id] + 1
+	if got < total {
+		pending[id] = got
+		return id, home, client, false
+	}
+	delete(pending, id)
+	return id, home, client, true
+}
+
+// OnEvent implements core.Behavior for EvAck.
+func (c *Coordinator) OnEvent(ctx core.Context, _ *core.AC, ev *core.Event) {
+	id, ackHome, client, done := takeAck(ctx, c.pending, ev)
+	if !done {
 		return
 	}
-	delete(c.pending, id)
 	ctx.Charge(ctx.Costs().TxnCommit)
 	c.Committed.Inc()
 	// A dedicated coordinator only runs under streaming CC; its windows
 	// advance on commits (it never sees admissions).
 	c.win.observeCommit(true)
 	c.win.maybeFlush(ctx, StreamingCC)
-	sendTxnDone(ctx, id, true, ackHome)
+	sendTxnDone(ctx, id, true, ackHome, client)
 }

@@ -1,6 +1,9 @@
 package storage
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // ColVec is one column of a columnar batch. Only the slice matching Kind
 // is populated.
@@ -52,6 +55,66 @@ func NewBatch(schema *Schema) *Batch {
 		b.Cols[i].Kind = c.Kind
 	}
 	return b
+}
+
+// batchClasses size-classes the batch pool by column count: a recycled
+// batch is only useful when its column-vector capacities fit the next
+// schema's arity, so each arity up to the cap pools separately (wider
+// batches share the last class). TPC-C's scan/join schemas span 1–7
+// columns, so classes stay hot.
+const batchClasses = 9
+
+var batchPools [batchClasses]sync.Pool
+
+func batchClass(cols int) int {
+	if cols >= batchClasses {
+		return batchClasses - 1
+	}
+	return cols
+}
+
+// GetBatch returns an empty batch shaped like schema, recycling vector
+// capacity from the pool when a same-class batch is available. Pair
+// with FreeBatch at the batch's single-consumer death point (after the
+// last row was read or copied out).
+func GetBatch(schema *Schema) *Batch {
+	v := batchPools[batchClass(schema.NumCols())].Get()
+	if v == nil {
+		return NewBatch(schema)
+	}
+	b := v.(*Batch)
+	b.Schema = schema
+	n := schema.NumCols()
+	if cap(b.Cols) < n {
+		b.Cols = make([]ColVec, n)
+	} else {
+		b.Cols = b.Cols[:n]
+	}
+	for i := range b.Cols {
+		c := &b.Cols[i]
+		c.Kind = schema.Cols[i].Kind
+		c.Ints = c.Ints[:0]
+		c.Floats = c.Floats[:0]
+		c.Strs = c.Strs[:0]
+	}
+	b.n, b.bytes = 0, 0
+	return b
+}
+
+// FreeBatch recycles b, keeping its column-vector capacity. Only the
+// consumer the batch was delivered to may free it, and only once no row
+// or projected reference escapes (Row/Project copy, so their results
+// survive the free). String cells are released eagerly so the pool
+// never pins row data. Frees are optional — missed ones fall back to
+// the GC.
+func FreeBatch(b *Batch) {
+	if b == nil {
+		return
+	}
+	for i := range b.Cols {
+		clear(b.Cols[i].Strs)
+	}
+	batchPools[batchClass(len(b.Cols))].Put(b)
 }
 
 // AppendRow copies row into the batch.

@@ -2,6 +2,7 @@ package tpcc
 
 import (
 	"math/rand"
+	"sync"
 )
 
 // Mix configures the transaction stream a Generator produces. The paper's
@@ -87,6 +88,10 @@ type Txn struct {
 	Kind     TxnKind
 	Payment  Payment
 	NewOrder NewOrder
+	// pooled marks txns issued by GetTxn: the consumer-side FreeTxn
+	// recycles only those, so harnesses that inject (and retain) their
+	// own Txn values are never mutated behind their back.
+	pooled bool
 }
 
 // HomeWarehouse returns the partition the transaction starts at.
@@ -95,6 +100,38 @@ func (t Txn) HomeWarehouse() int {
 		return t.Payment.W
 	}
 	return t.NewOrder.W
+}
+
+// txnPool recycles Txns across submissions: the client builds one per
+// call and the dispatcher consumes it while compiling the op program,
+// a clean single-consumer lifecycle (mirroring the event-plane pools),
+// so the steady-state submission path stops allocating it.
+var txnPool = sync.Pool{New: func() any { return new(Txn) }}
+
+// GetTxn returns a zeroed Txn from the pool. Pair with FreeTxn at the
+// point the transaction's parameters are provably dead (the dispatcher
+// frees it once the op program is compiled).
+func GetTxn() *Txn {
+	t := txnPool.Get().(*Txn)
+	t.pooled = true
+	return t
+}
+
+// FreeTxn recycles t if it came from GetTxn and is a no-op otherwise,
+// so the consumer (the dispatcher) can call it unconditionally while
+// harness-owned Txn values stay untouched. The op program hands
+// NewOrder.Lines off to the compiled InsertOrder operation, which
+// outlives the txn — the reference is dropped, never reused. Frees are
+// optional; txns that miss theirs fall back to the GC.
+func FreeTxn(t *Txn) {
+	if !t.pooled {
+		return
+	}
+	t.Kind = 0
+	t.Payment = Payment{}
+	t.NewOrder = NewOrder{}
+	t.pooled = false
+	txnPool.Put(t)
 }
 
 // Generator produces a deterministic stream of transactions.
@@ -126,10 +163,22 @@ func (g *Generator) homeW() int {
 
 // Next generates one transaction.
 func (g *Generator) Next() Txn {
+	var t Txn
+	g.NextInto(&t)
+	return t
+}
+
+// NextInto generates one transaction into t (usually a pooled Txn from
+// GetTxn), drawing exactly the same random sequence as Next so pooled
+// and value-based harnesses stay deterministic twins.
+func (g *Generator) NextInto(t *Txn) {
 	if g.rng.Float64() < g.mix.PaymentFrac {
-		return Txn{Kind: TxnPayment, Payment: g.payment()}
+		t.Kind, t.Payment = TxnPayment, g.payment()
+		t.NewOrder = NewOrder{}
+		return
 	}
-	return Txn{Kind: TxnNewOrder, NewOrder: g.newOrder()}
+	t.Kind, t.Payment = TxnNewOrder, Payment{}
+	t.NewOrder = g.newOrder()
 }
 
 func (g *Generator) payment() Payment {

@@ -1,0 +1,151 @@
+package anydb
+
+import (
+	"context"
+	"sync/atomic"
+	"unsafe"
+)
+
+// This file is the cluster's submission plane: the accounting every
+// Submit*/Query entry and completion passes through, and the epoch gate
+// a policy switch (or Close, or Verify) uses to quiesce the cluster.
+//
+// The paper's premise (§2) is that an architecture shift is
+// instantaneous because state never moves; the client entry matches
+// that by making the steady-state path contention-free. An uncontended
+// submission performs no mutex lock/unlock at all:
+//
+//   - in-flight accounting is one atomic add on a goroutine-affine,
+//     cache-line-padded shard (and one atomic sub at completion);
+//   - the open/draining decision is one atomic pointer load plus one
+//     flag load on the current epoch;
+//   - transaction ids come from an atomic counter, and the completion
+//     rendezvous needs no shared lookup table at all — the *Future
+//     rides the event plane as an opaque client token and comes back
+//     on the DoneInfo.
+//
+// A drain (SetPolicy, Verify, Close) closes the current epoch with one
+// flag store: submitters that race in observe the flag after their
+// increment (sequentially consistent, Dekker-style), back out, and park
+// on the epoch's reopen channel — so the drainer's counter sum can
+// never miss an admitted submission, and a submitter can never slip
+// under a drain. Completions keep decrementing; each decrement that
+// observes a closed epoch pings the drainer, which re-checks the sum.
+// When the sum hits zero the drainer reconfigures and publishes a fresh
+// open epoch, releasing the gate — the drain-or-reject guarantee
+// (including ErrClosed once Close has begun) of the old mutex plane,
+// kept verbatim, without the mutex.
+
+// submitShard is one padded in-flight counter. Padding keeps each
+// counter on its own cache line so parallel submitters on different
+// shards never false-share.
+type submitShard struct {
+	n atomic.Int64
+	_ [56]byte
+}
+
+// submitEpoch is one open interval of the submission plane. The shard
+// counters are global (cluster-lifetime) — an epoch only carries the
+// policy submissions route under, the draining flag, and the gate
+// released when a successor epoch is published.
+type submitEpoch struct {
+	policy Policy
+	// closed flips once a drain begins; it never unflips (reopening
+	// publishes a successor epoch instead).
+	closed atomic.Bool
+	// reopen is closed when the successor epoch is published. A closed
+	// epoch that is never succeeded (Close) leaves waiters to the
+	// cluster-wide closedCh.
+	reopen chan struct{}
+}
+
+func newEpoch(p Policy) *submitEpoch {
+	return &submitEpoch{policy: p, reopen: make(chan struct{})}
+}
+
+// shardIdx picks the calling goroutine's submission shard. The address
+// of a stack variable is a cheap goroutine fingerprint (stacks are
+// distinct allocations, ≥2KiB apart), giving each session goroutine a
+// stable shard without runtime hooks; correctness never depends on the
+// mapping — enter records the index it incremented and the completion
+// decrements exactly that shard.
+func (c *Cluster) shardIdx() int32 {
+	var marker byte
+	return int32(uintptr(unsafe.Pointer(&marker))>>10) & c.shardMask
+}
+
+// enter joins the current epoch, returning it with one in-flight count
+// held on shard si. The uncontended path is lock-free: one atomic add,
+// two atomic loads. While a drain is in progress it parks until the
+// plane reopens; ctx cancellation abandons the attempt and ErrClosed
+// reports a cluster that will never reopen.
+func (c *Cluster) enter(ctx context.Context) (e *submitEpoch, si int32, err error) {
+	si = c.shardIdx()
+	for {
+		e = c.sub.Load()
+		// Increment first, then check the flag: a drainer sets the flag
+		// before summing, so either it sees this increment or this
+		// check sees the flag and backs out (never both missed).
+		c.shards[si].n.Add(1)
+		if !e.closed.Load() {
+			return e, si, nil
+		}
+		c.exitShard(si)
+		select {
+		case <-e.reopen:
+		case <-ctx.Done():
+			return nil, 0, ctx.Err()
+		case <-c.closedCh:
+			return nil, 0, ErrClosed
+		}
+	}
+}
+
+// exitShard releases one in-flight count. If a drain is in progress the
+// drainer is pinged to re-check the sum; the ping is advisory (buffered,
+// dropped when one is already pending).
+func (c *Cluster) exitShard(si int32) {
+	c.shards[si].n.Add(-1)
+	if c.sub.Load().closed.Load() {
+		select {
+		case c.drainWake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// inflightCount sums the shards. Only meaningful to a drainer that has
+// already closed the current epoch (no new entries can commit, so a
+// zero sum is stable).
+func (c *Cluster) inflightCount() int64 {
+	var n int64
+	for i := range c.shards {
+		n += c.shards[i].n.Load()
+	}
+	return n
+}
+
+// drainLocked waits for the in-flight sum to reach zero. The caller
+// holds switchMu and has closed the current epoch. On ctx cancellation
+// the drain is abandoned (caller reopens with the old policy); on
+// cluster close it returns ErrClosed and the caller must NOT reopen —
+// Close owns the plane from there.
+func (c *Cluster) drainLocked(ctx context.Context) error {
+	for c.inflightCount() != 0 {
+		select {
+		case <-c.drainWake:
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-c.closedCh:
+			return ErrClosed
+		}
+	}
+	return nil
+}
+
+// reopenLocked publishes a fresh open epoch under p and releases the
+// submitters gated on prev. switchMu must be held.
+func (c *Cluster) reopenLocked(prev *submitEpoch, p Policy) {
+	c.sub.Store(newEpoch(p))
+	close(prev.reopen)
+}

@@ -1,0 +1,147 @@
+package anydb_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"anydb"
+)
+
+// TestSubmitEpochStress is the drain-or-reject contract of the sharded
+// submission plane under the race detector: many pipelined submitters
+// race policy switches (epoch drains) — including deadline-abandoned
+// ones — a concurrent Verify quiesce, and finally a Close in full
+// flight. Every submission must either resolve exactly once or be
+// rejected with ErrClosed; nothing may be lost, double-resolved
+// (UnmatchedDone), or left blocking after Close.
+func TestSubmitEpochStress(t *testing.T) {
+	c, err := anydb.Open(anydb.Config{
+		Warehouses: 4, Districts: 2, CustomersPerDistrict: 50,
+		InitialOrdersPerDist: 10, Items: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No deferred Close: closing mid-flight is the point; Close is
+	// idempotent and re-called at the end for teardown.
+
+	const workers = 8
+	const window = 32
+	var resolved atomic.Int64
+	stopSwitcher := make(chan struct{})
+
+	var wg sync.WaitGroup
+	errs := make(chan error, workers+2)
+
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			futs := make([]*anydb.Future, 0, window)
+			flush := func() {
+				for _, f := range futs {
+					if _, werr := f.Wait(bg); werr != nil {
+						// Wait with a background context only fails if
+						// the future never resolves — forbidden.
+						errs <- fmt.Errorf("worker %d: wait: %v", g, werr)
+						return
+					}
+					resolved.Add(1)
+				}
+				futs = futs[:0]
+			}
+			for i := 0; ; i++ {
+				f, serr := c.SubmitPayment(bg, anydb.Payment{
+					Warehouse: (g + i) % 4, District: 1 + i%2,
+					Customer: 1 + i%50, Amount: 1,
+				})
+				if serr != nil {
+					if !errors.Is(serr, anydb.ErrClosed) {
+						errs <- fmt.Errorf("worker %d: submit: %v", g, serr)
+					}
+					break
+				}
+				if futs = append(futs, f); len(futs) == window {
+					flush()
+				}
+			}
+			// Futures accepted before Close must still resolve: Close
+			// drains in-flight work before stopping the engine.
+			flush()
+		}(g)
+	}
+
+	// Policy churner: alternate full switches with deadline-abandoned
+	// drains, so epochs close, reopen under the old policy, and reopen
+	// under a new one — all while submitters race the gate.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		pols := []anydb.Policy{anydb.StreamingCC, anydb.SharedNothing, anydb.PreciseIntra}
+		for i := 0; ; i++ {
+			select {
+			case <-stopSwitcher:
+				return
+			default:
+			}
+			ctx := bg
+			var cancel context.CancelFunc = func() {}
+			if i%3 == 2 {
+				ctx, cancel = context.WithTimeout(bg, 200*time.Microsecond)
+			}
+			serr := c.SetPolicy(ctx, pols[i%len(pols)])
+			cancel()
+			if serr != nil && !errors.Is(serr, anydb.ErrClosed) &&
+				!errors.Is(serr, context.DeadlineExceeded) && !errors.Is(serr, context.Canceled) {
+				errs <- fmt.Errorf("switcher: %v", serr)
+				return
+			}
+		}
+	}()
+
+	// A concurrent Verify exercises the quiesce path against live
+	// traffic (it must see only complete transactions).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 3; i++ {
+			if verr := c.Verify(); verr != nil {
+				errs <- fmt.Errorf("mid-flight verify: %v", verr)
+				return
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}()
+
+	time.Sleep(250 * time.Millisecond)
+	close(stopSwitcher)
+	c.Close() // in full flight: submitters must observe ErrClosed promptly
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("workers did not drain after Close — a submission or wait is stuck")
+	}
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	if n := c.Stats().UnmatchedDone; n != 0 {
+		t.Fatalf("UnmatchedDone = %d (lost or double-resolved transactions)", n)
+	}
+	if resolved.Load() == 0 {
+		t.Fatal("no transactions resolved — the stress never exercised the plane")
+	}
+	t.Logf("resolved %d transactions across %d workers", resolved.Load(), workers)
+	// Close already drained; the state must verify.
+	if err := c.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
