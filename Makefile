@@ -26,19 +26,21 @@ bench:
 # -cpu 1,4, so a regression that re-serializes the entry (a lock on the
 # hot path scales visibly worse at 4) shows up in CI. Short benchtime —
 # this watches the slope and allocs/op, not absolute throughput.
+# BenchmarkRebalance rides along: live-handoff latency plus the txn/s
+# the moves leave intact (the throughput dip).
 bench-submit:
-	$(GO) test -run '^$$' -bench 'BenchmarkSubmitContention|BenchmarkPaymentPipelined' \
+	$(GO) test -run '^$$' -bench 'BenchmarkSubmitContention|BenchmarkPaymentPipelined|BenchmarkRebalance' \
 		-benchmem -benchtime 0.3s -cpu 1,4 .
 	$(GO) test -run '^$$' -bench 'BenchmarkTopologyRead' -benchmem -benchtime 0.3s -cpu 1,4 ./internal/core
 	$(GO) test -run '^$$' -bench 'BenchmarkScanFlush' -benchmem -benchtime 0.3s ./internal/olap
 
 # Machine-readable benchmark summary: per-policy + adaptive throughput
-# on the evolving workload. CI uploads BENCH_PR4.json as an artifact,
+# on the evolving workload. CI uploads BENCH_PR5.json as an artifact,
 # and benchdata/ keeps the committed per-PR trajectory points for
 # comparison. Deterministic virtual-time runs — the short phase keeps
 # it a smoke, shapes are scale-invariant.
 bench-json:
-	$(GO) run ./cmd/anydb-bench -phase-ms 6 -json BENCH_PR4.json
+	$(GO) run ./cmd/anydb-bench -phase-ms 6 -json BENCH_PR5.json
 
 # CPU + allocation profiles of the parallel submission hot path (the
 # public API entry under GOMAXPROCS submitters). Inspect with `go tool

@@ -102,11 +102,25 @@ type Config struct {
 	// AutoAdapt turns on the self-driving loop: dispatchers report
 	// workload signals to an adaptation-controller AC, which switches
 	// the routing policy (and grows a server when analytical load
-	// appears) on its own. Inspect what it did via AdaptationLog, or
+	// appears) on its own. The controller ranks policies with a
+	// measured cost model: it starts from the hand-calibrated prior,
+	// brackets every switch with probe phases, and converges on
+	// realized throughput per workload class (regret is traced in
+	// AdaptationLog). Inspect what it did via AdaptationLog, or
 	// subscribe with Events.
 	AutoAdapt bool
-	// AdaptWindow is the sliding signal window for AutoAdapt
-	// (default 10ms wall clock).
+	// AutoRebalance extends the self-driving loop to data placement:
+	// when one partition owner carries far more than its fair share of
+	// admissions, the controller performs a live SetOwner handoff
+	// moving a hot warehouse to a cooler AC — elasticity and
+	// repartitioning out of the same observe→decide→reroute loop that
+	// switches policies (§5: placement is just routing). Works with or
+	// without AutoAdapt; manual Rebalance calls are rejected while it
+	// is on. Migrations appear as EvRebalance entries in
+	// AdaptationLog/Events.
+	AutoRebalance bool
+	// AdaptWindow is the sliding signal window for AutoAdapt and
+	// AutoRebalance (default 10ms wall clock).
 	AdaptWindow time.Duration
 }
 
@@ -138,6 +152,12 @@ type Cluster struct {
 	sub       atomic.Pointer[submitEpoch]
 	drainWake chan struct{}
 	switchMu  sync.Mutex
+	// whCounts is the partition-granularity half of the in-flight
+	// accounting: per shard, one counter per warehouse bit (see
+	// whSlots). gate is the partition handoff in progress, nil when
+	// none — entries overlapping its mask park, the rest flow.
+	whCounts []atomic.Int64
+	gate     atomic.Pointer[moveGate]
 	// closed flips once (Close); closedCh unblocks every parked entry
 	// and drain, closeDrained marks the final drain's completion (safe
 	// to read the database), closeDone marks full teardown.
@@ -177,12 +197,19 @@ type Cluster struct {
 	// and the applier is kicked via decKick: the controller assumes
 	// every emitted decision is applied (it tracks the policy it chose),
 	// so none may be dropped.
-	adaptCtrl *adapt.Controller
-	adaptLog  []AdaptationEvent
-	decQ      []*adapt.Decision
-	decKick   chan struct{}
-	applierWG sync.WaitGroup
-	start     time.Time
+	adaptCtrl     *adapt.Controller
+	autoAdapt     bool
+	autoRebalance bool
+	adaptLog      []AdaptationEvent
+	decQ          []*adapt.Decision
+	decKick       chan struct{}
+	applierWG     sync.WaitGroup
+	start         time.Time
+	// ownerCands is the placement pool the controller's Move decisions
+	// index into: the executor ACs, extended by every elastically grown
+	// server's ACs — so after a grow the controller can migrate OLTP
+	// load onto hardware that did not exist a moment ago.
+	ownerCands atomic.Pointer[[]core.ACID]
 	// growAsked flips once the controller requested elastic growth;
 	// query-completion signals only feed that one-shot trigger, so
 	// injecting them afterwards would be pure overhead on the
@@ -249,6 +276,7 @@ func Open(cfg Config) (*Cluster, error) {
 	}
 	c.shards = make([]submitShard, nshards)
 	c.shardMask = int32(nshards - 1)
+	c.whCounts = make([]atomic.Int64, nshards*whSlots)
 	c.sub.Store(newEpoch(SharedNothing))
 	c.topo = core.NewTopology(db)
 	c.execs = c.topo.AddServer(cfg.CoresPerServer)
@@ -263,20 +291,39 @@ func Open(cfg Config) (*Cluster, error) {
 		Owner: c.topo.Owner, Execs: c.execs,
 		Dispatch: c.ctrl[0], Seq: c.ctrl[1], Coord: c.ctrl[2],
 	}
-	if cfg.AutoAdapt {
+	if cfg.AutoAdapt || cfg.AutoRebalance {
+		c.autoAdapt, c.autoRebalance = cfg.AutoAdapt, cfg.AutoRebalance
 		window := cfg.AdaptWindow
 		if window <= 0 {
 			window = 10 * time.Millisecond
 		}
-		c.adaptCtrl = adapt.NewController(adapt.Options{
+		cands := append([]core.ACID(nil), c.execs...)
+		c.ownerCands.Store(&cands)
+		opts := adapt.Options{
 			Start: oltp.SharedNothing,
 			// Candidates defaults to all four §3 policies: the public
 			// runtime routes every one of them (internal/route), so the
-			// controller chooses over the full architecture space.
+			// controller chooses over the full architecture space. The
+			// measured model starts from the hand-calibrated prior and
+			// converges on realized throughput per workload class.
+			Model:      adapt.NewMeasuredModel(nil),
 			Env:        adapt.Env{Executors: len(c.execs), Warehouses: tc.Warehouses},
 			WindowSpan: sim.Time(window.Nanoseconds()),
-			Elastic:    true,
-		})
+			Elastic:    cfg.AutoAdapt,
+			Rebalance:  cfg.AutoRebalance,
+			OwnerIdx:   c.ownerIdx,
+			NumOwners:  func() int { return len(*c.ownerCands.Load()) },
+			// The goroutine runtime delivers telemetry in mailbox
+			// bursts; evaluate on report count too so a burst is scored
+			// while its reports are still inside the window.
+			EvalEvery: 8,
+		}
+		if !cfg.AutoAdapt {
+			// Rebalance-only self-driving: the controller owns
+			// placement but never switches the routing policy.
+			opts.Candidates = []oltp.Policy{oltp.SharedNothing}
+		}
+		c.adaptCtrl = adapt.NewController(opts)
 		c.decKick = make(chan struct{}, 1)
 		c.applierWG.Add(1)
 		go c.runApplier()
@@ -291,7 +338,11 @@ func (c *Cluster) setupAC(ac *core.AC) {
 	ac.Register(core.EvInstallOp, &olap.Worker{DB: c.db})
 	ac.Register(core.EvQuery, &plan.QO{Topo: c.topo})
 	ac.Register(core.EvSeqStamp, &core.Sequencer{})
-	tel := oltp.Telemetry{Sink: c.ctrl[1], Every: 64, Enabled: c.adaptCtrl != nil}
+	// Every=32 keeps the signal stream dense enough that a sliding
+	// window always aggregates several dispatchers' reports — placement
+	// decisions need cross-owner coverage, not just volume (matches the
+	// virtual-time harness cadence).
+	tel := oltp.Telemetry{Sink: c.ctrl[1], Every: 32, Enabled: c.adaptCtrl != nil}
 	if c.adaptCtrl != nil {
 		// The controller registers on every AC (components stay
 		// generic); only the telemetry sink receives reports, so its
@@ -335,7 +386,7 @@ func (c *Cluster) routes(p Policy) oltp.Routes {
 // routing; manual switches would silently fight it, so SetPolicy
 // returns an error instead.
 func (c *Cluster) SetPolicy(ctx context.Context, p Policy) error {
-	if c.adaptCtrl != nil {
+	if c.autoAdapt {
 		return errors.New("anydb: cluster is self-driving (Config.AutoAdapt); the controller owns the policy")
 	}
 	return c.setPolicy(ctx, p)
@@ -445,12 +496,14 @@ func newOrderTxn(no NewOrder) *tpcc.Txn {
 type Future struct {
 	c  *Cluster
 	ch chan bool
-	// shard is the submission shard this future's transaction entered;
-	// the completion callback releases exactly that count (see
-	// submit.go). The future itself is the completion token: it rides
-	// the event plane (core.Event.Client) and comes back on the
-	// DoneInfo, so resolving needs no shared lookup table.
+	// shard is the submission shard this future's transaction entered,
+	// and mask the warehouse bits it counted against; the completion
+	// callback releases exactly those counts (see submit.go). The
+	// future itself is the completion token: it rides the event plane
+	// (core.Event.Client) and comes back on the DoneInfo, so resolving
+	// needs no shared lookup table.
 	shard int32
+	mask  uint64
 	// state sequences the waiter against the completion callback:
 	// whichever side transitions it out of futPending owns delivery
 	// (resolver) or abandonment (waiter); the loser follows the winner
@@ -562,14 +615,15 @@ func (c *Cluster) NewOrder(no NewOrder) (bool, error) {
 // id an atomic counter, the event and future pooled, and the future
 // itself travels as the completion token — nothing left to serialize.
 func (c *Cluster) submit(ctx context.Context, t *tpcc.Txn) (*Future, error) {
-	e, si, err := c.enter(ctx)
+	mask := txnMask(t)
+	e, si, err := c.enter(ctx, mask)
 	if err != nil {
 		tpcc.FreeTxn(t)
 		return nil, err
 	}
 	id := core.TxnID(c.nextTxn.Add(1))
 	f := c.getFuture()
-	f.shard = si
+	f.shard, f.mask = si, mask
 	// Resolve the entry AC before injecting: the dispatcher consumes
 	// (and recycles) the txn, so it must not be touched after Inject.
 	entry := route.Entry(oltp.Policy(e.policy), c.lay, t.HomeWarehouse())
@@ -715,9 +769,10 @@ func (c *Cluster) registerQuery(ctx context.Context) (core.QueryID, chan *olap.Q
 
 // registerQueryID enters the submission epoch (queries count toward the
 // same sharded in-flight accounting as transactions — a drain covers
-// both) and registers the completion channel for qid.
+// both; their warehouse mask is the shared query bit, so partition
+// handoffs drain them too) and registers the completion channel for qid.
 func (c *Cluster) registerQueryID(ctx context.Context, qid core.QueryID) (chan *olap.QueryResult, error) {
-	_, si, err := c.enter(ctx)
+	_, si, err := c.enter(ctx, queryMask)
 	if err != nil {
 		return nil, err
 	}
@@ -766,11 +821,11 @@ func (c *Cluster) onDone(ev *core.Event) {
 			c.unmatchedDone.Add(1)
 			return
 		}
-		// Read the shard before resolving: resolve may recycle the
-		// future into the pool, where another session can claim it.
-		si := f.shard
+		// Read the shard and mask before resolving: resolve may recycle
+		// the future into the pool, where another session can claim it.
+		si, mask := f.shard, f.mask
 		f.resolve(committed)
-		c.exitShard(si)
+		c.exitShard(si, mask)
 	case *olap.QueryResult:
 		c.qMu.Lock()
 		qw := c.qWait[p.Query]
@@ -783,7 +838,7 @@ func (c *Cluster) onDone(ev *core.Event) {
 		if qw.ch != nil {
 			qw.ch <- p
 		}
-		c.exitShard(qw.shard)
+		c.exitShard(qw.shard, queryMask)
 		if c.adaptCtrl != nil && !c.growAsked.Load() {
 			// Feed analytical activity into the signal stream so the
 			// controller can react with elasticity (a one-shot
@@ -809,22 +864,180 @@ func (c *Cluster) onDone(ev *core.Event) {
 }
 
 // AddServer grows the cluster by one server (elasticity, §5) and returns
-// how many ACs it added.
+// how many ACs it added. On a self-driving cluster the new ACs also join
+// the controller's placement pool, so AutoRebalance can migrate hot
+// partitions onto the fresh hardware.
 func (c *Cluster) AddServer(cores int) int {
 	ids := c.eng.GrowServer(cores, c.setupAC)
+	if len(ids) > 0 && c.ownerCands.Load() != nil {
+		c.mu.Lock()
+		grown := append(append([]core.ACID(nil), *c.ownerCands.Load()...), ids...)
+		c.ownerCands.Store(&grown)
+		c.mu.Unlock()
+	}
 	return len(ids)
 }
 
+// ownerIdx maps a warehouse to the placement-pool slot of its current
+// owner — the indexing the controller's Move decisions speak. Runs on
+// the controller's AC goroutine; lock-free (topology snapshot + atomic
+// candidate list). -1 means the owner is outside the pool (topology in
+// flux mid-grow); the controller skips that round.
+func (c *Cluster) ownerIdx(w int) int {
+	owner := c.topo.Owner(w)
+	for i, id := range *c.ownerCands.Load() {
+		if id == owner {
+			return i
+		}
+	}
+	return -1
+}
+
+// Rebalance performs a live elastic-repartitioning step: it migrates a
+// warehouse's partition ownership to the least-loaded AC of the target
+// server (excluding the current owner — on the owner's own server this
+// is an intra-server move). The handoff reuses the submission plane's
+// epoch gate at partition granularity: only work touching the moving
+// warehouse (and analytical queries, whose scans run at the owners) is
+// briefly gated and drained; everything else keeps flowing. Once quiet,
+// storage hands the partition off and the new topology snapshot is
+// published atomically — in an architecture-less system state never
+// moves, so the "migration" is one routing-table flip (§5). Canceling
+// ctx abandons the move with ownership unchanged.
+//
+// With Config.AutoRebalance the controller owns placement and manual
+// moves are rejected, mirroring SetPolicy under AutoAdapt.
+func (c *Cluster) Rebalance(ctx context.Context, warehouse, server int) error {
+	if c.autoRebalance {
+		return errors.New("anydb: cluster is self-driving (Config.AutoRebalance); the controller owns placement")
+	}
+	if warehouse < 0 || warehouse >= c.cfg.Warehouses {
+		return fmt.Errorf("anydb: warehouse %d out of range [0,%d)", warehouse, c.cfg.Warehouses)
+	}
+	if server < 0 || server >= c.topo.NumServers() {
+		return fmt.Errorf("anydb: server %d out of range [0,%d)", server, c.topo.NumServers())
+	}
+	cur := c.topo.Owner(warehouse)
+	dst := core.NoAC
+	bestN := int(^uint(0) >> 1)
+	c.mu.Lock()
+	for _, id := range c.topo.ACs(server) {
+		if id == cur {
+			continue
+		}
+		// Only ACs running a dispatcher can own partitions: under
+		// shared-nothing the owner IS the transaction entry point. The
+		// dedicated commit coordinator is the one AC without one.
+		if _, ok := c.dispers[id]; !ok {
+			continue
+		}
+		if n := len(c.topo.OwnedPartitions(id)); n < bestN {
+			dst, bestN = id, n
+		}
+	}
+	c.mu.Unlock()
+	if dst == core.NoAC {
+		return nil // no eligible AC besides the current owner
+	}
+	return c.moveWarehouse(ctx, warehouse, dst)
+}
+
+// Placement reports, per warehouse, the server currently hosting its
+// partition-owner AC — the observable half of elastic repartitioning
+// (watch it change under Rebalance/AutoRebalance). Lock-free snapshot
+// read; safe to call concurrently with everything.
+func (c *Cluster) Placement() []int {
+	out := make([]int, c.cfg.Warehouses)
+	for w := range out {
+		out[w] = c.topo.ServerOf(c.topo.Owner(w))
+	}
+	return out
+}
+
+// moveWarehouse is the live SetOwner handoff shared by Rebalance and
+// the controller's Move decisions: publish a partition gate, drain the
+// in-flight work touching the warehouse, hand the storage partition to
+// the new owner, publish the topology snapshot, reopen. Serialized with
+// policy switches, Verify and Close under switchMu — but unlike those,
+// it never stops traffic on other partitions.
+func (c *Cluster) moveWarehouse(ctx context.Context, w int, dst core.ACID) error {
+	c.switchMu.Lock()
+	defer c.switchMu.Unlock()
+	if c.closed.Load() {
+		return ErrClosed
+	}
+	if c.topo.Owner(w) == dst {
+		return nil
+	}
+	mask := whBit(w) | queryMask
+	g := &moveGate{mask: mask, reopen: make(chan struct{})}
+	c.gate.Store(g)
+	err := c.drainPartitionLocked(ctx, mask)
+	if err == nil {
+		// Quiet window: nothing in flight touches the partition, no
+		// overlapping submission can slip past the gate. Hand off the
+		// storage side, then flip the routing — dispatchers and entry
+		// routing read the topology snapshot, so the very next
+		// submission lands at the new owner.
+		c.db.Partition(w).Handoff(int64(dst))
+		c.topo.SetOwner(w, dst)
+	}
+	c.gate.Store(nil)
+	close(g.reopen)
+	return err
+}
+
+// AdaptationKind discriminates the architecture changes the
+// self-driving controller applies.
+type AdaptationKind int
+
+const (
+	// EvPolicySwitch is a routing-policy change (From → To).
+	EvPolicySwitch AdaptationKind = iota
+	// EvGrow is an elastic server addition for analytical load.
+	EvGrow
+	// EvRebalance is a live partition-ownership migration (Warehouse
+	// moved to an AC on Server).
+	EvRebalance
+)
+
+func (k AdaptationKind) String() string {
+	switch k {
+	case EvPolicySwitch:
+		return "policy-switch"
+	case EvGrow:
+		return "grow"
+	case EvRebalance:
+		return "rebalance"
+	}
+	return fmt.Sprintf("AdaptationKind(%d)", int(k))
+}
+
 // AdaptationEvent records one decision the self-driving controller
-// applied (Config.AutoAdapt).
+// applied (Config.AutoAdapt / Config.AutoRebalance).
 type AdaptationEvent struct {
 	// At is the time since Open.
 	At time.Duration
+	// Kind says what changed: the routing policy, the server count, or
+	// data placement.
+	Kind AdaptationKind
 	// From and To are the routing policies around the switch (equal
-	// for grow-only events).
+	// for grow and rebalance events).
 	From, To Policy
 	// Grew reports whether a server was added for analytical load.
 	Grew bool
+	// Warehouse and Server describe an EvRebalance migration: the
+	// partition moved and the server now hosting its owner AC.
+	Warehouse int
+	Server    int
+	// Probe marks switches the measured cost model made to measure an
+	// unexplored policy (and the return switch ending the probe)
+	// rather than because it already preferred the target.
+	Probe bool
+	// Regret is the measured model's cumulative normalized regret at
+	// decision time — the trace that shows the self-driving loop
+	// converging (flat = converged on the best-known arm per phase).
+	Regret float64
 	// Reason summarizes the window signals behind the decision.
 	Reason string
 }
@@ -896,19 +1109,41 @@ func (c *Cluster) applyDecision(d *adapt.Decision) {
 	ev := AdaptationEvent{
 		At:   time.Since(c.start),
 		From: Policy(d.From), To: Policy(d.To),
-		Grew: d.Grow, Reason: d.Reason,
+		Grew: d.Grow, Probe: d.Probe, Regret: d.Regret, Reason: d.Reason,
 	}
+	applied := false
 	if d.Grow {
 		// Fresh compute for analytics: OpenOrders places joins on the
 		// newest server, so the very next query benefits. Growth can
 		// be refused when Close races us — log only what happened.
+		ev.Kind = EvGrow
 		ev.Grew = c.AddServer(c.cores) > 0
+		applied = ev.Grew
+	}
+	if d.Move != nil {
+		// Elastic repartitioning: map the controller's owner slot to
+		// its AC and perform the live handoff. A slot past the pool
+		// (racing a concurrent grow) or a failed move is skipped; the
+		// controller re-evaluates from ground truth next window.
+		cands := *c.ownerCands.Load()
+		if d.Move.ToOwner >= 0 && d.Move.ToOwner < len(cands) {
+			dst := cands[d.Move.ToOwner]
+			if err := c.moveWarehouse(context.Background(), d.Move.Warehouse, dst); err == nil {
+				ev.Kind = EvRebalance
+				ev.Warehouse = d.Move.Warehouse
+				ev.Server = c.topo.ServerOf(dst)
+				applied = true
+			}
+		}
 	}
 	if d.To != d.From {
 		if err := c.setPolicy(context.Background(), Policy(d.To)); err != nil {
 			return // closed mid-switch; nothing to record
 		}
-	} else if !ev.Grew {
+		ev.Kind = EvPolicySwitch
+		applied = true
+	}
+	if !applied {
 		return // nothing was applied
 	}
 	c.mu.Lock()

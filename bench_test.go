@@ -12,6 +12,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -191,6 +192,76 @@ func BenchmarkSubmitContention(b *testing.B) {
 			close(stop)
 			churner.Wait()
 		})
+	}
+}
+
+// BenchmarkRebalance measures the live partition-handoff path: each op
+// is one Cluster.Rebalance bouncing a warehouse between two servers
+// while pipelined payment sessions keep every warehouse loaded — so the
+// reported ns/op is the real gate-drain-handoff-reopen latency under
+// traffic, and the txn/s metric shows what throughput the moves leave
+// intact (the dip). Run with -cpu 1,4 alongside the other submit-plane
+// benchmarks.
+func BenchmarkRebalance(b *testing.B) {
+	c, err := anydb.Open(anydb.Config{
+		Servers: 3, Warehouses: 8, Districts: 4, CustomersPerDistrict: 100,
+		InitialOrdersPerDist: 10, Items: 100,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(c.Close)
+	ctx := context.Background()
+	stop := make(chan struct{})
+	var committed atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < submitWorkers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			const window = 32
+			futs := make([]*anydb.Future, 0, window)
+			flush := func() {
+				for _, f := range futs {
+					if ok, err := f.Wait(ctx); err == nil && ok {
+						committed.Add(1)
+					}
+				}
+				futs = futs[:0]
+			}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					flush()
+					return
+				default:
+				}
+				f, err := c.SubmitPayment(ctx, anydb.Payment{
+					Warehouse: (g + i) % 8, District: 1 + i%4, Customer: 1 + i%100, Amount: 1,
+				})
+				if err != nil {
+					return
+				}
+				if futs = append(futs, f); len(futs) == window {
+					flush()
+				}
+			}
+		}(g)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		if err := c.Rebalance(ctx, 7, []int{0, 2}[i%2]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+	if elapsed > 0 {
+		b.ReportMetric(float64(committed.Load())/elapsed.Seconds(), "txn/s")
 	}
 }
 

@@ -1,12 +1,17 @@
-// Elasticity: grow the cluster at runtime (§5 "elasticity for free") —
-// newly added servers immediately host analytical operators, because
-// placement is just routing.
+// Elasticity: grow the cluster at runtime (§5 "elasticity for free").
+// Newly added servers immediately host analytical operators because
+// placement is just routing — and with AutoRebalance, the self-driving
+// controller goes further: it watches per-owner admission load and
+// performs live SetOwner handoffs, migrating hot OLTP partitions onto
+// the fresh hardware with no restart, no repartitioning downtime, and
+// no traffic stopped on any other partition.
 package main
 
 import (
 	"context"
 	"fmt"
 	"log"
+	"sync"
 	"time"
 
 	"anydb"
@@ -15,16 +20,19 @@ import (
 func main() {
 	ctx := context.Background()
 	cluster, err := anydb.Open(anydb.Config{
-		Warehouses:           4,
-		Districts:            6,
+		Warehouses:           8,
+		Districts:            4,
 		CustomersPerDistrict: 300,
 		InitialOrdersPerDist: 300,
+		AutoRebalance:        true,
+		AdaptWindow:          5 * time.Millisecond,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer cluster.Close()
 	fmt.Printf("before: %+v\n", cluster.Stats())
+	fmt.Printf("placement (warehouse -> server): %v\n", cluster.Placement())
 
 	// Run the analytical query on the initial topology: its joins share
 	// the control server with the dispatcher/sequencer roles.
@@ -35,11 +43,11 @@ func main() {
 	}
 	fmt.Printf("query on 2 servers: %d rows in %v\n", rows, time.Since(start))
 
-	// Grow: one new 4-core server joins; OpenOrders places joins on the
-	// newest server automatically, so the next query runs on hardware
-	// that did not exist a moment ago. No repartitioning, no restart —
-	// storage stays where it is, events and data are simply routed to
-	// the new ACs.
+	// Grow: one new 4-core server joins. OpenOrders places joins on the
+	// newest server automatically — and the new ACs also enter the
+	// controller's placement pool, so hot partitions can migrate onto
+	// them. No repartitioning pause, no restart: storage stays where it
+	// is, events and data are simply routed to the new ACs.
 	added := cluster.AddServer(4)
 	fmt.Printf("added a server with %d ACs: %+v\n", added, cluster.Stats())
 
@@ -53,10 +61,66 @@ func main() {
 		log.Fatalf("results diverged after scale-out: %d vs %d", rows, rows2)
 	}
 
-	// OLTP keeps running against the same owners throughout.
+	// Drive uniform traffic across all 8 warehouses. The 4 original
+	// executor ACs each own two warehouses, so each carries twice the
+	// fair share of a 3-server cluster — the controller notices and
+	// live-migrates partitions onto the grown server's idle ACs, while
+	// payments keep committing. True elasticity: OLTP load lands on
+	// hardware that did not exist a moment ago.
+	events := cluster.Events(ctx)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			const window = 32
+			futs := make([]*anydb.Future, 0, window)
+			flush := func() {
+				for _, f := range futs {
+					f.Wait(ctx)
+				}
+				futs = futs[:0]
+			}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					flush()
+					return
+				default:
+				}
+				f, err := cluster.SubmitPayment(ctx, anydb.Payment{
+					Warehouse: (g + i) % 8, District: 1 + i%4, Customer: 1 + i%300, Amount: 1,
+				})
+				if err != nil {
+					return
+				}
+				if futs = append(futs, f); len(futs) == window {
+					flush()
+				}
+			}
+		}(g)
+	}
+	select {
+	case ev := <-events:
+		fmt.Printf("controller: [%v] warehouse %d -> server %d (%s)\n",
+			ev.Kind, ev.Warehouse, ev.Server, ev.Reason)
+	case <-time.After(30 * time.Second):
+		close(stop)
+		wg.Wait()
+		log.Fatal("controller never rebalanced")
+	}
+	close(stop)
+	wg.Wait()
+	fmt.Printf("placement after self-driving migration: %v\n", cluster.Placement())
+
+	// OLTP keeps running against the migrated owners throughout.
 	ok, err := cluster.Payment(anydb.Payment{Warehouse: 3, District: 2, Customer: 9, Amount: 1})
 	if err != nil || !ok {
-		log.Fatal("payment after scale-out failed")
+		log.Fatal("payment after migration failed")
 	}
-	fmt.Println("post-scale-out payment committed ✓")
+	fmt.Println("post-migration payment committed ✓")
+	for _, ev := range cluster.AdaptationLog() {
+		fmt.Printf("log: +%v [%v] %s (regret %.2f)\n", ev.At.Round(time.Millisecond), ev.Kind, ev.Reason, ev.Regret)
+	}
 }

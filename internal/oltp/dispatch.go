@@ -203,7 +203,8 @@ func (d *Dispatcher) admit(ctx core.Context, cfg *DispatchConfig, id core.TxnID,
 // handful of ACs at most); the pooled segments copy their ops out, so
 // the scratch is free for the next transaction immediately.
 func (d *Dispatcher) dispatch(ctx core.Context, cfg *DispatchConfig, id core.TxnID, txn *tpcc.Txn, client any) {
-	d.ops = ProgramAppend(d.ops[:0], txn)
+	var prog *paymentProgram
+	d.ops, prog = programInto(d.ops[:0], txn)
 	// The transaction parameters are fully compiled into the op program
 	// now; the txn itself dies here and is recycled for the next
 	// submission (both runtimes inject pooled txns).
@@ -238,12 +239,18 @@ func (d *Dispatcher) dispatch(ctx core.Context, cfg *DispatchConfig, id core.Txn
 		coord = ctx.Self()
 	}
 	total := ng
+	// Arm the program block's segment refcount before any segment can
+	// possibly execute (sends are outboxed until this handler returns,
+	// but arming first keeps the invariant local and obvious).
+	if prog != nil {
+		prog.refs.Store(int32(ng))
+	}
 	if cfg.Policy == StreamingCC {
 		batch := &core.SeqBatch{Events: make([]core.Outbound, 0, ng)}
 		for i := 0; i < ng; i++ {
 			batch.Events = append(batch.Events, core.Outbound{
 				Dst: groups[i].dst,
-				Ev:  d.segmentEvent(id, groups[i].ops, coord, total, client),
+				Ev:  d.segmentEvent(id, groups[i].ops, coord, total, client, prog),
 			})
 		}
 		seq := core.GetEvent()
@@ -252,15 +259,15 @@ func (d *Dispatcher) dispatch(ctx core.Context, cfg *DispatchConfig, id core.Txn
 		return
 	}
 	for i := 0; i < ng; i++ {
-		ctx.Send(groups[i].dst, d.segmentEvent(id, groups[i].ops, coord, total, client))
+		ctx.Send(groups[i].dst, d.segmentEvent(id, groups[i].ops, coord, total, client, prog))
 	}
 }
 
 // segmentEvent builds one pooled EvSegment event owning a copy of ops.
-func (d *Dispatcher) segmentEvent(id core.TxnID, ops []Op, coord core.ACID, total int, client any) *core.Event {
+func (d *Dispatcher) segmentEvent(id core.TxnID, ops []Op, coord core.ACID, total int, client any, prog *paymentProgram) *core.Event {
 	seg := getSegment()
 	seg.Ops = append(seg.Ops[:0], ops...)
-	seg.Coord, seg.Total, seg.Client = coord, total, client
+	seg.Coord, seg.Total, seg.Client, seg.Prog = coord, total, client, prog
 	ev := core.GetEvent()
 	ev.Kind, ev.Txn, ev.Payload, ev.Size = core.EvSegment, id, seg, seg.wireSize()
 	return ev

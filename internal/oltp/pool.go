@@ -14,19 +14,34 @@ var (
 	segPool  = sync.Pool{New: func() any { return new(Segment) }}
 	ackPool  = sync.Pool{New: func() any { return new(Ack) }}
 	donePool = sync.Pool{New: func() any { return new(DoneInfo) }}
+	progPool = sync.Pool{New: func() any { return new(paymentProgram) }}
 )
 
 func getSegment() *Segment { return segPool.Get().(*Segment) }
 
 // freeSegment recycles a fully executed segment, keeping the Ops
 // capacity. The op references are cleared so the program block of the
-// owning transaction is not pinned by the pool.
+// owning transaction is not pinned by the pool; if this was the last
+// segment holding the transaction's pooled payment-program block, the
+// block is recycled too (its ops all ran — the refcount is the number
+// of routed segments, decremented here at each segment's death).
 func freeSegment(s *Segment) {
 	clear(s.Ops)
 	s.Ops = s.Ops[:0]
+	if p := s.Prog; p != nil {
+		s.Prog = nil
+		if p.refs.Add(-1) == 0 {
+			progPool.Put(p)
+		}
+	}
 	s.Coord, s.Total, s.Client = 0, 0, nil
 	segPool.Put(s)
 }
+
+// getProg returns a payment-program block from the pool. Every field is
+// fully overwritten by the builder, and refs is re-armed by the
+// dispatcher once it knows the segment count.
+func getProg() *paymentProgram { return progPool.Get().(*paymentProgram) }
 
 func getAck() *Ack { return ackPool.Get().(*Ack) }
 

@@ -19,6 +19,10 @@ type Segment struct {
 	// threaded through every segment so the commit path can return it
 	// on the DoneInfo without any shared lookup table.
 	Client any
+	// Prog is the pooled payment-program block the segment's ops live
+	// in (nil for new-order segments). The last freed segment of the
+	// transaction recycles it — see freeSegment.
+	Prog *paymentProgram
 }
 
 // wireSize approximates the event payload size.

@@ -1,6 +1,9 @@
 package storage
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Partition groups the table shards belonging to one partition key range
 // (one TPC-C warehouse in the reproduced workloads). A partition has a
@@ -10,7 +13,32 @@ type Partition struct {
 	ID     int
 	tables map[string]*Table
 	seq    int64
+	slab   RowSlab
+	// owner is an observability tag recording the last live handoff
+	// target (an AC id, or -1 before any handoff). The tag is NOT the
+	// routing source of truth — core.Topology is — but a handoff stamps
+	// it atomically so tooling and tests can ask the storage layer who
+	// it was last handed to.
+	owner atomic.Int64
 }
+
+// Slab returns the partition's row slab for append-only inserts. Like
+// the tables, it is single-writer under the ownership discipline: only
+// the AC (or executor) currently allowed to write the partition may use
+// it, and a live handoff fully drains that writer before the new owner
+// takes over.
+func (p *Partition) Slab() *RowSlab { return &p.slab }
+
+// Handoff records the partition's transfer to a new owner. The caller
+// (the engine's repartitioning path) must have quiesced all in-flight
+// work touching the partition first; by that point every pending
+// append has landed in the tables, so the only state to move is the
+// ownership tag itself — the paper's "state never moves" elasticity.
+func (p *Partition) Handoff(newOwner int64) { p.owner.Store(newOwner) }
+
+// LastOwner returns the last Handoff target, or -1 if the partition has
+// never been handed off (it still has its setup-time owner).
+func (p *Partition) LastOwner() int64 { return p.owner.Load() }
 
 // NextSeq returns a partition-local monotone sequence number (used to key
 // tables without a natural primary key, e.g. TPC-C history).
@@ -21,7 +49,9 @@ func (p *Partition) NextSeq() int64 {
 
 // NewPartition returns an empty partition.
 func NewPartition(id int) *Partition {
-	return &Partition{ID: id, tables: make(map[string]*Table)}
+	p := &Partition{ID: id, tables: make(map[string]*Table)}
+	p.owner.Store(-1)
+	return p
 }
 
 // CreateTable adds an empty table for schema and returns it.

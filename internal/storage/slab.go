@@ -1,0 +1,28 @@
+package storage
+
+// slabChunkValues sizes the value block a RowSlab carves rows out of.
+// One block serves ~680 six-column rows, so the per-row allocation cost
+// of an append-only table amortizes to effectively zero.
+const slabChunkValues = 4096
+
+// RowSlab carves fixed-arity rows out of large value blocks, so
+// append-only tables (TPC-C history) cost no per-row heap allocation.
+// A slab is single-writer: it belongs to whoever owns the partition the
+// rows land in, which is exactly the discipline that already protects
+// the tables themselves.
+type RowSlab struct {
+	block []Value
+}
+
+// NewRow returns a zeroed n-value row carved from the slab (blocks are
+// freshly allocated and never recycled, so carved rows start zero). The
+// row's capacity is clipped to its length, so appends can never bleed
+// into a neighboring row.
+func (s *RowSlab) NewRow(n int) Row {
+	if len(s.block) < n {
+		s.block = make([]Value, slabChunkValues)
+	}
+	r := Row(s.block[:n:n])
+	s.block = s.block[n:]
+	return r
+}

@@ -89,6 +89,39 @@ func (t *Table) Insert(key Key, row Row) (int32, error) {
 	return slot, nil
 }
 
+// Append adds a keyless row to the heap: no primary-key entry, no
+// duplicate check — the append-only fast path for tables that are never
+// point-looked-up or deleted (TPC-C history). Secondary indexes, if any,
+// are still maintained. Returns the slot (for AbortAppend).
+func (t *Table) Append(row Row) int32 {
+	if len(row) != t.Schema.NumCols() {
+		panic(fmt.Sprintf("storage: arity mismatch appending to %s: row has %d values, schema %d",
+			t.Schema.Name, len(row), t.Schema.NumCols()))
+	}
+	slot := int32(len(t.rows))
+	t.rows = append(t.rows, row)
+	for _, idx := range t.secondary {
+		idx.tree.Put(idx.keyOf(row), slot)
+	}
+	t.live++
+	t.bytes += row.Size()
+	return slot
+}
+
+// AbortAppend tombstones a row added by Append (transaction rollback).
+func (t *Table) AbortAppend(slot int32) {
+	row := t.rows[slot]
+	if row == nil {
+		return
+	}
+	for _, idx := range t.secondary {
+		idx.tree.Delete(idx.keyOf(row))
+	}
+	t.bytes -= row.Size()
+	t.rows[slot] = nil
+	t.live--
+}
+
 // Lookup resolves key to a row slot.
 func (t *Table) Lookup(key Key) (int32, bool) { return t.pk.Get(key) }
 

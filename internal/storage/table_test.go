@@ -317,3 +317,85 @@ func TestAnalyzeEmptyTable(t *testing.T) {
 		t.Fatal("empty-table default selectivity")
 	}
 }
+
+// TestAppendAndSlab covers the keyless append path history inserts ride:
+// slab-carved rows, no primary-key entry, visible to scans and counts,
+// reversible via AbortAppend.
+func TestAppendAndSlab(t *testing.T) {
+	tab := NewTable(custSchema())
+	var slab RowSlab
+	for i := 0; i < 100; i++ {
+		r := slab.NewRow(3)
+		r[0], r[1], r[2] = Int(int64(i)), Str("APPEND"), Float(float64(i))
+		tab.Append(r)
+	}
+	if tab.Rows() != 100 {
+		t.Fatalf("Rows = %d", tab.Rows())
+	}
+	var sum int64
+	tab.Scan(func(_ int32, r Row) bool {
+		sum += r[0].I
+		return true
+	})
+	if sum != 99*100/2 {
+		t.Fatalf("scan sum = %d", sum)
+	}
+	// Slab rows must not alias: every row keeps its own values.
+	if tab.Field(0, 0).I != 0 || tab.Field(99, 0).I != 99 {
+		t.Fatal("slab rows alias each other")
+	}
+	// Appends have no primary-key entry; keyed lookups stay unaffected.
+	if _, ok := tab.Lookup(MakeKey(0, 0, 0)); ok {
+		t.Fatal("append registered a primary key")
+	}
+	// Keyed and keyless rows coexist.
+	if _, err := tab.Insert(MakeKey(1, 1, 7), Row{Int(7), Str("KEYED"), Float(0)}); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows() != 101 {
+		t.Fatalf("Rows after mixed insert = %d", tab.Rows())
+	}
+	// Undo an append (rollback path).
+	slot := tab.Append(Row{Int(999), Str("DOOMED"), Float(0)})
+	var undo UndoLog
+	undo.LogAppend(tab, slot)
+	undo.Rollback()
+	if tab.Rows() != 101 {
+		t.Fatalf("Rows after aborted append = %d", tab.Rows())
+	}
+	found := false
+	tab.Scan(func(_ int32, r Row) bool {
+		if r[0].I == 999 {
+			found = true
+		}
+		return true
+	})
+	if found {
+		t.Fatal("aborted append still visible")
+	}
+}
+
+// TestAppendMaintainsSecondaryIndexes: append-only tables with secondary
+// indexes keep them consistent through Append/AbortAppend.
+func TestAppendMaintainsSecondaryIndexes(t *testing.T) {
+	tab := NewTable(custSchema())
+	tab.AddIndex("by_id", func(r Row) Key { return MakeKey(0, 0, r[0].I) }, "c_id")
+	slot := tab.Append(Row{Int(5), Str("X"), Float(0)})
+	var hits int
+	tab.Range("by_id", MakeKey(0, 0, 0), MakeKey(0, 0, 10), func(_ int32, _ Row) bool {
+		hits++
+		return true
+	})
+	if hits != 1 {
+		t.Fatalf("index hits = %d after append", hits)
+	}
+	tab.AbortAppend(slot)
+	hits = 0
+	tab.Range("by_id", MakeKey(0, 0, 0), MakeKey(0, 0, 10), func(_ int32, _ Row) bool {
+		hits++
+		return true
+	})
+	if hits != 0 {
+		t.Fatalf("index hits = %d after aborted append", hits)
+	}
+}

@@ -16,6 +16,7 @@ type undoKind uint8
 const (
 	undoUpdate undoKind = iota
 	undoInsert
+	undoAppend
 )
 
 type undoEntry struct {
@@ -40,6 +41,11 @@ func (u *UndoLog) LogInsert(t *Table, key Key) {
 	u.entries = append(u.entries, undoEntry{kind: undoInsert, table: t, key: key})
 }
 
+// LogAppend records a keyless append (Table.Append) for reversal.
+func (u *UndoLog) LogAppend(t *Table, slot int32) {
+	u.entries = append(u.entries, undoEntry{kind: undoAppend, table: t, slot: slot})
+}
+
 // Rollback applies the log in reverse and clears it. It returns the
 // number of operations undone (the engines charge virtual time per op).
 func (u *UndoLog) Rollback() int {
@@ -51,6 +57,8 @@ func (u *UndoLog) Rollback() int {
 			e.table.rows[e.slot][e.col] = e.old
 		case undoInsert:
 			e.table.Delete(e.key)
+		case undoAppend:
+			e.table.AbortAppend(e.slot)
 		}
 	}
 	clear(u.entries)
