@@ -29,18 +29,18 @@ bench:
 # BenchmarkRebalance rides along: live-handoff latency plus the txn/s
 # the moves leave intact (the throughput dip).
 bench-submit:
-	$(GO) test -run '^$$' -bench 'BenchmarkSubmitContention|BenchmarkPaymentPipelined|BenchmarkRebalance' \
+	$(GO) test -run '^$$' -bench 'BenchmarkSubmitContention|BenchmarkPaymentPipelined|BenchmarkRebalance|BenchmarkSharedScanConcurrency' \
 		-benchmem -benchtime 0.3s -cpu 1,4 .
 	$(GO) test -run '^$$' -bench 'BenchmarkTopologyRead' -benchmem -benchtime 0.3s -cpu 1,4 ./internal/core
 	$(GO) test -run '^$$' -bench 'BenchmarkScanFlush' -benchmem -benchtime 0.3s ./internal/olap
 
 # Machine-readable benchmark summary: per-policy + adaptive throughput
-# on the evolving workload. CI uploads BENCH_PR5.json as an artifact,
+# on the evolving workload. CI uploads BENCH_PR6.json as an artifact,
 # and benchdata/ keeps the committed per-PR trajectory points for
 # comparison. Deterministic virtual-time runs — the short phase keeps
 # it a smoke, shapes are scale-invariant.
 bench-json:
-	$(GO) run ./cmd/anydb-bench -phase-ms 6 -json BENCH_PR5.json
+	$(GO) run ./cmd/anydb-bench -phase-ms 6 -json BENCH_PR6.json
 
 # CPU + allocation profiles of the parallel submission hot path (the
 # public API entry under GOMAXPROCS submitters). Inspect with `go tool

@@ -645,17 +645,34 @@ type QueryOptions struct {
 	CompileDelay time.Duration
 }
 
+// q3SQL is the paper's §4 query expressed against the SQL surface; the
+// OpenOrders wrappers run it through the same planner as Query.
+var q3SQL = fmt.Sprintf(`SELECT COUNT(*)
+	FROM customer
+	JOIN orders ON customer.c_w_id = orders.o_w_id
+		AND customer.c_d_id = orders.o_d_id
+		AND customer.c_id = orders.o_c_id
+	JOIN new_order ON orders.o_w_id = new_order.no_w_id
+		AND orders.o_d_id = new_order.no_d_id
+		AND orders.o_id = new_order.no_o_id
+	WHERE c_state LIKE '%s%%' AND o_entry_d >= %d`,
+	tpcc.Q3StatePrefix, tpcc.Q3SinceYear)
+
 // OpenOrders runs the paper's analytical query (§4: all open orders for
-// customers from states 'A%' since 2007) with full data beaming.
+// customers from states 'A%' since 2007) with full data beaming. It is a
+// documented wrapper over the SQL path:
+//
+//	cluster.QueryRow(ctx, "SELECT COUNT(*) FROM customer JOIN orders ... JOIN new_order ...")
 func (c *Cluster) OpenOrders(ctx context.Context) (int64, error) {
 	return c.OpenOrdersOpts(ctx, QueryOptions{Beam: true})
 }
 
-// OpenOrdersOpts runs the analytical query with explicit options. Joins
-// are placed on the newest server — disaggregated from the OLTP owners —
-// so AddServer immediately gives analytics fresh compute (§5 elasticity).
-// Canceling ctx abandons the wait (the query completes in the background
-// and its result is dropped).
+// OpenOrdersOpts runs the analytical query with explicit options; it
+// compiles the same SQL text as OpenOrders through the generic planner.
+// Joins are placed on the newest server — disaggregated from the OLTP
+// owners — so AddServer immediately gives analytics fresh compute (§5
+// elasticity). Canceling ctx abandons the wait (the query completes in
+// the background and its result is dropped).
 //
 // Scans execute at each partition's owner AC, interleaved with that
 // partition's transactions, so concurrent OLTP is safe under the
@@ -666,48 +683,120 @@ func (c *Cluster) OpenOrders(ctx context.Context) (int64, error) {
 // switches drain in-flight queries, so a query never straddles a
 // routing change.
 func (c *Cluster) OpenOrdersOpts(ctx context.Context, o QueryOptions) (int64, error) {
-	qid, ch, err := c.registerQuery(ctx)
+	res, err := c.runQuery(ctx, q3SQL, o)
 	if err != nil {
 		return 0, err
 	}
-
-	parts := make([]int, c.cfg.Warehouses)
-	for i := range parts {
-		parts[i] = i
+	rows := newRows(res)
+	defer rows.Close()
+	var n int64
+	if !rows.Next() {
+		return 0, ErrNoRows
 	}
-	beam := plan.BeamNone
-	if o.Beam {
-		beam = plan.BeamAll
-	}
-	computeACs := c.topo.ACs(c.topo.NumServers() - 1)
-	p := &plan.Q3Plan{
-		Query: qid, Beam: beam, CompileTime: sim.Time(o.CompileDelay.Nanoseconds()),
-		Parts:   parts,
-		Join1AC: computeACs[0], Join2AC: computeACs[1%len(computeACs)],
-		Notify: core.ClientAC,
-	}
-	c.eng.Inject(c.ctrl[3], &core.Event{Kind: core.EvQuery, Query: qid, Payload: p})
-	res, err := c.awaitQuery(ctx, qid, ch)
-	if err != nil {
+	if err := rows.Scan(&n); err != nil {
 		return 0, err
 	}
-	return res.Rows, nil
+	return n, nil
 }
 
-// Query executes a read-only SQL query — SELECT COUNT(*) or a projection
-// over inner equi-joins with AND-composed predicates (see internal/sql
-// for the grammar). It returns the row count and, for projections, the
-// materialized rows (int64/float64/string cells, capped at
-// olap-internal CollectCap). Scans execute at partition owners and joins
-// on the newest server with full beaming, like OpenOrders. Canceling ctx
-// abandons the wait.
-func (c *Cluster) Query(ctx context.Context, text string) (int64, [][]any, error) {
-	q, err := sql.Parse(text)
+// Query executes a read-only SQL query and streams the result. The
+// grammar (internal/sql) covers filters over arbitrary columns, inner
+// equi-joins, grouped aggregates (COUNT/SUM/MIN/MAX/AVG), ORDER BY and
+// LIMIT:
+//
+//	rows, err := cluster.Query(ctx, `SELECT o_d_id, COUNT(*) FROM orders
+//		WHERE o_entry_d >= 2007 GROUP BY o_d_id ORDER BY COUNT(*) DESC LIMIT 3`)
+//	if err != nil { ... }
+//	defer rows.Close()
+//	for rows.Next() {
+//		var d, n int64
+//		if err := rows.Scan(&d, &n); err != nil { ... }
+//	}
+//
+// Results iterate over the engine's pooled column batches directly — no
+// [][]any materialization — and each batch is recycled as the cursor
+// passes it. Scans attach to a per-partition shared cursor, so
+// concurrent queries over the same table ride one scan pass; joins run
+// on the newest server with full data beaming. Canceling ctx abandons
+// the wait (the query completes in the background and its result set is
+// recycled).
+func (c *Cluster) Query(ctx context.Context, text string) (*Rows, error) {
+	res, err := c.runQuery(ctx, text, QueryOptions{Beam: true})
+	if err != nil {
+		return nil, err
+	}
+	return newRows(res), nil
+}
+
+// QueryRow executes a query expected to return at most one row and
+// defers errors to Scan:
+//
+//	var n int64
+//	err := cluster.QueryRow(ctx, "SELECT COUNT(*) FROM district").Scan(&n)
+//
+// If the query returns no rows, Scan returns ErrNoRows; extra rows are
+// discarded (and their batches recycled).
+func (c *Cluster) QueryRow(ctx context.Context, text string) *Row {
+	res, err := c.runQuery(ctx, text, QueryOptions{Beam: true})
+	if err != nil {
+		return &Row{err: err}
+	}
+	rows := newRows(res)
+	defer rows.Close()
+	if !rows.Next() {
+		return &Row{err: ErrNoRows}
+	}
+	b := rows.batches[rows.bi]
+	vals := make([]storage.Value, len(rows.cols))
+	for i := range vals {
+		vals[i] = b.Value(rows.ri, i)
+	}
+	return &Row{cols: rows.cols, vals: vals}
+}
+
+// QueryAll executes a query and materializes the whole result as
+// [][]any rows (int64/float64/string cells).
+//
+// Deprecated: QueryAll is the previous Query signature, kept for one
+// release as a migration shim. Use Query (streaming Rows) or QueryRow
+// instead. For a bare COUNT(*) the first return is the count itself
+// (matching the old behavior); otherwise it is the number of rows.
+func (c *Cluster) QueryAll(ctx context.Context, text string) (int64, [][]any, error) {
+	rows, err := c.Query(ctx, text)
 	if err != nil {
 		return 0, nil, err
 	}
+	defer rows.Close()
+	var out [][]any
+	for rows.Next() {
+		vals := make([]any, len(rows.Columns()))
+		ptrs := make([]any, len(vals))
+		for i := range vals {
+			ptrs[i] = &vals[i]
+		}
+		if err := rows.Scan(ptrs...); err != nil {
+			return 0, nil, err
+		}
+		out = append(out, vals)
+	}
+	cols := rows.Columns()
+	if len(out) == 1 && len(cols) == 1 && cols[0] == "count" {
+		n, _ := out[0][0].(int64)
+		return n, nil, nil
+	}
+	return int64(len(out)), out, nil
+}
+
+// runQuery is the analytical entry point shared by Query, QueryRow and
+// the OpenOrders wrappers: parse, compile onto the shared-scan operator
+// plane, register with the in-flight accounting, inject, await.
+func (c *Cluster) runQuery(ctx context.Context, text string, o QueryOptions) (*olap.QueryResult, error) {
+	q, err := sql.Parse(text)
+	if err != nil {
+		return nil, err
+	}
 	if c.closed.Load() {
-		return 0, nil, ErrClosed
+		return nil, ErrClosed
 	}
 	qid := core.QueryID(c.nextQ.Add(1))
 
@@ -718,37 +807,19 @@ func (c *Cluster) Query(ctx context.Context, text string) (int64, [][]any, error
 	compute := c.topo.ACs(c.topo.NumServers() - 1)
 	p, err := plan.CompileSQL(c.db.Catalog, q, qid, parts, compute, core.ClientAC)
 	if err != nil {
-		return 0, nil, err
+		return nil, err
 	}
-	p.Beam = true
+	p.Beam = o.Beam
+	p.CompileTime = sim.Time(o.CompileDelay.Nanoseconds())
 
 	// Enter the epoch only once compilation succeeded (enter re-checks
 	// closed, so a registration can never slip past Close's drain).
 	ch, err := c.registerQueryID(ctx, qid)
 	if err != nil {
-		return 0, nil, err
+		return nil, err
 	}
 	c.eng.Inject(c.ctrl[3], &core.Event{Kind: core.EvQuery, Query: qid, Payload: p})
-	res, err := c.awaitQuery(ctx, qid, ch)
-	if err != nil {
-		return 0, nil, err
-	}
-	var rows [][]any
-	for _, r := range res.Collected {
-		out := make([]any, len(r))
-		for i, v := range r {
-			switch v.Kind {
-			case storage.KInt:
-				out[i] = v.I
-			case storage.KFloat:
-				out[i] = v.F
-			default:
-				out[i] = v.S
-			}
-		}
-		rows = append(rows, out)
-	}
-	return res.Rows, rows, nil
+	return c.awaitQuery(ctx, qid, ch)
 }
 
 // queryWait is one registered analytical query: the 1-buffered result
@@ -757,14 +828,6 @@ func (c *Cluster) Query(ctx context.Context, text string) (int64, [][]any, error
 type queryWait struct {
 	ch    chan *olap.QueryResult
 	shard int32
-}
-
-// registerQuery allocates a query id and registers it; see
-// registerQueryID.
-func (c *Cluster) registerQuery(ctx context.Context) (core.QueryID, chan *olap.QueryResult, error) {
-	qid := core.QueryID(c.nextQ.Add(1))
-	ch, err := c.registerQueryID(ctx, qid)
-	return qid, ch, err
 }
 
 // registerQueryID enters the submission epoch (queries count toward the
@@ -833,10 +896,15 @@ func (c *Cluster) onDone(ev *core.Event) {
 		c.qMu.Unlock()
 		if qw == nil {
 			c.unmatchedDone.Add(1)
+			freeResult(p)
 			return
 		}
 		if qw.ch != nil {
 			qw.ch <- p
+		} else {
+			// The waiter abandoned the query (context canceled): nobody
+			// will ever iterate this result, so recycle its batches here.
+			freeResult(p)
 		}
 		c.exitShard(qw.shard, queryMask)
 		if c.adaptCtrl != nil && !c.growAsked.Load() {

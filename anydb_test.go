@@ -2,6 +2,7 @@ package anydb_test
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -481,15 +482,20 @@ func TestPolicyString(t *testing.T) {
 
 func TestSQLQueryCount(t *testing.T) {
 	c := open(t)
-	n, rows, err := c.Query(bg, "SELECT COUNT(*) FROM district")
-	if err != nil {
+	var n int64
+	if err := c.QueryRow(bg, "SELECT COUNT(*) FROM district").Scan(&n); err != nil {
 		t.Fatal(err)
 	}
 	if n != 4*2 { // 4 warehouses × 2 districts
 		t.Fatalf("district count = %d, want 8", n)
 	}
-	if rows != nil {
-		t.Fatal("COUNT returned rows")
+	// The deprecated QueryAll shim preserves the old scalar-count shape.
+	sn, rows, err := c.QueryAll(bg, "SELECT COUNT(*) FROM district")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sn != n || rows != nil {
+		t.Fatalf("QueryAll count = (%d, %v), want (%d, nil)", sn, rows, n)
 	}
 }
 
@@ -499,7 +505,8 @@ func TestSQLQueryJoinMatchesOpenOrders(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, _, err := c.Query(bg, `SELECT COUNT(*)
+	var got int64
+	err = c.QueryRow(bg, `SELECT COUNT(*)
 		FROM customer
 		JOIN orders ON customer.c_w_id = orders.o_w_id
 			AND customer.c_d_id = orders.o_d_id
@@ -507,7 +514,7 @@ func TestSQLQueryJoinMatchesOpenOrders(t *testing.T) {
 		JOIN new_order ON orders.o_w_id = new_order.no_w_id
 			AND orders.o_d_id = new_order.no_d_id
 			AND orders.o_id = new_order.no_o_id
-		WHERE c_state LIKE 'A%' AND o_entry_d >= 2007`)
+		WHERE c_state LIKE 'A%' AND o_entry_d >= 2007`).Scan(&got)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -518,28 +525,84 @@ func TestSQLQueryJoinMatchesOpenOrders(t *testing.T) {
 
 func TestSQLQueryProjection(t *testing.T) {
 	c := open(t)
-	n, rows, err := c.Query(bg, "SELECT c_id, c_last FROM customer WHERE c_w_id = 1 AND c_d_id = 1 AND c_id <= 2")
+	rows, err := c.Query(bg, "SELECT c_id, c_last FROM customer WHERE c_w_id = 1 AND c_d_id = 1 AND c_id <= 2 ORDER BY c_id")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n != 2 || len(rows) != 2 || len(rows[0]) != 2 {
-		t.Fatalf("n=%d rows=%v", n, rows)
+	defer rows.Close()
+	if cols := rows.Columns(); len(cols) != 2 || cols[0] != "c_id" || cols[1] != "c_last" {
+		t.Fatalf("columns = %v", cols)
 	}
-	if _, ok := rows[0][0].(int64); !ok {
-		t.Fatalf("cell type %T", rows[0][0])
+	var got []int64
+	for rows.Next() {
+		var id int64
+		var last string
+		if err := rows.Scan(&id, &last); err != nil {
+			t.Fatal(err)
+		}
+		if last == "" {
+			t.Fatal("empty last name")
+		}
+		got = append(got, id)
 	}
-	if rows[0][1].(string) == "" {
-		t.Fatal("empty last name")
+	if rows.Err() != nil {
+		t.Fatal(rows.Err())
+	}
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("ids = %v, want [1 2]", got)
+	}
+	if rows.Truncated() {
+		t.Fatal("tiny result truncated")
+	}
+}
+
+func TestSQLQueryGroupedAggregate(t *testing.T) {
+	c := open(t)
+	rows, err := c.Query(bg, `SELECT o_d_id, COUNT(*), AVG(o_ol_cnt) FROM orders
+		GROUP BY o_d_id ORDER BY o_d_id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	var districts []int64
+	var total int64
+	for rows.Next() {
+		var d, n int64
+		var avg float64
+		if err := rows.Scan(&d, &n, &avg); err != nil {
+			t.Fatal(err)
+		}
+		if avg <= 0 {
+			t.Fatalf("district %d avg = %v", d, avg)
+		}
+		districts = append(districts, d)
+		total += n
+	}
+	if len(districts) != 2 || districts[0] != 1 || districts[1] != 2 {
+		t.Fatalf("districts = %v, want [1 2]", districts)
+	}
+	// open() sizes the DB at 4 warehouses × 2 districts × 30 initial
+	// orders per district.
+	if total != 4*2*30 {
+		t.Fatalf("total orders = %d, want 240", total)
 	}
 }
 
 func TestSQLQueryErrors(t *testing.T) {
 	c := open(t)
-	if _, _, err := c.Query(bg, "SELECT COUNT(*) FROM nosuch"); err == nil {
+	if _, err := c.Query(bg, "SELECT COUNT(*) FROM nosuch"); err == nil {
 		t.Fatal("unknown table accepted")
 	}
-	if _, _, err := c.Query(bg, "this is not sql"); err == nil {
+	if _, err := c.Query(bg, "this is not sql"); err == nil {
 		t.Fatal("garbage accepted")
+	}
+	if err := c.QueryRow(bg, "SELECT COUNT(*) FROM nosuch").Scan(new(int64)); err == nil {
+		t.Fatal("QueryRow deferred no error")
+	}
+	// QueryRow over an empty result reports ErrNoRows.
+	err := c.QueryRow(bg, "SELECT c_id FROM customer WHERE c_id = 999999").Scan(new(int64))
+	if !errors.Is(err, anydb.ErrNoRows) {
+		t.Fatalf("err = %v, want ErrNoRows", err)
 	}
 }
 
@@ -714,11 +777,11 @@ func TestQueryCanceledPromptly(t *testing.T) {
 	if err != nil || rows <= 0 {
 		t.Fatalf("post-cancel query: rows=%d err=%v", rows, err)
 	}
-	if _, _, err := c.Query(ctx, "SELECT COUNT(*) FROM district"); err == nil {
+	if _, err := c.Query(ctx, "SELECT COUNT(*) FROM district"); err == nil {
 		t.Fatal("canceled SQL query reported success")
 	}
-	n, _, err := c.Query(bg, "SELECT COUNT(*) FROM district")
-	if err != nil || n != 8 {
+	var n int64
+	if err := c.QueryRow(bg, "SELECT COUNT(*) FROM district").Scan(&n); err != nil || n != 8 {
 		t.Fatalf("post-cancel SQL: n=%d err=%v", n, err)
 	}
 	if err := c.Verify(); err != nil {

@@ -265,6 +265,127 @@ func BenchmarkRebalance(b *testing.B) {
 	}
 }
 
+// BenchmarkSharedScanConcurrency measures aggregate analytical query
+// throughput as concurrency grows. All queries scan the same table, so
+// concurrent registrations ride shared cursor passes (one chunk fetch
+// and one driver continuation per chunk, however many queries attach)
+// while parse/plan/sink work pipelines across ACs. Conc1 is the
+// sequential baseline; the queries/s metric is the headline. Run with
+// -cpu 1,4 alongside the submit-plane benchmarks.
+// scanBenchConfig sizes the analytical benchmarks below: 10k customers
+// per partition (several columnar chunks), so scan work dominates the
+// per-query fixed costs and cursor sharing is what's being measured.
+func scanBenchConfig() anydb.Config {
+	return anydb.Config{
+		Warehouses: 4, Districts: 4, CustomersPerDistrict: 2500,
+		InitialOrdersPerDist: 10, Items: 100,
+	}
+}
+
+func BenchmarkSharedScanConcurrency(b *testing.B) {
+	const query = "SELECT COUNT(*) FROM customer WHERE c_d_id <> 0"
+	for _, conc := range []int{1, 8, 32} {
+		b.Run(fmt.Sprintf("Conc%d", conc), func(b *testing.B) {
+			c, err := anydb.Open(scanBenchConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(c.Close)
+			ctx := context.Background()
+			var want int64
+			if err := c.QueryRow(ctx, query).Scan(&want); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			b.ReportAllocs()
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			start := time.Now()
+			for g := 0; g < conc; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for next.Add(1) <= int64(b.N) {
+						var n int64
+						if err := c.QueryRow(ctx, query).Scan(&n); err != nil {
+							b.Error(err)
+							return
+						}
+						if n != want {
+							b.Errorf("count = %d, want %d", n, want)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			if elapsed := time.Since(start); elapsed > 0 {
+				b.ReportMetric(float64(b.N)/elapsed.Seconds(), "queries/s")
+			}
+		})
+	}
+}
+
+// TestSharedScanConcurrencySpeedup pins the point of the shared-scan
+// engine: 32 concurrent same-table analytical queries must deliver at
+// least 5× the aggregate throughput of 32 sequential ones. Retried a
+// few times so a noisy scheduler cannot fail a healthy engine.
+func TestSharedScanConcurrencySpeedup(t *testing.T) {
+	c, err := anydb.Open(scanBenchConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	const query = "SELECT COUNT(*) FROM customer WHERE c_d_id <> 0"
+	const n = 32
+	var want int64
+	if err := c.QueryRow(ctx, query).Scan(&want); err != nil {
+		t.Fatal(err)
+	}
+	runOne := func() {
+		var got int64
+		if err := c.QueryRow(ctx, query).Scan(&got); err != nil {
+			t.Error(err)
+		} else if got != want {
+			t.Errorf("count = %d, want %d", got, want)
+		}
+	}
+	var best float64
+	for attempt := 0; attempt < 3; attempt++ {
+		seqStart := time.Now()
+		for i := 0; i < n; i++ {
+			runOne()
+		}
+		seq := time.Since(seqStart)
+
+		var wg sync.WaitGroup
+		concStart := time.Now()
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				runOne()
+			}()
+		}
+		wg.Wait()
+		conc := time.Since(concStart)
+		if t.Failed() {
+			t.FailNow()
+		}
+		speedup := float64(seq) / float64(conc)
+		t.Logf("attempt %d: %d sequential in %v, %d concurrent in %v (%.1fx)",
+			attempt, n, seq, n, conc, speedup)
+		if speedup > best {
+			best = speedup
+		}
+		if best >= 5 {
+			return
+		}
+	}
+	t.Fatalf("32 concurrent queries only %.1fx faster than sequential, want >= 5x", best)
+}
+
 // BenchmarkPaymentPipelined drives the same payments from the same
 // number of goroutines, but each session keeps a window of submissions
 // in flight (SubmitPayment + deferred Wait) instead of blocking per

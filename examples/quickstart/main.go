@@ -112,7 +112,8 @@ func main() {
 
 	// The same query in SQL: parsed, planned from table statistics, and
 	// executed through the identical event/data-stream pipeline.
-	n, _, err := cluster.Query(ctx, `SELECT COUNT(*)
+	var n int64
+	err = cluster.QueryRow(ctx, `SELECT COUNT(*)
 		FROM customer
 		JOIN orders ON customer.c_w_id = orders.o_w_id
 			AND customer.c_d_id = orders.o_d_id
@@ -120,21 +121,43 @@ func main() {
 		JOIN new_order ON orders.o_w_id = new_order.no_w_id
 			AND orders.o_d_id = new_order.no_d_id
 			AND orders.o_id = new_order.no_o_id
-		WHERE c_state LIKE 'A%' AND o_entry_d >= 2007`)
+		WHERE c_state LIKE 'A%' AND o_entry_d >= 2007`).Scan(&n)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("same query via SQL: %d rows (match: %v)\n", n, n == open)
 
+	// A grouped aggregate with ordering, streamed row by row.
+	rows, err := cluster.Query(ctx, `SELECT o_d_id, COUNT(*)
+		FROM orders WHERE o_entry_d >= 2007
+		GROUP BY o_d_id ORDER BY COUNT(*) DESC, o_d_id LIMIT 3`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for rows.Next() {
+		var d, cnt int64
+		if err := rows.Scan(&d, &cnt); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  district %d: %d recent orders\n", d, cnt)
+	}
+	rows.Close()
+
 	// And a small projection.
-	_, rows, err := cluster.Query(ctx,
+	rows, err = cluster.Query(ctx,
 		"SELECT c_id, c_last FROM customer WHERE c_w_id = 0 AND c_d_id = 1 AND c_id <= 3")
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, r := range rows {
-		fmt.Printf("  customer %v: %v\n", r[0], r[1])
+	for rows.Next() {
+		var id int64
+		var last string
+		if err := rows.Scan(&id, &last); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  customer %d: %s\n", id, last)
 	}
+	rows.Close()
 
 	// Any of the four §3 routing policies is one call away — here the
 	// precise intra-transaction pipeline of Figure 4d.

@@ -131,7 +131,14 @@ type AggSpec struct {
 // QueryResult is the payload of EvQueryDone.
 type QueryResult struct {
 	Query core.QueryID
-	Rows  int64
+	// Rows is the result-row count for SinkSpec queries; legacy
+	// AggSpec sinks report the counted input rows here instead.
+	Rows int64
+	// Cols and Batches carry the result set of SinkSpec sinks: pooled
+	// columnar batches, in order, whose consumer frees them (or hands
+	// them to anydb.Rows, which frees as the caller iterates).
+	Cols    []string
+	Batches []*storage.Batch
 	// Collected carries projected result rows for CollectSpec sinks
 	// (capped at CollectCap; Truncated reports overflow).
 	Collected []storage.Row
@@ -157,9 +164,13 @@ type OpDone struct {
 }
 
 // Worker is the AC behavior executing installed operators; register it
-// for EvInstallOp on every AC.
+// for EvInstallOp on every AC. The shared map holds the AC's live
+// shared-scan cursors (sharedscan.go); it is only ever touched by the
+// owning AC's handler, so it needs no lock.
 type Worker struct {
 	DB *storage.Database
+
+	shared map[sharedKey]*sharedScan
 }
 
 // OnEvent implements core.Behavior.
@@ -167,6 +178,10 @@ func (w *Worker) OnEvent(ctx core.Context, ac *core.AC, ev *core.Event) {
 	switch spec := ev.Payload.(type) {
 	case *ScanSpec:
 		w.scanChunk(ctx, ac, ev, spec)
+	case *SharedScanSpec:
+		w.attachShared(ctx, ev, spec)
+	case *sharedScan:
+		spec.step(ctx, w)
 	case *JoinSpec:
 		newJoin(ctx, ac, spec)
 	case *AggSpec:
@@ -174,6 +189,8 @@ func (w *Worker) OnEvent(ctx core.Context, ac *core.AC, ev *core.Event) {
 		ac.Subscribe(ctx, spec.In, agg)
 	case *CollectSpec:
 		ac.Subscribe(ctx, spec.In, &collectState{spec: spec})
+	case *SinkSpec:
+		newSink(ctx, ac, spec)
 	default:
 		panic(fmt.Sprintf("olap: unknown operator spec %T", ev.Payload))
 	}

@@ -1,0 +1,628 @@
+package olap
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"anydb/internal/core"
+	"anydb/internal/sim"
+	"anydb/internal/storage"
+)
+
+// This file implements the shared analytical scan (SharedDB's "one
+// cursor, many queries" applied to AnyDB's operator plane) and the
+// generic query sink that terminates every planned query.
+//
+// A SharedScanSpec does not start a private cursor like ScanSpec does.
+// It REGISTERS with the per-(table, partition) shared cursor living on
+// the owning AC: the registration compiles its predicates against the
+// table schema once, joins the pass at the cursor's current chunk, and
+// detaches after seeing every chunk exactly once (one full circle).
+// One driver continuation event advances the cursor one columnar chunk
+// at a time — the chunk fetch, the event-plane hop, and the shared
+// per-row scan charge are paid once per chunk regardless of how many
+// registrations ride the pass; only each registration's own predicate
+// evaluation and fold are per-query. Registrations carry private
+// result state (a projection batch or a grouped-aggregate table), so
+// detaching is just emitting it downstream.
+//
+// Safety under live repartitioning: queries hold a submission-plane
+// registration (queryMask) from registration to completion, and a
+// partition move drains that mask before the storage handoff — so no
+// shared-scan registration can exist while a partition moves, and the
+// driver additionally stops (and drops its continuation) the moment
+// its registration list is empty.
+
+// AggFn selects an aggregate function.
+type AggFn uint8
+
+const (
+	AggCount AggFn = iota
+	AggSum
+	AggMin
+	AggMax
+	AggAvg
+)
+
+func (f AggFn) String() string {
+	switch f {
+	case AggCount:
+		return "count"
+	case AggSum:
+		return "sum"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	case AggAvg:
+		return "avg"
+	}
+	return fmt.Sprintf("AggFn(%d)", uint8(f))
+}
+
+// AggExpr is one aggregate over a source column (empty for COUNT(*)).
+type AggExpr struct {
+	Fn  AggFn
+	Col string
+}
+
+// SharedScanSpec registers one query with the shared cursor of a
+// partition's table. Two modes:
+//
+//   - streaming (len(Aggs) == 0): matching rows are projected onto Cols
+//     and pushed into Out in pooled batches — the shared-scan analogue
+//     of ScanSpec, feeding joins or a collecting sink;
+//   - aggregate pushdown (len(Aggs) > 0): matching rows fold into a
+//     grouped partial-aggregate table private to the registration, and
+//     one partial batch (layout: group columns, then per-aggregate
+//     cells — AVG carries sum+count) is emitted when the pass
+//     completes. The sink merges partials with MergePartials.
+type SharedScanSpec struct {
+	Query     core.QueryID
+	Table     string
+	Part      int
+	Filters   []Predicate // AND-composed
+	Cols      []string    // streaming projection
+	GroupBy   []string    // pushdown grouping
+	Aggs      []AggExpr   // pushdown aggregates
+	Out       core.StreamID
+	To        core.ACID
+	Producers int
+	BatchRows int
+}
+
+// sharedKey addresses one shared cursor.
+type sharedKey struct {
+	table string
+	part  int
+}
+
+// compiledPred is a Predicate with its column resolved to a vector
+// index, evaluated directly against columnar chunks.
+type compiledPred struct {
+	col    int
+	kind   PredKind
+	prefix string
+	str    string
+	minI   int64
+}
+
+func (p *compiledPred) match(b *storage.Batch, i int) bool {
+	switch p.kind {
+	case PredNone:
+		return true
+	case PredPrefix:
+		v := b.Cols[p.col].Strs[i]
+		return len(v) >= len(p.prefix) && v[:len(p.prefix)] == p.prefix
+	case PredGEInt:
+		return b.Cols[p.col].Ints[i] >= p.minI
+	case PredLTInt:
+		return b.Cols[p.col].Ints[i] < p.minI
+	case PredEqInt:
+		return b.Cols[p.col].Ints[i] == p.minI
+	case PredNeInt:
+		return b.Cols[p.col].Ints[i] != p.minI
+	case PredEqStr:
+		return b.Cols[p.col].Strs[i] == p.str
+	default:
+		panic("olap: unknown predicate kind")
+	}
+}
+
+// compilePred resolves pred against schema, validating kinds so a
+// mis-typed predicate fails at registration, not mid-chunk.
+func compilePred(schema *storage.Schema, pred Predicate) compiledPred {
+	cp := compiledPred{kind: pred.Kind, prefix: pred.Prefix, str: pred.Str, minI: pred.MinI}
+	if pred.Kind == PredNone {
+		return cp
+	}
+	cp.col = schema.MustCol(pred.Col)
+	kind := schema.Cols[cp.col].Kind
+	switch pred.Kind {
+	case PredPrefix, PredEqStr:
+		if kind != storage.KStr {
+			panic(fmt.Sprintf("olap: string predicate on %s column %s.%s", kind, schema.Name, pred.Col))
+		}
+	default:
+		if kind != storage.KInt {
+			panic(fmt.Sprintf("olap: int predicate on %s column %s.%s", kind, schema.Name, pred.Col))
+		}
+	}
+	return cp
+}
+
+// aggCell is one accumulator: which fields are live depends on the
+// aggregate function (count for COUNT/AVG, sumI/sumF for SUM, sumF for
+// AVG, cur/seen for MIN/MAX).
+type aggCell struct {
+	count int64
+	sumI  int64
+	sumF  float64
+	cur   storage.Value
+	seen  bool
+}
+
+func (c *aggCell) addRaw(fn AggFn, v storage.Value) {
+	switch fn {
+	case AggCount:
+		c.count++
+	case AggSum:
+		if v.Kind == storage.KInt {
+			c.sumI += v.I
+		} else {
+			c.sumF += v.F
+		}
+	case AggAvg:
+		c.count++
+		if v.Kind == storage.KInt {
+			c.sumF += float64(v.I)
+		} else {
+			c.sumF += v.F
+		}
+	case AggMin:
+		if !c.seen || v.Compare(c.cur) < 0 {
+			c.cur, c.seen = v, true
+		}
+	case AggMax:
+		if !c.seen || v.Compare(c.cur) > 0 {
+			c.cur, c.seen = v, true
+		}
+	}
+}
+
+// groupAcc is one group's accumulators plus its key values (kept for
+// output).
+type groupAcc struct {
+	keyVals []storage.Value
+	cells   []aggCell
+}
+
+// encodeGroupKey appends a canonical byte encoding of the group columns
+// of row i to buf (NUL-separated; kinds are fixed per column so the
+// encoding cannot collide across kinds).
+func encodeGroupKey(buf []byte, b *storage.Batch, i int, cols []int) []byte {
+	for _, c := range cols {
+		cv := &b.Cols[c]
+		switch cv.Kind {
+		case storage.KInt:
+			buf = strconv.AppendInt(buf, cv.Ints[i], 10)
+		case storage.KFloat:
+			buf = strconv.AppendFloat(buf, cv.Floats[i], 'g', -1, 64)
+		default:
+			buf = append(buf, cv.Strs[i]...)
+		}
+		buf = append(buf, 0)
+	}
+	return buf
+}
+
+// scanReg is one query's registration with a shared cursor.
+type scanReg struct {
+	spec  *SharedScanSpec
+	preds []compiledPred
+	sig   string // canonical predicate signature, for match sharing
+
+	// Pass window: the registration joined at some chunk and detaches
+	// after `total` chunks (the chunk count at attach — chunks appended
+	// later belong to later passes). next is the chunk it consumes
+	// next; done counts consumed chunks.
+	next, done, total int
+
+	// Streaming mode.
+	outIdx []int
+	out    *storage.Batch
+	rowBuf storage.Row
+
+	// Aggregate-pushdown mode.
+	groupIdx []int
+	aggIdx   []int // source column per aggregate; -1 for COUNT(*)
+	partial  *storage.Schema
+	groups   map[string]*groupAcc
+	order    []string  // insertion-ordered keys, sorted at emit
+	global   *groupAcc // fast path: the single group of a global aggregate
+}
+
+// matchBuf caches one predicate signature's matched rows for the chunk
+// of the current step (valid while step == sharedScan.steps).
+type matchBuf struct {
+	rows []int32
+	step uint64
+}
+
+// sharedScan is the per-(table, partition) shared cursor state, owned
+// by the partition's AC.
+type sharedScan struct {
+	key    sharedKey
+	cursor int
+	regs   []*scanReg
+	ev     *core.Event // the driver continuation, re-sent per chunk
+	keyBuf []byte      // scratch: group-key encoding
+
+	// Predicate evaluation is shared across registrations, not just the
+	// chunk fetch: all registrations whose filters have the same
+	// canonical signature reuse one matchChunk evaluation per chunk.
+	// steps increments once per driven chunk (cursor positions repeat
+	// across passes, so the step counter is the validity token); buffers
+	// live as long as the cursor does — one busy period.
+	steps    uint64
+	sigMatch map[string]*matchBuf
+}
+
+// attachShared registers spec with the shared cursor, creating (and
+// starting) the driver when the cursor is idle. The install event is
+// recycled as the driver continuation when one is needed.
+func (w *Worker) attachShared(ctx core.Context, ev *core.Event, spec *SharedScanSpec) {
+	t := w.DB.Partition(spec.Part).Table(spec.Table)
+	r := &scanReg{spec: spec}
+	r.preds = make([]compiledPred, 0, len(spec.Filters))
+	for _, f := range spec.Filters {
+		r.preds = append(r.preds, compilePred(t.Schema, f))
+	}
+	r.sig = predSignature(r.preds)
+	if spec.BatchRows == 0 {
+		spec.BatchRows = DefaultBatchRows
+	}
+	if len(spec.Aggs) == 0 {
+		r.outIdx = make([]int, len(spec.Cols))
+		outCols := make([]storage.Column, len(spec.Cols))
+		for i, c := range spec.Cols {
+			r.outIdx[i] = t.Schema.MustCol(c)
+			outCols[i] = t.Schema.Cols[r.outIdx[i]]
+		}
+		r.out = storage.GetBatch(storage.NewSchema(spec.Table+"_scan", outCols...))
+		r.rowBuf = make(storage.Row, len(r.outIdx))
+	} else {
+		r.groupIdx = colIdx(t.Schema, spec.GroupBy)
+		r.aggIdx = make([]int, len(spec.Aggs))
+		cols := make([]storage.Column, 0, len(spec.GroupBy)+2*len(spec.Aggs))
+		for i := range spec.GroupBy {
+			cols = append(cols, storage.Column{
+				Name: fmt.Sprintf("g%d", i), Kind: t.Schema.Cols[r.groupIdx[i]].Kind,
+			})
+		}
+		for j, a := range spec.Aggs {
+			r.aggIdx[j] = -1
+			srcKind := storage.KInt
+			if a.Fn != AggCount {
+				r.aggIdx[j] = t.Schema.MustCol(a.Col)
+				srcKind = t.Schema.Cols[r.aggIdx[j]].Kind
+			}
+			switch a.Fn {
+			case AggCount:
+				cols = append(cols, storage.Column{Name: fmt.Sprintf("p%d", j), Kind: storage.KInt})
+			case AggAvg:
+				cols = append(cols,
+					storage.Column{Name: fmt.Sprintf("p%d_s", j), Kind: storage.KFloat},
+					storage.Column{Name: fmt.Sprintf("p%d_c", j), Kind: storage.KInt})
+			default:
+				cols = append(cols, storage.Column{Name: fmt.Sprintf("p%d", j), Kind: srcKind})
+			}
+		}
+		r.partial = storage.NewSchema(spec.Table+"_partial", cols...)
+		r.groups = make(map[string]*groupAcc)
+	}
+
+	r.total = t.NumColChunks()
+	if r.total == 0 {
+		// Empty table: the pass is already over.
+		r.finish(ctx)
+		return
+	}
+
+	key := sharedKey{table: spec.Table, part: spec.Part}
+	ss := w.shared[key]
+	if ss != nil {
+		// Join the in-flight pass at the cursor's current position; the
+		// install event is dead (a continuation is already circulating).
+		r.next = ss.cursor
+		if r.next >= r.total {
+			r.next = 0
+		}
+		ss.regs = append(ss.regs, r)
+		return
+	}
+	if w.shared == nil {
+		w.shared = make(map[sharedKey]*sharedScan)
+	}
+	ss = &sharedScan{key: key, ev: ev}
+	ss.regs = append(ss.regs, r)
+	w.shared[key] = ss
+	// Reuse the install event as the driver continuation.
+	ev.Payload = ss
+	ctx.Send(ctx.Self(), ev)
+}
+
+// step advances the shared cursor one chunk: every registration whose
+// window includes the chunk evaluates its predicates over the columnar
+// chunk and folds matches into its private state. Registrations that
+// completed their circle detach; the driver stops when none remain.
+func (ss *sharedScan) step(ctx core.Context, w *Worker) {
+	if w.shared[ss.key] != ss {
+		return // superseded or stopped: stale continuation, drop it
+	}
+	if len(ss.regs) == 0 {
+		delete(w.shared, ss.key)
+		return
+	}
+	t := w.DB.Partition(ss.key.part).Table(ss.key.table)
+	m := 0
+	for _, r := range ss.regs {
+		if r.total > m {
+			m = r.total
+		}
+	}
+	if ss.cursor >= m {
+		ss.cursor = 0
+	}
+	ci := ss.cursor
+	costs := ctx.Costs()
+	var chunk *storage.Batch
+	for i := 0; i < len(ss.regs); {
+		r := ss.regs[i]
+		if r.next != ci {
+			i++
+			continue
+		}
+		if chunk == nil {
+			// The chunk fetch and the per-row scan charge are shared:
+			// paid once however many registrations ride this pass.
+			chunk = t.ColChunk(ci)
+			ctx.Charge(costs.ScanRow * sim.Time(chunk.Len()))
+			ss.steps++
+		}
+		// Registrations with the same predicate signature share one
+		// evaluation of this chunk.
+		mb := ss.sigMatch[r.sig]
+		if mb == nil {
+			if ss.sigMatch == nil {
+				ss.sigMatch = make(map[string]*matchBuf)
+			}
+			mb = &matchBuf{}
+			ss.sigMatch[r.sig] = mb
+		}
+		if mb.step != ss.steps {
+			mb.rows = matchChunk(chunk, r.preds, mb.rows)
+			mb.step = ss.steps
+		}
+		if len(r.spec.Aggs) == 0 {
+			r.foldStream(ctx, chunk, mb.rows)
+		} else {
+			ss.keyBuf = r.foldAgg(ctx, chunk, mb.rows, ss.keyBuf)
+		}
+		r.done++
+		r.next++
+		if r.next >= r.total {
+			r.next = 0
+		}
+		if r.done >= r.total {
+			r.finish(ctx)
+			ss.regs = append(ss.regs[:i], ss.regs[i+1:]...)
+			continue
+		}
+		i++
+	}
+	ss.cursor = ci + 1
+	if len(ss.regs) == 0 {
+		delete(w.shared, ss.key)
+		return
+	}
+	ctx.Send(ctx.Self(), ss.ev)
+}
+
+// predSignature canonically encodes a compiled predicate list so
+// registrations with identical filters can share match results. Columns
+// are already resolved to indexes and predicates are AND-composed in
+// plan order, so a byte-equal signature means row-equal matches.
+func predSignature(preds []compiledPred) string {
+	if len(preds) == 0 {
+		return ""
+	}
+	buf := make([]byte, 0, 16*len(preds))
+	for i := range preds {
+		p := &preds[i]
+		buf = strconv.AppendInt(buf, int64(p.kind), 10)
+		buf = append(buf, ':')
+		buf = strconv.AppendInt(buf, int64(p.col), 10)
+		buf = append(buf, ':')
+		buf = strconv.AppendInt(buf, p.minI, 10)
+		buf = append(buf, ':')
+		buf = append(buf, p.prefix...)
+		buf = append(buf, 0)
+		buf = append(buf, p.str...)
+		buf = append(buf, 0)
+	}
+	return string(buf)
+}
+
+// matchChunk returns the row indexes of chunk b passing all preds,
+// reusing buf.
+func matchChunk(b *storage.Batch, preds []compiledPred, buf []int32) []int32 {
+	buf = buf[:0]
+	n := b.Len()
+rows:
+	for i := 0; i < n; i++ {
+		for p := range preds {
+			if !preds[p].match(b, i) {
+				continue rows
+			}
+		}
+		buf = append(buf, int32(i))
+	}
+	return buf
+}
+
+// foldStream appends the matched rows, projected, to the registration's
+// output batch, flushing at batch granularity.
+func (r *scanReg) foldStream(ctx core.Context, chunk *storage.Batch, match []int32) {
+	if len(match) == 0 {
+		return
+	}
+	for _, m := range match {
+		for j, c := range r.outIdx {
+			r.rowBuf[j] = chunk.Value(int(m), c)
+		}
+		r.out.AppendRow(r.rowBuf)
+		if r.out.Len() >= r.spec.BatchRows {
+			r.flush(ctx, false)
+		}
+	}
+	if !ctx.Offloaded(r.spec.To) {
+		ctx.Charge(ctx.Costs().PartitionRow * sim.Time(len(match)))
+	}
+}
+
+// foldAgg folds the matched rows into the registration's grouped
+// accumulators, returning the (possibly grown) key scratch buffer.
+func (r *scanReg) foldAgg(ctx core.Context, chunk *storage.Batch, match []int32, keyBuf []byte) []byte {
+	if len(match) == 0 {
+		return keyBuf
+	}
+	ctx.Charge(ctx.Costs().AggRow * sim.Time(len(match)))
+	if len(r.groupIdx) == 0 {
+		// Global aggregate: one accumulator, no per-row group-key encode
+		// or map lookup; COUNT folds a whole chunk in O(1).
+		acc := r.global
+		if acc == nil {
+			acc = &groupAcc{cells: make([]aggCell, len(r.spec.Aggs))}
+			r.global = acc
+			r.groups[""] = acc
+			r.order = append(r.order, "")
+		}
+		for j := range acc.cells {
+			if fn := r.spec.Aggs[j].Fn; fn == AggCount {
+				acc.cells[j].count += int64(len(match))
+			} else {
+				c := r.aggIdx[j]
+				for _, m := range match {
+					acc.cells[j].addRaw(fn, chunk.Value(int(m), c))
+				}
+			}
+		}
+		return keyBuf
+	}
+	for _, m := range match {
+		i := int(m)
+		keyBuf = encodeGroupKey(keyBuf[:0], chunk, i, r.groupIdx)
+		acc := r.groups[string(keyBuf)]
+		if acc == nil {
+			acc = &groupAcc{cells: make([]aggCell, len(r.spec.Aggs))}
+			if len(r.groupIdx) > 0 {
+				acc.keyVals = make([]storage.Value, len(r.groupIdx))
+				for j, c := range r.groupIdx {
+					acc.keyVals[j] = chunk.Value(i, c)
+				}
+			}
+			key := string(keyBuf)
+			r.groups[key] = acc
+			r.order = append(r.order, key)
+		}
+		for j := range acc.cells {
+			var v storage.Value
+			if r.aggIdx[j] >= 0 {
+				v = chunk.Value(i, r.aggIdx[j])
+			}
+			acc.cells[j].addRaw(r.spec.Aggs[j].Fn, v)
+		}
+	}
+	return keyBuf
+}
+
+// finish detaches the registration: streaming mode flushes the tail
+// batch with the Last marker; pushdown mode emits the partial-aggregate
+// batch (group-key-sorted for determinism) and Last.
+func (r *scanReg) finish(ctx core.Context) {
+	if len(r.spec.Aggs) == 0 {
+		r.flush(ctx, true)
+		return
+	}
+	var b *storage.Batch
+	if len(r.order) > 0 {
+		sort.Strings(r.order)
+		b = storage.GetBatch(r.partial)
+		row := make(storage.Row, 0, r.partial.NumCols())
+		for _, k := range r.order {
+			acc := r.groups[k]
+			row = append(row[:0], acc.keyVals...)
+			for j := range acc.cells {
+				cell := &acc.cells[j]
+				switch r.spec.Aggs[j].Fn {
+				case AggCount:
+					row = append(row, storage.Int(cell.count))
+				case AggSum:
+					if r.partial.Cols[len(acc.keyVals)+partialWidth(r.spec.Aggs[:j])].Kind == storage.KInt {
+						row = append(row, storage.Int(cell.sumI))
+					} else {
+						row = append(row, storage.Float(cell.sumF))
+					}
+				case AggAvg:
+					row = append(row, storage.Float(cell.sumF), storage.Int(cell.count))
+				default: // min/max
+					row = append(row, cell.cur)
+				}
+			}
+			b.AppendRow(row)
+		}
+	}
+	r.groups, r.order, r.global = nil, nil, nil
+	msg := core.GetDataMsg()
+	msg.Stream, msg.Query, msg.Last, msg.Producers = r.spec.Out, r.spec.Query, true, r.spec.Producers
+	msg.Batch = b
+	ctx.SendData(r.spec.To, msg)
+}
+
+// partialWidth returns how many partial-layout columns the given
+// aggregate prefix occupies (AVG takes two).
+func partialWidth(aggs []AggExpr) int {
+	n := 0
+	for _, a := range aggs {
+		if a.Fn == AggAvg {
+			n += 2
+		} else {
+			n++
+		}
+	}
+	return n
+}
+
+// flush emits the registration's accumulated streaming batch as one
+// pooled data message (mirrors ScanSpec.flush).
+func (r *scanReg) flush(ctx core.Context, last bool) {
+	if r.out.Len() == 0 && !last {
+		return
+	}
+	msg := core.GetDataMsg()
+	msg.Stream, msg.Query, msg.Last, msg.Producers = r.spec.Out, r.spec.Query, last, r.spec.Producers
+	if r.out.Len() > 0 {
+		msg.Batch = r.out
+		if last {
+			r.out = nil
+		} else {
+			r.out = storage.GetBatch(msg.Batch.Schema)
+		}
+	} else {
+		storage.FreeBatch(r.out)
+		r.out = nil
+	}
+	ctx.SendData(r.spec.To, msg)
+}

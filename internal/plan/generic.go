@@ -3,6 +3,7 @@ package plan
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"anydb/internal/core"
 	"anydb/internal/olap"
@@ -11,11 +12,13 @@ import (
 	"anydb/internal/storage"
 )
 
-// GenericPlan is the compiled, routed form of a SQL query: a left-deep
-// chain of hash joins over filtered base-table scans, finished by a
-// counting or collecting sink. The facade compiles it client-side (so
-// errors surface synchronously) and the QO AC emits it as event/data
-// streams, beaming the scans ahead of the compile window when asked.
+// GenericPlan is the compiled, routed form of a SQL query: shared-scan
+// registrations over the base tables (with grouped aggregates pushed
+// into the scan when the query is single-table), an optional left-deep
+// chain of hash joins, and one generic sink that merges, orders and
+// limits the result. The facade compiles it client-side (so errors
+// surface synchronously) and the QO AC emits it as event/data streams,
+// beaming the scans ahead of the compile window when asked.
 type GenericPlan struct {
 	Query       core.QueryID
 	CompileTime sim.Time
@@ -27,13 +30,17 @@ type GenericPlan struct {
 	joins   []*olap.JoinSpec
 	joinACs []core.ACID // where each join executes
 	sinkAC  core.ACID
-	final   any // *olap.AggSpec or *olap.CollectSpec
+	sink    *olap.SinkSpec
 }
 
+// scanTemplate is one table's shared-scan registration, instantiated
+// per partition at emission.
 type scanTemplate struct {
 	table   string
 	filters []olap.Predicate
-	cols    []string
+	cols    []string       // streaming projection
+	groupBy []string       // aggregate pushdown
+	aggs    []olap.AggExpr // aggregate pushdown
 	out     core.StreamID
 	to      core.ACID
 }
@@ -45,6 +52,15 @@ type tableInfo struct {
 	filters  []olap.Predicate
 	estRows  float64
 	joinCols []string // columns this table contributes to join keys
+}
+
+// outItem is one resolved select item.
+type outItem struct {
+	agg   sql.AggKind
+	table string // resolved table ("" for COUNT(*))
+	col   string // unqualified source column ("" for COUNT(*))
+	name  string // output column name
+	kind  storage.Kind
 }
 
 // CompileSQL turns a parsed query into a routed plan. compute lists the
@@ -96,6 +112,47 @@ func CompileSQL(cat *storage.Catalog, q *sql.Query, qid core.QueryID,
 		}
 	}
 
+	// Resolve select items, GROUP BY, ORDER BY.
+	items, err := resolveItems(infos, order, q)
+	if err != nil {
+		return nil, err
+	}
+	groupTables, groupCols, err := resolveGroupBy(infos, order, q)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkGrouping(items, groupCols, q); err != nil {
+		return nil, err
+	}
+	if len(order) > 1 {
+		if err := checkJoinUnambiguous(infos, order, items, groupCols); err != nil {
+			return nil, err
+		}
+	}
+
+	// Output shape: names uniquified, kinds fixed, plus where each
+	// output column comes from in the sink's internal layout.
+	outCols := make([]string, len(items))
+	outKinds := make([]storage.Kind, len(items))
+	seen := map[string]int{}
+	for i, it := range items {
+		name := it.name
+		if n := seen[name]; n > 0 {
+			name = fmt.Sprintf("%s_%d", name, n+1)
+		}
+		seen[it.name]++
+		outCols[i] = name
+		outKinds[i] = it.kind
+	}
+	outSrc, aggs, aggTables, err := layoutAgg(items, groupTables, groupCols)
+	if err != nil {
+		return nil, err
+	}
+	orderKeys, err := resolveOrderBy(infos, order, q, items)
+	if err != nil {
+		return nil, err
+	}
+
 	// Estimate filtered cardinalities from catalog statistics.
 	for _, ti := range infos {
 		ti.estRows = estimateRows(cat, ti)
@@ -128,7 +185,10 @@ func CompileSQL(cat *storage.Catalog, q *sql.Query, qid core.QueryID,
 		remaining = append(remaining[:picked], remaining[picked+1:]...)
 	}
 
-	// Columns each scan must ship: join keys plus projected output.
+	// Columns each scan must ship downstream: join keys, projected
+	// output, grouping columns, aggregate sources. (Single-table
+	// aggregate plans push the aggregation into the scan instead and
+	// ship only partial-aggregate rows.)
 	needed := make(map[string]map[string]bool)
 	for _, t := range order {
 		needed[t] = make(map[string]bool)
@@ -137,14 +197,13 @@ func CompileSQL(cat *storage.Catalog, q *sql.Query, qid core.QueryID,
 		needed[jc.LeftTable][jc.LeftCol] = true
 		needed[jc.RightTable][jc.RightCol] = true
 	}
-	if !q.Count {
-		for _, col := range q.Columns {
-			ti, err := resolveColumn(infos, order, qualTable(col), qualCol(col))
-			if err != nil {
-				return nil, err
-			}
-			needed[ti.name][qualCol(col)] = true
+	for _, it := range items {
+		if it.col != "" {
+			needed[it.table][it.col] = true
 		}
+	}
+	for i, t := range groupTables {
+		needed[t][groupCols[i]] = true
 	}
 	for t, cols := range needed {
 		if len(cols) == 0 {
@@ -153,8 +212,8 @@ func CompileSQL(cat *storage.Catalog, q *sql.Query, qid core.QueryID,
 		}
 	}
 
-	// Wire streams: scan of chain[i] → stream base+i; join_i output →
-	// stream base+16+i.
+	// Wire streams: scan of chain[i] → stream base+i+1; join_i output →
+	// stream base+32+i.
 	p := &GenericPlan{Query: qid, Parts: parts, Notify: notify}
 	base := core.StreamID(uint64(qid) * 64)
 	scanStream := func(i int) core.StreamID { return base + core.StreamID(i) + 1 }
@@ -162,16 +221,43 @@ func CompileSQL(cat *storage.Catalog, q *sql.Query, qid core.QueryID,
 
 	acOf := func(i int) core.ACID { return compute[i%len(compute)] }
 
+	sink := &olap.SinkSpec{
+		Query:    qid,
+		OutCols:  outCols,
+		OutKinds: outKinds,
+		OutSrc:   outSrc,
+		OrderBy:  orderKeys,
+		Limit:    q.Limit,
+		Notify:   notify,
+	}
+
 	if len(chain) == 1 {
-		p.scans = append(p.scans, scanTemplate{
-			table: chain[0], filters: infos[chain[0]].filters,
-			cols: setToSlice(needed[chain[0]]),
-			out:  scanStream(0), to: acOf(0),
-		})
+		t := chain[0]
+		if len(aggs) > 0 {
+			// Aggregate pushdown: the shared scan folds the grouped
+			// aggregates per partition; the sink merges partials.
+			p.scans = append(p.scans, scanTemplate{
+				table: t, filters: infos[t].filters,
+				groupBy: groupCols, aggs: aggs,
+				out: scanStream(0), to: acOf(0),
+			})
+			sink.GroupBy = groupCols
+			sink.Aggs = aggs
+			sink.MergePartials = true
+		} else {
+			p.scans = append(p.scans, scanTemplate{
+				table: t, filters: infos[t].filters,
+				cols: setToSlice(needed[t]),
+				out:  scanStream(0), to: acOf(0),
+			})
+			sink.Cols = itemCols(items)
+		}
+		sink.In = scanStream(0)
 		p.sinkAC = acOf(0)
-		p.final = finalSpec(q, qid, scanStream(0), notify)
+		p.sink = sink
 		return p, nil
 	}
+	_ = aggTables
 
 	// Accumulated (build) side starts as chain[0]'s scan; join_i runs on
 	// compute AC J_i, builds on the accumulated stream and probes the
@@ -214,9 +300,231 @@ func CompileSQL(cat *storage.Catalog, q *sql.Query, qid core.QueryID,
 		accSchemas = append(accSchemas, scanSchema(infos[t], needed))
 		accStream = out
 	}
+	if len(aggs) > 0 {
+		// Aggregate over join output: the sink folds raw rows.
+		sink.GroupBy = groupCols
+		sink.Aggs = aggs
+	} else {
+		sink.Cols = itemCols(items)
+	}
+	sink.In = accStream
 	p.sinkAC = joinAC(len(chain) - 1)
-	p.final = finalSpec(q, qid, accStream, notify)
+	p.sink = sink
 	return p, nil
+}
+
+// resolveItems resolves each select item to its source table/column,
+// output name and kind.
+func resolveItems(infos map[string]*tableInfo, order []string, q *sql.Query) ([]outItem, error) {
+	items := make([]outItem, 0, len(q.Items))
+	for _, it := range q.Items {
+		switch it.Agg {
+		case sql.AggCount:
+			items = append(items, outItem{agg: it.Agg, name: "count", kind: storage.KInt})
+			continue
+		case sql.AggNone, sql.AggSum, sql.AggMin, sql.AggMax, sql.AggAvg:
+		default:
+			return nil, fmt.Errorf("plan: unsupported aggregate %v", it.Agg)
+		}
+		ti, err := resolveColumn(infos, order, qualTable(it.Col), qualCol(it.Col))
+		if err != nil {
+			return nil, err
+		}
+		col := qualCol(it.Col)
+		kind := ti.schema.Cols[ti.schema.MustCol(col)].Kind
+		o := outItem{agg: it.Agg, table: ti.name, col: col, name: col, kind: kind}
+		switch it.Agg {
+		case sql.AggSum:
+			if kind == storage.KStr {
+				return nil, fmt.Errorf("plan: SUM over string column %q", col)
+			}
+			o.name = "sum_" + col
+		case sql.AggAvg:
+			if kind == storage.KStr {
+				return nil, fmt.Errorf("plan: AVG over string column %q", col)
+			}
+			o.name, o.kind = "avg_"+col, storage.KFloat
+		case sql.AggMin:
+			o.name = "min_" + col
+		case sql.AggMax:
+			o.name = "max_" + col
+		}
+		items = append(items, o)
+	}
+	return items, nil
+}
+
+// resolveGroupBy resolves GROUP BY columns to (table, column) pairs.
+func resolveGroupBy(infos map[string]*tableInfo, order []string, q *sql.Query) (tables, cols []string, err error) {
+	for _, g := range q.GroupBy {
+		ti, err := resolveColumn(infos, order, qualTable(g), qualCol(g))
+		if err != nil {
+			return nil, nil, err
+		}
+		tables = append(tables, ti.name)
+		cols = append(cols, qualCol(g))
+	}
+	return tables, cols, nil
+}
+
+// checkGrouping enforces the usual aggregation rules.
+func checkGrouping(items []outItem, groupCols []string, q *sql.Query) error {
+	aggregated := false
+	for _, it := range items {
+		if it.agg != sql.AggNone {
+			aggregated = true
+		}
+	}
+	if !aggregated && len(groupCols) > 0 {
+		return fmt.Errorf("plan: GROUP BY without aggregates is unsupported")
+	}
+	if !aggregated {
+		return nil
+	}
+	for _, it := range items {
+		if it.agg != sql.AggNone {
+			continue
+		}
+		found := false
+		for _, g := range groupCols {
+			if g == it.col {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("plan: column %q must appear in GROUP BY", it.col)
+		}
+	}
+	return nil
+}
+
+// checkJoinUnambiguous rejects queries whose output/grouping columns
+// exist in more than one joined table: the join output schema renames
+// colliding right-side columns, so the sink could silently bind the
+// wrong one.
+func checkJoinUnambiguous(infos map[string]*tableInfo, order []string, items []outItem, groupCols []string) error {
+	check := func(col string) error {
+		if col == "" {
+			return nil
+		}
+		n := 0
+		for _, t := range order {
+			if infos[t].schema.Col(col) >= 0 {
+				n++
+			}
+		}
+		if n > 1 {
+			return fmt.Errorf("plan: column %q exists in multiple joined tables", col)
+		}
+		return nil
+	}
+	for _, it := range items {
+		if err := check(it.col); err != nil {
+			return err
+		}
+	}
+	for _, g := range groupCols {
+		if err := check(g); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// layoutAgg derives the aggregate list (in select order) and the OutSrc
+// mapping from output columns onto the sink's internal layout (group
+// values first, then finalized aggregates).
+func layoutAgg(items []outItem, groupTables, groupCols []string) (outSrc []int, aggs []olap.AggExpr, aggTables []string, err error) {
+	aggregated := false
+	for _, it := range items {
+		if it.agg != sql.AggNone {
+			aggregated = true
+		}
+	}
+	if !aggregated {
+		return nil, nil, nil, nil
+	}
+	outSrc = make([]int, len(items))
+	for i, it := range items {
+		if it.agg == sql.AggNone {
+			for g, col := range groupCols {
+				if col == it.col {
+					outSrc[i] = g
+					break
+				}
+			}
+			continue
+		}
+		outSrc[i] = len(groupCols) + len(aggs)
+		aggs = append(aggs, olap.AggExpr{Fn: aggFn(it.agg), Col: it.col})
+		aggTables = append(aggTables, it.table)
+	}
+	_ = groupTables
+	return outSrc, aggs, aggTables, nil
+}
+
+// resolveOrderBy maps ORDER BY terms onto output column indexes: each
+// term must match a select item (same aggregate, same column).
+func resolveOrderBy(infos map[string]*tableInfo, order []string, q *sql.Query, items []outItem) ([]olap.OrderKey, error) {
+	var keys []olap.OrderKey
+	for _, oi := range q.OrderBy {
+		col := qualCol(oi.Col)
+		table := qualTable(oi.Col)
+		if oi.Agg != sql.AggCount && table != "" {
+			// Normalize a qualified reference to its resolved table so it
+			// matches the (also resolved) select item.
+			ti, err := resolveColumn(infos, order, table, col)
+			if err != nil {
+				return nil, err
+			}
+			table = ti.name
+		}
+		idx := -1
+		for i, it := range items {
+			if it.agg != aggOf(oi.Agg) {
+				continue
+			}
+			if oi.Agg == sql.AggCount || (it.col == col && (table == "" || it.table == table)) {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return nil, fmt.Errorf("plan: ORDER BY term (at offset %d) must appear in SELECT", oi.Pos)
+		}
+		keys = append(keys, olap.OrderKey{Col: idx, Desc: oi.Desc})
+	}
+	return keys, nil
+}
+
+func aggOf(a sql.AggKind) sql.AggKind { return a }
+
+// aggFn maps the parser's aggregate kind onto the operator plane's.
+func aggFn(a sql.AggKind) olap.AggFn {
+	switch a {
+	case sql.AggCount:
+		return olap.AggCount
+	case sql.AggSum:
+		return olap.AggSum
+	case sql.AggMin:
+		return olap.AggMin
+	case sql.AggMax:
+		return olap.AggMax
+	case sql.AggAvg:
+		return olap.AggAvg
+	}
+	panic(fmt.Sprintf("plan: no aggregate mapping for %v", a))
+}
+
+// itemCols returns the (unqualified) source columns of a plain
+// projection, in select order.
+func itemCols(items []outItem) []string {
+	out := make([]string, len(items))
+	for i, it := range items {
+		out[i] = it.col
+	}
+	return out
 }
 
 // OnGenericPlan is the QO-side emission (called from QO.OnEvent).
@@ -227,9 +535,10 @@ func (q *QO) onGenericPlan(ctx core.Context, p *GenericPlan) {
 			for _, part := range p.Parts {
 				ctx.Send(q.Topo.Owner(part), &core.Event{
 					Kind: core.EvInstallOp, Query: p.Query,
-					Payload: &olap.ScanSpec{
+					Payload: &olap.SharedScanSpec{
 						Query: p.Query, Table: sc.table, Part: part,
 						Filters: sc.filters, Cols: sc.cols,
+						GroupBy: sc.groupBy, Aggs: sc.aggs,
 						Out: sc.out, To: sc.to, Producers: len(p.Parts),
 					},
 				})
@@ -246,14 +555,64 @@ func (q *QO) onGenericPlan(ctx core.Context, p *GenericPlan) {
 	for i, js := range p.joins {
 		ctx.Send(p.joinACs[i], &core.Event{Kind: core.EvInstallOp, Query: p.Query, Payload: js})
 	}
-	switch f := p.final.(type) {
-	case *olap.AggSpec:
-		ctx.Send(p.sinkAC, &core.Event{Kind: core.EvInstallOp, Query: p.Query, Payload: f})
-	case *olap.CollectSpec:
-		ctx.Send(p.sinkAC, &core.Event{Kind: core.EvInstallOp, Query: p.Query, Payload: f})
-	default:
+	if p.sink == nil {
 		panic("plan: generic plan without final sink")
 	}
+	ctx.Send(p.sinkAC, &core.Event{Kind: core.EvInstallOp, Query: p.Query, Payload: p.sink})
+}
+
+// Describe renders the routed plan as a deterministic multi-line
+// summary (golden-test support and EXPLAIN-style debugging).
+func (p *GenericPlan) Describe() string {
+	var b strings.Builder
+	for i := range p.scans {
+		sc := &p.scans[i]
+		fmt.Fprintf(&b, "scan %s parts=%d", sc.table, len(p.Parts))
+		if len(sc.filters) > 0 {
+			fmt.Fprintf(&b, " filters=%d", len(sc.filters))
+		}
+		if len(sc.aggs) > 0 {
+			fmt.Fprintf(&b, " pushdown group=%v aggs=%s", sc.groupBy, aggList(sc.aggs))
+		} else {
+			fmt.Fprintf(&b, " cols=%v", sc.cols)
+		}
+		fmt.Fprintf(&b, " -> s%d@ac%d\n", sc.out, sc.to)
+	}
+	for i, js := range p.joins {
+		fmt.Fprintf(&b, "%s build=s%d%v probe=s%d%v @ac%d -> s%d@ac%d\n",
+			js.Label, js.Build, js.BuildKey, js.Probe, js.ProbeKey, p.joinACs[i], js.Out, js.To)
+	}
+	s := p.sink
+	fmt.Fprintf(&b, "sink in=s%d", s.In)
+	if len(s.Aggs) > 0 {
+		mode := "fold"
+		if s.MergePartials {
+			mode = "merge"
+		}
+		fmt.Fprintf(&b, " %s group=%v aggs=%s", mode, s.GroupBy, aggList(s.Aggs))
+	} else {
+		fmt.Fprintf(&b, " collect cols=%v", s.Cols)
+	}
+	if len(s.OrderBy) > 0 {
+		fmt.Fprintf(&b, " order=%v", s.OrderBy)
+	}
+	if s.Limit >= 0 {
+		fmt.Fprintf(&b, " limit=%d", s.Limit)
+	}
+	fmt.Fprintf(&b, " out=%v @ac%d\n", s.OutCols, p.sinkAC)
+	return b.String()
+}
+
+func aggList(aggs []olap.AggExpr) string {
+	parts := make([]string, len(aggs))
+	for i, a := range aggs {
+		if a.Col == "" {
+			parts[i] = a.Fn.String()
+		} else {
+			parts[i] = a.Fn.String() + "(" + a.Col + ")"
+		}
+	}
+	return "[" + strings.Join(parts, " ") + "]"
 }
 
 // ---- helpers ----
@@ -286,6 +645,12 @@ func resolveColumn(infos map[string]*tableInfo, order []string, table, col strin
 
 func toPredicate(schema *storage.Schema, f sql.Filter) (olap.Predicate, error) {
 	kind := schema.Cols[schema.MustCol(f.Col)].Kind
+	intOnly := func(op string) error {
+		if kind != storage.KInt {
+			return fmt.Errorf("plan: %s supported on int columns only (%q)", op, f.Col)
+		}
+		return nil
+	}
 	switch f.Op {
 	case sql.OpLikePrefix:
 		if kind != storage.KStr {
@@ -293,22 +658,40 @@ func toPredicate(schema *storage.Schema, f sql.Filter) (olap.Predicate, error) {
 		}
 		return olap.Predicate{Col: f.Col, Kind: olap.PredPrefix, Prefix: f.Str}, nil
 	case sql.OpGe:
-		if kind != storage.KInt {
-			return olap.Predicate{}, fmt.Errorf("plan: >= supported on int columns only (%q)", f.Col)
+		if err := intOnly(">="); err != nil {
+			return olap.Predicate{}, err
 		}
 		return olap.Predicate{Col: f.Col, Kind: olap.PredGEInt, MinI: int64(f.Num)}, nil
 	case sql.OpEq:
 		if f.IsStr {
+			if kind != storage.KStr {
+				return olap.Predicate{}, fmt.Errorf("plan: string comparison on %s column %q", kind, f.Col)
+			}
 			return olap.Predicate{Col: f.Col, Kind: olap.PredEqStr, Str: f.Str}, nil
+		}
+		if err := intOnly("="); err != nil {
+			return olap.Predicate{}, err
 		}
 		return olap.Predicate{Col: f.Col, Kind: olap.PredEqInt, MinI: int64(f.Num)}, nil
 	case sql.OpLt:
+		if err := intOnly("<"); err != nil {
+			return olap.Predicate{}, err
+		}
 		return olap.Predicate{Col: f.Col, Kind: olap.PredLTInt, MinI: int64(f.Num)}, nil
 	case sql.OpGt:
+		if err := intOnly(">"); err != nil {
+			return olap.Predicate{}, err
+		}
 		return olap.Predicate{Col: f.Col, Kind: olap.PredGEInt, MinI: int64(f.Num) + 1}, nil
 	case sql.OpLe:
+		if err := intOnly("<="); err != nil {
+			return olap.Predicate{}, err
+		}
 		return olap.Predicate{Col: f.Col, Kind: olap.PredLTInt, MinI: int64(f.Num) + 1}, nil
 	case sql.OpNe:
+		if err := intOnly("<>"); err != nil {
+			return olap.Predicate{}, err
+		}
 		return olap.Predicate{Col: f.Col, Kind: olap.PredNeInt, MinI: int64(f.Num)}, nil
 	}
 	return olap.Predicate{}, fmt.Errorf("plan: unsupported operator")
@@ -405,13 +788,6 @@ func setToSlice(set map[string]bool) []string {
 	return out
 }
 
-func finalSpec(q *sql.Query, qid core.QueryID, in core.StreamID, notify core.ACID) any {
-	if q.Count {
-		return &olap.AggSpec{Query: qid, In: in, Notify: notify}
-	}
-	return &olap.CollectSpec{Query: qid, In: in, Cols: unqualify(q.Columns), Notify: notify}
-}
-
 func qualTable(s string) string {
 	for i := 0; i < len(s); i++ {
 		if s[i] == '.' {
@@ -428,12 +804,4 @@ func qualCol(s string) string {
 		}
 	}
 	return s
-}
-
-func unqualify(cols []string) []string {
-	out := make([]string, len(cols))
-	for i, c := range cols {
-		out[i] = qualCol(c)
-	}
-	return out
 }

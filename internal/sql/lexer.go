@@ -1,13 +1,13 @@
 // Package sql is a small SQL front end for the analytical side of the
-// public API: SELECT with COUNT(*) or a projection, inner equi-joins,
-// and AND-composed predicates — enough to express the paper's query
-// family textually. The parser produces a logical query that
-// internal/plan compiles into the same scan/join/aggregate event-stream
-// program the hand-built plans use.
+// public API: SELECT over columns and aggregates (COUNT/SUM/MIN/MAX/
+// AVG), inner equi-joins, AND-composed predicates, GROUP BY, ORDER BY
+// and LIMIT — enough to express the paper's query family (and its
+// CH-benCHmark neighborhood) textually. The parser produces a logical
+// query that internal/plan compiles onto the shared-scan operator
+// plane; syntax errors are *ParseError values carrying byte offsets.
 package sql
 
 import (
-	"fmt"
 	"strings"
 	"unicode"
 )
@@ -33,6 +33,9 @@ type token struct {
 var keywords = map[string]bool{
 	"SELECT": true, "FROM": true, "WHERE": true, "JOIN": true, "ON": true,
 	"AND": true, "COUNT": true, "LIKE": true, "AS": true, "INNER": true,
+	"GROUP": true, "BY": true, "ORDER": true, "LIMIT": true,
+	"ASC": true, "DESC": true,
+	"SUM": true, "MIN": true, "MAX": true, "AVG": true,
 }
 
 // lex splits the input into tokens.
@@ -50,7 +53,7 @@ func lex(input string) ([]token, error) {
 				j++
 			}
 			if j >= len(input) {
-				return nil, fmt.Errorf("sql: unterminated string at %d", i)
+				return nil, errAt(i, "unterminated string")
 			}
 			toks = append(toks, token{kind: tokString, text: input[i+1 : j], pos: i})
 			i = j + 1
@@ -85,7 +88,7 @@ func lex(input string) ([]token, error) {
 			toks = append(toks, token{kind: tokSymbol, text: string(c), pos: i})
 			i++
 		default:
-			return nil, fmt.Errorf("sql: unexpected character %q at %d", c, i)
+			return nil, errAt(i, "unexpected character %q", c)
 		}
 	}
 	toks = append(toks, token{kind: tokEOF, pos: len(input)})

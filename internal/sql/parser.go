@@ -6,20 +6,102 @@ import (
 	"strings"
 )
 
+// ParseError is a syntax error with the byte offset it occurred at.
+type ParseError struct {
+	Pos int
+	Msg string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("sql: %s at position %d", e.Msg, e.Pos)
+}
+
+func errAt(pos int, format string, args ...any) error {
+	return &ParseError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// AggKind enumerates the aggregate of a select item (AggNone for a
+// plain column reference).
+type AggKind uint8
+
+const (
+	AggNone AggKind = iota
+	AggCount
+	AggSum
+	AggMin
+	AggMax
+	AggAvg
+)
+
+var aggNames = map[string]AggKind{
+	"COUNT": AggCount, "SUM": AggSum, "MIN": AggMin, "MAX": AggMax, "AVG": AggAvg,
+}
+
+func (a AggKind) String() string {
+	switch a {
+	case AggNone:
+		return "none"
+	case AggCount:
+		return "count"
+	case AggSum:
+		return "sum"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	case AggAvg:
+		return "avg"
+	}
+	return fmt.Sprintf("AggKind(%d)", uint8(a))
+}
+
+// SelectItem is one output expression: a column reference (possibly
+// "table.col" qualified) or an aggregate over one. COUNT(*) has an
+// empty Col.
+type SelectItem struct {
+	Agg AggKind
+	Col string
+	Pos int // byte offset, for resolution error messages
+}
+
+// OrderItem is one ORDER BY term; it must match a select item (same
+// aggregate and column).
+type OrderItem struct {
+	Agg  AggKind
+	Col  string
+	Desc bool
+	Pos  int
+}
+
 // Query is the parsed logical form:
 //
-//	SELECT COUNT(*) | col[, col...]
-//	FROM table [JOIN table ON a.x = b.y]...
+//	SELECT item[, item...]          item := col | COUNT(*) | SUM(col) | MIN | MAX | AVG
+//	FROM table [[INNER] JOIN table ON a.x = b.y [AND ...]]...
 //	[WHERE col op literal [AND ...]]
+//	[GROUP BY col[, col...]]
+//	[ORDER BY item [ASC|DESC][, ...]]
+//	[LIMIT n]
 //
 // Predicates support =, <, >, <=, >=, <> on numbers and strings, plus
 // LIKE 'prefix%'.
 type Query struct {
-	Count   bool     // COUNT(*) aggregate
-	Columns []string // projection when Count is false
+	Items   []SelectItem
 	Tables  []string // in FROM/JOIN order
 	Joins   []JoinCond
 	Filters []Filter
+	GroupBy []string
+	OrderBy []OrderItem
+	Limit   int // -1 when absent
+}
+
+// Aggregated reports whether any select item aggregates.
+func (q *Query) Aggregated() bool {
+	for _, it := range q.Items {
+		if it.Agg != AggNone {
+			return true
+		}
+	}
+	return false
 }
 
 // JoinCond is one equi-join edge between two tables' columns.
@@ -62,10 +144,15 @@ type parser struct {
 func (p *parser) peek() token { return p.toks[p.i] }
 func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
 
+func (p *parser) peekIs(kw string) bool {
+	t := p.peek()
+	return t.kind == tokKeyword && t.text == kw
+}
+
 func (p *parser) expectKeyword(kw string) error {
 	t := p.next()
 	if t.kind != tokKeyword || t.text != kw {
-		return fmt.Errorf("sql: expected %s at %d, got %q", kw, t.pos, t.text)
+		return errAt(t.pos, "expected %s, got %q", kw, t.text)
 	}
 	return nil
 }
@@ -73,7 +160,7 @@ func (p *parser) expectKeyword(kw string) error {
 func (p *parser) expectSymbol(s string) error {
 	t := p.next()
 	if t.kind != tokSymbol || t.text != s {
-		return fmt.Errorf("sql: expected %q at %d, got %q", s, t.pos, t.text)
+		return errAt(t.pos, "expected %q, got %q", s, t.text)
 	}
 	return nil
 }
@@ -81,47 +168,34 @@ func (p *parser) expectSymbol(s string) error {
 func (p *parser) ident() (string, error) {
 	t := p.next()
 	if t.kind != tokIdent {
-		return "", fmt.Errorf("sql: expected identifier at %d, got %q", t.pos, t.text)
+		return "", errAt(t.pos, "expected identifier, got %q", t.text)
 	}
 	return t.text, nil
 }
 
-// Parse parses one SELECT statement.
+// Parse parses one SELECT statement. Errors are *ParseError carrying
+// the byte offset of the offending token.
 func Parse(input string) (*Query, error) {
 	toks, err := lex(input)
 	if err != nil {
 		return nil, err
 	}
 	p := &parser{toks: toks}
-	q := &Query{}
+	q := &Query{Limit: -1}
 	if err := p.expectKeyword("SELECT"); err != nil {
 		return nil, err
 	}
-	if p.peek().kind == tokKeyword && p.peek().text == "COUNT" {
-		p.next()
-		if err := p.expectSymbol("("); err != nil {
+	for {
+		it, err := p.selectItem()
+		if err != nil {
 			return nil, err
 		}
-		if err := p.expectSymbol("*"); err != nil {
-			return nil, err
+		q.Items = append(q.Items, it)
+		if p.peek().kind == tokSymbol && p.peek().text == "," {
+			p.next()
+			continue
 		}
-		if err := p.expectSymbol(")"); err != nil {
-			return nil, err
-		}
-		q.Count = true
-	} else {
-		for {
-			col, err := p.qualifiedName()
-			if err != nil {
-				return nil, err
-			}
-			q.Columns = append(q.Columns, col)
-			if p.peek().kind == tokSymbol && p.peek().text == "," {
-				p.next()
-				continue
-			}
-			break
-		}
+		break
 	}
 
 	if err := p.expectKeyword("FROM"); err != nil {
@@ -133,7 +207,7 @@ func Parse(input string) (*Query, error) {
 	}
 	q.Tables = append(q.Tables, t0)
 
-	for p.peek().kind == tokKeyword && (p.peek().text == "JOIN" || p.peek().text == "INNER") {
+	for p.peekIs("JOIN") || p.peekIs("INNER") {
 		if p.next().text == "INNER" {
 			if err := p.expectKeyword("JOIN"); err != nil {
 				return nil, err
@@ -154,8 +228,7 @@ func Parse(input string) (*Query, error) {
 				return nil, err
 			}
 			q.Joins = append(q.Joins, jc)
-			if p.peek().kind == tokKeyword && p.peek().text == "AND" &&
-				p.isJoinCondAhead() {
+			if p.peekIs("AND") && p.isJoinCondAhead() {
 				p.next()
 				continue
 			}
@@ -163,7 +236,7 @@ func Parse(input string) (*Query, error) {
 		}
 	}
 
-	if p.peek().kind == tokKeyword && p.peek().text == "WHERE" {
+	if p.peekIs("WHERE") {
 		p.next()
 		for {
 			f, err := p.filter()
@@ -171,17 +244,112 @@ func Parse(input string) (*Query, error) {
 				return nil, err
 			}
 			q.Filters = append(q.Filters, f)
-			if p.peek().kind == tokKeyword && p.peek().text == "AND" {
+			if p.peekIs("AND") {
 				p.next()
 				continue
 			}
 			break
 		}
 	}
+
+	if p.peekIs("GROUP") {
+		p.next()
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.qualifiedName()
+			if err != nil {
+				return nil, err
+			}
+			q.GroupBy = append(q.GroupBy, col)
+			if p.peek().kind == tokSymbol && p.peek().text == "," {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+
+	if p.peekIs("ORDER") {
+		p.next()
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			pos := p.peek().pos
+			it, err := p.selectItem()
+			if err != nil {
+				return nil, err
+			}
+			oi := OrderItem{Agg: it.Agg, Col: it.Col, Pos: pos}
+			if p.peekIs("ASC") {
+				p.next()
+			} else if p.peekIs("DESC") {
+				p.next()
+				oi.Desc = true
+			}
+			q.OrderBy = append(q.OrderBy, oi)
+			if p.peek().kind == tokSymbol && p.peek().text == "," {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+
+	if p.peekIs("LIMIT") {
+		p.next()
+		t := p.next()
+		if t.kind != tokNumber {
+			return nil, errAt(t.pos, "expected LIMIT count, got %q", t.text)
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil {
+			return nil, errAt(t.pos, "bad LIMIT count %q", t.text)
+		}
+		q.Limit = n
+	}
+
 	if t := p.peek(); t.kind != tokEOF {
-		return nil, fmt.Errorf("sql: trailing input at %d: %q", t.pos, t.text)
+		return nil, errAt(t.pos, "trailing input %q", t.text)
 	}
 	return q, nil
+}
+
+// selectItem parses col | COUNT(*) | SUM(col) | MIN(col) | MAX(col) |
+// AVG(col).
+func (p *parser) selectItem() (SelectItem, error) {
+	t := p.peek()
+	if t.kind == tokKeyword {
+		if agg, ok := aggNames[t.text]; ok {
+			p.next()
+			if err := p.expectSymbol("("); err != nil {
+				return SelectItem{}, err
+			}
+			var col string
+			if agg == AggCount {
+				if err := p.expectSymbol("*"); err != nil {
+					return SelectItem{}, err
+				}
+			} else {
+				c, err := p.qualifiedName()
+				if err != nil {
+					return SelectItem{}, err
+				}
+				col = c
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return SelectItem{}, err
+			}
+			return SelectItem{Agg: agg, Col: col, Pos: t.pos}, nil
+		}
+	}
+	col, err := p.qualifiedName()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	return SelectItem{Col: col, Pos: t.pos}, nil
 }
 
 // qualifiedName parses ident[.ident] and returns "table.col" or "col".
@@ -232,6 +400,7 @@ func (p *parser) isJoinCondAhead() bool {
 
 func (p *parser) joinCond() (JoinCond, error) {
 	var jc JoinCond
+	pos := p.peek().pos
 	l, err := p.qualifiedName()
 	if err != nil {
 		return jc, err
@@ -246,7 +415,7 @@ func (p *parser) joinCond() (JoinCond, error) {
 	lt, lc, ok1 := splitQualified(l)
 	rt, rc, ok2 := splitQualified(r)
 	if !ok1 || !ok2 {
-		return jc, fmt.Errorf("sql: join condition requires qualified columns, got %s = %s", l, r)
+		return jc, errAt(pos, "join condition requires qualified columns, got %s = %s", l, r)
 	}
 	return JoinCond{LeftTable: lt, LeftCol: lc, RightTable: rt, RightCol: rc}, nil
 }
@@ -279,17 +448,17 @@ func (p *parser) filter() (Filter, error) {
 	case t.kind == tokKeyword && t.text == "LIKE":
 		f.Op = OpLikePrefix
 	default:
-		return f, fmt.Errorf("sql: expected comparison at %d, got %q", t.pos, t.text)
+		return f, errAt(t.pos, "expected comparison, got %q", t.text)
 	}
 	v := p.next()
 	switch v.kind {
 	case tokNumber:
 		if f.Op == OpLikePrefix {
-			return f, fmt.Errorf("sql: LIKE requires a string at %d", v.pos)
+			return f, errAt(v.pos, "LIKE requires a string")
 		}
 		n, err := strconv.ParseFloat(v.text, 64)
 		if err != nil {
-			return f, fmt.Errorf("sql: bad number at %d: %v", v.pos, err)
+			return f, errAt(v.pos, "bad number %q", v.text)
 		}
 		f.Num = n
 	case tokString:
@@ -297,12 +466,12 @@ func (p *parser) filter() (Filter, error) {
 		f.Str = v.text
 		if f.Op == OpLikePrefix {
 			if !strings.HasSuffix(v.text, "%") || strings.Contains(strings.TrimSuffix(v.text, "%"), "%") {
-				return f, fmt.Errorf("sql: only prefix LIKE ('abc%%') is supported")
+				return f, errAt(v.pos, "only prefix LIKE ('abc%%') is supported")
 			}
 			f.Str = strings.TrimSuffix(v.text, "%")
 		}
 	default:
-		return f, fmt.Errorf("sql: expected literal at %d, got %q", v.pos, v.text)
+		return f, errAt(v.pos, "expected literal, got %q", v.text)
 	}
 	return f, nil
 }

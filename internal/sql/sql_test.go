@@ -1,6 +1,7 @@
 package sql
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
@@ -14,7 +15,10 @@ func TestParseCountJoinWhere(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !q.Count {
+	if len(q.Items) != 1 || q.Items[0].Agg != AggCount || q.Items[0].Col != "" {
+		t.Fatalf("items = %+v", q.Items)
+	}
+	if !q.Aggregated() {
 		t.Fatal("COUNT not detected")
 	}
 	if len(q.Tables) != 3 || q.Tables[0] != "customer" || q.Tables[2] != "new_order" {
@@ -43,11 +47,72 @@ func TestParseProjection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if q.Count || len(q.Columns) != 2 || q.Columns[1] != "customer.c_last" {
+	if q.Aggregated() || len(q.Items) != 2 || q.Items[1].Col != "customer.c_last" {
 		t.Fatalf("q = %+v", q)
 	}
 	if q.Filters[0].Op != OpLt {
 		t.Fatal("op")
+	}
+	if q.Limit != -1 {
+		t.Fatalf("Limit = %d, want -1 (absent)", q.Limit)
+	}
+}
+
+func TestParseAggregates(t *testing.T) {
+	q, err := Parse("SELECT d_id, COUNT(*), SUM(o_ol_cnt), AVG(o_ol_cnt), MIN(o_id), MAX(orders.o_id) FROM orders GROUP BY d_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []SelectItem{
+		{Agg: AggNone, Col: "d_id"},
+		{Agg: AggCount, Col: ""},
+		{Agg: AggSum, Col: "o_ol_cnt"},
+		{Agg: AggAvg, Col: "o_ol_cnt"},
+		{Agg: AggMin, Col: "o_id"},
+		{Agg: AggMax, Col: "orders.o_id"},
+	}
+	if len(q.Items) != len(want) {
+		t.Fatalf("items = %+v", q.Items)
+	}
+	for i, w := range want {
+		if q.Items[i].Agg != w.Agg || q.Items[i].Col != w.Col {
+			t.Fatalf("item %d = %+v, want %+v", i, q.Items[i], w)
+		}
+	}
+	if len(q.GroupBy) != 1 || q.GroupBy[0] != "d_id" {
+		t.Fatalf("group by = %v", q.GroupBy)
+	}
+}
+
+func TestParseOrderByLimit(t *testing.T) {
+	q, err := Parse("SELECT c_id, c_last FROM customer ORDER BY c_last DESC, c_id LIMIT 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.OrderBy) != 2 {
+		t.Fatalf("order by = %+v", q.OrderBy)
+	}
+	if q.OrderBy[0].Col != "c_last" || !q.OrderBy[0].Desc {
+		t.Fatalf("order0 = %+v", q.OrderBy[0])
+	}
+	if q.OrderBy[1].Col != "c_id" || q.OrderBy[1].Desc {
+		t.Fatalf("order1 = %+v", q.OrderBy[1])
+	}
+	if q.Limit != 10 {
+		t.Fatalf("limit = %d", q.Limit)
+	}
+}
+
+func TestParseOrderByAggregate(t *testing.T) {
+	q, err := Parse("SELECT d_id, COUNT(*) FROM orders GROUP BY d_id ORDER BY COUNT(*) DESC, d_id ASC LIMIT 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.OrderBy[0].Agg != AggCount || !q.OrderBy[0].Desc {
+		t.Fatalf("order0 = %+v", q.OrderBy[0])
+	}
+	if q.OrderBy[1].Agg != AggNone || q.OrderBy[1].Col != "d_id" || q.OrderBy[1].Desc {
+		t.Fatalf("order1 = %+v", q.OrderBy[1])
 	}
 }
 
@@ -75,11 +140,11 @@ func TestParseInnerJoinKeyword(t *testing.T) {
 }
 
 func TestParseCaseInsensitivity(t *testing.T) {
-	q, err := Parse("select count(*) from Customer where C_ID = 5")
+	q, err := Parse("select count(*) from Customer where C_ID = 5 group by C_D_ID order by count(*) limit 2")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if q.Tables[0] != "customer" || q.Filters[0].Col != "c_id" {
+	if q.Tables[0] != "customer" || q.Filters[0].Col != "c_id" || q.GroupBy[0] != "c_d_id" {
 		t.Fatalf("case folding broken: %+v", q)
 	}
 }
@@ -111,9 +176,51 @@ func TestParseErrors(t *testing.T) {
 		"SELECT COUNT( FROM t",                       // broken count
 		"SELECT COUNT(*) FROM a JOIN b",              // missing ON
 		"SELECT COUNT(*) FROM t WHERE x = 1.2.3 AND", // bad number then EOF
+		"SELECT SUM(*) FROM t",                       // SUM needs a column
+		"SELECT SUM(x FROM t",                        // unclosed aggregate
+		"SELECT x FROM t GROUP",                      // GROUP without BY
+		"SELECT x FROM t GROUP BY",                   // missing group column
+		"SELECT x FROM t ORDER x",                    // ORDER without BY
+		"SELECT x FROM t ORDER BY",                   // missing order term
+		"SELECT x FROM t LIMIT",                      // missing limit count
+		"SELECT x FROM t LIMIT x",                    // non-numeric limit
+		"SELECT x FROM t LIMIT 1.5",                  // fractional limit
 	} {
 		if _, err := Parse(bad); err == nil {
 			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+// TestParseErrorPositions pins the byte offset reported for a few
+// representative syntax errors.
+func TestParseErrorPositions(t *testing.T) {
+	cases := []struct {
+		input string
+		pos   int
+	}{
+		{"SELECT COUNT(*) FROM t WHERE x ! 1", 31},       // bad char at '!'
+		{"SELECT COUNT(*) FROM t WHERE x = 1 extra", 35}, // trailing token
+		{"SELECT FROM t", 7},                             // missing select item
+		{"SELECT x FROM t LIMIT abc", 22},                // bad limit
+		{"SELECT x FROM t WHERE y LIKE 'a%b%'", 29},      // bad LIKE pattern
+	}
+	for _, c := range cases {
+		_, err := Parse(c.input)
+		if err == nil {
+			t.Errorf("accepted %q", c.input)
+			continue
+		}
+		var pe *ParseError
+		if !errors.As(err, &pe) {
+			t.Errorf("%q: error %v is not a *ParseError", c.input, err)
+			continue
+		}
+		if pe.Pos != c.pos {
+			t.Errorf("%q: error at %d, want %d (%v)", c.input, pe.Pos, c.pos, err)
+		}
+		if !strings.Contains(err.Error(), "at position") {
+			t.Errorf("%q: error text %q lacks position", c.input, err)
 		}
 	}
 }
@@ -147,7 +254,7 @@ func TestParseComparisons(t *testing.T) {
 
 func TestParseIsNotPanicky(t *testing.T) {
 	// Fuzz-ish: truncations of a valid query must error, never panic.
-	full := "SELECT COUNT(*) FROM a JOIN b ON a.x = b.y WHERE a.s LIKE 'Q%' AND b.n >= 7"
+	full := "SELECT d_id, SUM(b.n) FROM a JOIN b ON a.x = b.y WHERE a.s LIKE 'Q%' AND b.n >= 7 GROUP BY d_id ORDER BY SUM(b.n) DESC LIMIT 5"
 	for i := 0; i < len(full); i++ {
 		func() {
 			defer func() {
@@ -160,8 +267,5 @@ func TestParseIsNotPanicky(t *testing.T) {
 	}
 	if _, err := Parse(full); err != nil {
 		t.Fatalf("full query rejected: %v", err)
-	}
-	if !strings.Contains(full, "LIKE") {
-		t.Fatal("sanity")
 	}
 }

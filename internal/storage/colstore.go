@@ -1,0 +1,85 @@
+package storage
+
+// Columnar chunk cache: the scan-side storage layout behind the shared
+// analytical scans (Vertica's projection store, scaled to this repo's
+// micro-model). The row heap stays the OLTP source of truth; each table
+// lazily mirrors fixed-size slot ranges ("chunks") into pooled columnar
+// Batches that analytical scans read directly, so a shared cursor
+// amortizes a vectorized scan rather than a per-row map-lookup walk.
+//
+// Consistency is version-based: every heap write stamps the chunk it
+// touches (markColDirty, a shift + bounds check + increment — nothing
+// the 0-alloc OLTP path can feel), and ColChunk rebuilds a chunk only
+// when its cached build is stale. Single ownership does the rest: the
+// partition's owner AC is the only reader and the only writer, so no
+// locking is needed, and the cache travels with the partition on a live
+// handoff like every other table state.
+
+// ColChunkShift sets the chunk size: 1<<ColChunkShift heap slots per
+// columnar chunk. 2048 matches the scan operators' chunk granularity.
+const ColChunkShift = 11
+
+// ColChunkRows is the number of heap slots per columnar chunk.
+const ColChunkRows = 1 << ColChunkShift
+
+// colChunk is one cached columnar mirror of a heap slot range.
+// version counts writes into the range; built records the version the
+// cached batch was built at (valid iff batch != nil && built == version).
+type colChunk struct {
+	version uint32
+	built   uint32
+	batch   *Batch
+}
+
+// markColDirty stamps the chunk covering slot as stale. Called on every
+// heap write; must stay allocation-free and branch-cheap.
+func (t *Table) markColDirty(slot int32) {
+	ci := int(slot >> ColChunkShift)
+	if ci < len(t.colChunks) {
+		t.colChunks[ci].version++
+	}
+}
+
+// NumColChunks returns how many chunks cover the heap (including the
+// trailing partial chunk). Chunks are addressed 0..NumColChunks()-1.
+func (t *Table) NumColChunks() int {
+	return (len(t.rows) + ColChunkRows - 1) >> ColChunkShift
+}
+
+// ColChunk returns the columnar mirror of chunk ci, rebuilding it from
+// the row heap if it was never built or a write landed in its range.
+// The returned batch is owned by the table: callers must not mutate,
+// free, or retain it past the next table write. Tombstoned slots are
+// skipped, so the batch's Len() is the chunk's live-row count.
+func (t *Table) ColChunk(ci int) *Batch {
+	if ci >= len(t.colChunks) {
+		if ci >= cap(t.colChunks) {
+			grown := make([]colChunk, ci+1, max(2*cap(t.colChunks), ci+1))
+			copy(grown, t.colChunks)
+			t.colChunks = grown
+		} else {
+			t.colChunks = t.colChunks[:ci+1]
+		}
+	}
+	c := &t.colChunks[ci]
+	if c.batch != nil && c.built == c.version {
+		return c.batch
+	}
+	if c.batch != nil {
+		FreeBatch(c.batch)
+	}
+	b := GetBatch(t.Schema)
+	lo := ci << ColChunkShift
+	hi := lo + ColChunkRows
+	if hi > len(t.rows) {
+		hi = len(t.rows)
+	}
+	for slot := lo; slot < hi; slot++ {
+		if r := t.rows[slot]; r != nil {
+			b.AppendRow(r)
+		}
+	}
+	c.batch = b
+	c.built = c.version
+	return b
+}

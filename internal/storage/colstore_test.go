@@ -1,0 +1,96 @@
+package storage
+
+import "testing"
+
+func colTestSchema() *Schema {
+	return NewSchema("t",
+		Column{Name: "id", Kind: KInt},
+		Column{Name: "name", Kind: KStr},
+	)
+}
+
+func TestColChunkBuildsAndCaches(t *testing.T) {
+	tb := NewTable(colTestSchema())
+	for i := 0; i < ColChunkRows+10; i++ {
+		if _, err := tb.Insert(Key(i), Row{Int(int64(i)), Str("x")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := tb.NumColChunks(); got != 2 {
+		t.Fatalf("NumColChunks = %d, want 2", got)
+	}
+	c0 := tb.ColChunk(0)
+	if c0.Len() != ColChunkRows {
+		t.Fatalf("chunk 0 has %d rows, want %d", c0.Len(), ColChunkRows)
+	}
+	if again := tb.ColChunk(0); again != c0 {
+		t.Fatal("clean chunk was rebuilt")
+	}
+	c1 := tb.ColChunk(1)
+	if c1.Len() != 10 {
+		t.Fatalf("chunk 1 has %d rows, want 10", c1.Len())
+	}
+	if c1.Cols[0].Ints[0] != int64(ColChunkRows) {
+		t.Fatalf("chunk 1 first id = %d, want %d", c1.Cols[0].Ints[0], ColChunkRows)
+	}
+}
+
+func TestColChunkInvalidation(t *testing.T) {
+	tb := NewTable(colTestSchema())
+	for i := 0; i < 100; i++ {
+		if _, err := tb.Insert(Key(i), Row{Int(int64(i)), Str("x")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := tb.ColChunk(0).Len(); got != 100 {
+		t.Fatalf("initial build has %d rows, want 100", got)
+	}
+
+	// An insert into the cached chunk's range must trigger a rebuild.
+	if _, err := tb.Insert(Key(100), Row{Int(100), Str("y")}); err != nil {
+		t.Fatal(err)
+	}
+	if got := tb.ColChunk(0).Len(); got != 101 {
+		t.Fatalf("after insert: %d rows, want 101", got)
+	}
+
+	// Updates are reflected.
+	slot, _ := tb.Lookup(Key(42))
+	tb.UpdateAt(slot, 1, Str("updated"))
+	if got := tb.ColChunk(0).Cols[1].Strs[42]; got != "updated" {
+		t.Fatalf("after update: cell = %q, want %q", got, "updated")
+	}
+
+	// Deletes tombstone the slot out of the rebuilt chunk.
+	tb.Delete(Key(0))
+	if got := tb.ColChunk(0).Len(); got != 100 {
+		t.Fatalf("after delete: %d rows, want 100", got)
+	}
+	if got := tb.ColChunk(0).Cols[0].Ints[0]; got != 1 {
+		t.Fatalf("after delete: first id = %d, want 1", got)
+	}
+
+	// AbortAppend likewise.
+	slot2 := tb.Append(Row{Int(999), Str("z")})
+	if got := tb.ColChunk(0).Len(); got != 101 {
+		t.Fatalf("after append: %d rows, want 101", got)
+	}
+	tb.AbortAppend(slot2)
+	if got := tb.ColChunk(0).Len(); got != 100 {
+		t.Fatalf("after abort: %d rows, want 100", got)
+	}
+}
+
+func TestColChunkDirtyBeforeFirstBuild(t *testing.T) {
+	// Writes before any ColChunk call must not panic or grow state.
+	tb := NewTable(colTestSchema())
+	for i := 0; i < 10; i++ {
+		tb.Append(Row{Int(int64(i)), Str("x")})
+	}
+	if len(tb.colChunks) != 0 {
+		t.Fatalf("colChunks grew to %d before any ColChunk call", len(tb.colChunks))
+	}
+	if got := tb.ColChunk(0).Len(); got != 10 {
+		t.Fatalf("ColChunk(0) has %d rows, want 10", got)
+	}
+}

@@ -32,6 +32,7 @@ type Table struct {
 	secCols   map[int]bool // columns used by any secondary key
 	live      int
 	bytes     int64
+	colChunks []colChunk // lazily built columnar mirror (colstore.go)
 }
 
 // NewTable returns an empty table for schema.
@@ -86,6 +87,7 @@ func (t *Table) Insert(key Key, row Row) (int32, error) {
 	}
 	t.live++
 	t.bytes += row.Size()
+	t.markColDirty(slot)
 	return slot, nil
 }
 
@@ -105,6 +107,7 @@ func (t *Table) Append(row Row) int32 {
 	}
 	t.live++
 	t.bytes += row.Size()
+	t.markColDirty(slot)
 	return slot
 }
 
@@ -120,6 +123,7 @@ func (t *Table) AbortAppend(slot int32) {
 	t.bytes -= row.Size()
 	t.rows[slot] = nil
 	t.live--
+	t.markColDirty(slot)
 }
 
 // Lookup resolves key to a row slot.
@@ -151,6 +155,7 @@ func (t *Table) UpdateAt(slot int32, col int, v Value) Value {
 	old := row[col]
 	t.bytes += v.size() - old.size()
 	row[col] = v
+	t.markColDirty(slot)
 	return old
 }
 
@@ -168,6 +173,7 @@ func (t *Table) Delete(key Key) bool {
 	t.bytes -= row.Size()
 	t.rows[slot] = nil
 	t.live--
+	t.markColDirty(slot)
 	return true
 }
 

@@ -1,0 +1,158 @@
+package anydb_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"anydb"
+)
+
+// TestQueryStressUnderChurn races the redesigned streaming query path —
+// shared-scan analytical queries attaching to and wrapping in-flight
+// cursor passes — against routing-policy churn (epoch drains) and live
+// elastic Rebalance moves, under the race detector. Every query must
+// return the exact static answer: partition handoff gates analytical
+// work at the moving owner, so no scan may observe a half-moved
+// partition, lose rows, or double-count them.
+func TestQueryStressUnderChurn(t *testing.T) {
+	cfg := anydb.Config{
+		Warehouses: 4, Districts: 2, CustomersPerDistrict: 50,
+		InitialOrdersPerDist: 10, Items: 40,
+	}
+	c, err := anydb.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	wantOrders := int64(cfg.Warehouses * cfg.Districts * cfg.InitialOrdersPerDist)
+	wantCustomers := int64(cfg.Warehouses * cfg.Districts * cfg.CustomersPerDistrict)
+
+	deadline := time.Now().Add(600 * time.Millisecond)
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+
+	// Aggregate workers: a global count and a grouped aggregate, both
+	// riding shared-scan pushdown.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				var n int64
+				if err := c.QueryRow(bg, "SELECT COUNT(*) FROM orders").Scan(&n); err != nil {
+					errs <- fmt.Errorf("agg worker %d: %v", g, err)
+					return
+				}
+				if n != wantOrders {
+					errs <- fmt.Errorf("agg worker %d: COUNT(*) = %d, want %d", g, n, wantOrders)
+					return
+				}
+				rows, err := c.Query(bg, `SELECT o_d_id, COUNT(*) FROM orders
+					GROUP BY o_d_id ORDER BY o_d_id`)
+				if err != nil {
+					errs <- fmt.Errorf("agg worker %d: %v", g, err)
+					return
+				}
+				var total int64
+				for rows.Next() {
+					var d, cnt int64
+					if err := rows.Scan(&d, &cnt); err != nil {
+						errs <- fmt.Errorf("agg worker %d: scan: %v", g, err)
+						return
+					}
+					total += cnt
+				}
+				rows.Close()
+				if total != wantOrders {
+					errs <- fmt.Errorf("agg worker %d: group total = %d, want %d", g, total, wantOrders)
+					return
+				}
+			}
+		}(g)
+	}
+
+	// Streaming worker: projections iterated partially, then abandoned
+	// via Close — exercising pooled-batch reclamation mid-iteration.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; time.Now().Before(deadline); i++ {
+			rows, err := c.Query(bg, "SELECT c_id, c_d_id FROM customer")
+			if err != nil {
+				errs <- fmt.Errorf("stream worker: %v", err)
+				return
+			}
+			var seen int64
+			for rows.Next() {
+				seen++
+				if i%2 == 1 && seen == 7 {
+					break // abandon mid-batch; Close must free the rest
+				}
+			}
+			rows.Close()
+			if i%2 == 0 && seen != wantCustomers {
+				errs <- fmt.Errorf("stream worker: saw %d customers, want %d", seen, wantCustomers)
+				return
+			}
+		}
+	}()
+
+	// Join worker: the paper's Q3 through the folded OpenOrders wrapper.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var want int64 = -1
+		for time.Now().Before(deadline) {
+			n, err := c.OpenOrders(bg)
+			if err != nil {
+				errs <- fmt.Errorf("join worker: %v", err)
+				return
+			}
+			if want == -1 {
+				want = n
+			} else if n != want {
+				errs <- fmt.Errorf("join worker: open orders = %d, want %d", n, want)
+				return
+			}
+		}
+	}()
+
+	// Policy churn: every switch drains the submission epoch the queries
+	// are injected through.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		pols := anydb.Policies()
+		for i := 0; time.Now().Before(deadline); i++ {
+			if err := c.SetPolicy(bg, pols[i%len(pols)]); err != nil {
+				errs <- fmt.Errorf("policy churn: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Live repartitioning: bounce each warehouse between the two servers
+	// while scans are in flight at the owners.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; time.Now().Before(deadline); i++ {
+			if err := c.Rebalance(bg, i%cfg.Warehouses, i%2); err != nil {
+				errs <- fmt.Errorf("rebalance: %v", err)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if err := c.Verify(); err != nil {
+		t.Fatalf("consistency after churn: %v", err)
+	}
+}
