@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-submit bench-json profile fmt vet figures ci
+.PHONY: all build test race bench bench-submit bench-json cluster-smoke profile fmt vet figures ci
 
 all: build
 
@@ -35,12 +35,19 @@ bench-submit:
 	$(GO) test -run '^$$' -bench 'BenchmarkScanFlush' -benchmem -benchtime 0.3s ./internal/olap
 
 # Machine-readable benchmark summary: per-policy + adaptive throughput
-# on the evolving workload. CI uploads BENCH_PR6.json as an artifact,
+# on the evolving workload. CI uploads BENCH_PR7.json as an artifact,
 # and benchdata/ keeps the committed per-PR trajectory points for
 # comparison. Deterministic virtual-time runs — the short phase keeps
 # it a smoke, shapes are scale-invariant.
 bench-json:
-	$(GO) run ./cmd/anydb-bench -phase-ms 6 -json BENCH_PR6.json
+	$(GO) run ./cmd/anydb-bench -phase-ms 6 -json BENCH_PR7.json
+
+# Two-process cluster smoke: builds the member binary, then runs the
+# head + member demo end to end (payments, new-orders, SQL, and a live
+# cross-process migration, finishing with Verify + exactly-once).
+cluster-smoke:
+	$(GO) build ./cmd/anydbd
+	$(GO) run ./examples/cluster
 
 # CPU + allocation profiles of the parallel submission hot path (the
 # public API entry under GOMAXPROCS submitters). Inspect with `go tool

@@ -36,6 +36,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -51,6 +52,7 @@ import (
 	"anydb/internal/sql"
 	"anydb/internal/storage"
 	"anydb/internal/tpcc"
+	"anydb/internal/transport"
 )
 
 // Policy selects how transactions are routed over the ACs — the paper's
@@ -122,6 +124,23 @@ type Config struct {
 	// AdaptWindow is the sliding signal window for AutoAdapt and
 	// AutoRebalance (default 10ms wall clock).
 	AdaptWindow time.Duration
+	// Listen and RemoteServers turn the cluster into the head of a real
+	// multi-process deployment: Open listens on Listen (host:port) and
+	// waits for RemoteServers member processes (cmd/anydbd, or
+	// ServeNode) to join. Each member hosts one server's ACs in its own
+	// OS process; the event and data streams to those ACs travel over
+	// batched TCP frames (internal/transport) with semantics identical
+	// to the in-process mailboxes, and partitions rotate over the
+	// head's executors and every member's ACs, so cross-process
+	// transactions and scans flow from the first request. The routing
+	// policy is fixed to SharedNothing (every access to a partition
+	// happens at its owner — the only policy whose correctness does not
+	// depend on a single shared heap), and AutoAdapt/AutoRebalance are
+	// rejected; live Rebalance across processes is fully supported (the
+	// quiet-window handoff ships the partition's rows between
+	// processes).
+	Listen        string
+	RemoteServers int
 }
 
 // Cluster is a running architecture-less DBMS instance.
@@ -218,6 +237,21 @@ type Cluster struct {
 	// unmatchedDone counts completion events with no waiting caller —
 	// a lost or double-resolved transaction if ever nonzero.
 	unmatchedDone atomic.Int64
+
+	// Multi-process deployment (Config.RemoteServers > 0; distributed.go).
+	// remoteACs marks ACs hosted by member processes (nil on a purely
+	// local cluster — the hot paths pay one nil check); tokens is the
+	// head's client-token registry (futures never cross the wire, their
+	// table keys do); peers are the joined member connections and
+	// rpcWait matches partition-migration replies to their requests.
+	remoteACs []bool
+	tokens    *transport.TokenTable
+	ln        net.Listener
+	peers     []*member
+	serveWG   sync.WaitGroup
+	rpcSeq    atomic.Uint64
+	rpcMu     sync.Mutex
+	rpcWait   map[uint64]chan any
 }
 
 // ErrClosed is returned by every entry point once Close has begun;
@@ -284,8 +318,19 @@ func Open(cfg Config) (*Cluster, error) {
 	for s := 2; s < cfg.Servers; s++ {
 		c.topo.AddServer(cfg.CoresPerServer)
 	}
+	ownerPool := c.execs
+	if cfg.RemoteServers > 0 {
+		remote, err := c.addRemoteServers(cfg)
+		if err != nil {
+			return nil, err
+		}
+		// Partitions rotate over the head's executors AND every member's
+		// ACs, so cross-process segments and scans flow from the first
+		// request rather than only after a Rebalance.
+		ownerPool = append(append([]core.ACID(nil), c.execs...), remote...)
+	}
 	for w := 0; w < tc.Warehouses; w++ {
-		c.topo.SetOwner(w, c.execs[w%len(c.execs)])
+		c.topo.SetOwner(w, ownerPool[w%len(ownerPool)])
 	}
 	c.lay = route.Layout{
 		Owner: c.topo.Owner, Execs: c.execs,
@@ -328,8 +373,19 @@ func Open(cfg Config) (*Cluster, error) {
 		c.applierWG.Add(1)
 		go c.runApplier()
 	}
-	c.eng = core.NewEngine(c.topo, c.setupAC)
+	if c.remoteACs != nil {
+		c.eng = core.NewEngineAt(c.topo, c.setupAC, func(id core.ACID) bool { return !c.remoteACs[id] })
+	} else {
+		c.eng = core.NewEngine(c.topo, c.setupAC)
+	}
 	c.eng.SetClient(c.onDone)
+	if c.remoteACs != nil {
+		if err := c.acceptMembers(cfg); err != nil {
+			c.eng.Stop()
+			c.ln.Close()
+			return nil, err
+		}
+	}
 	return c, nil
 }
 
@@ -388,6 +444,12 @@ func (c *Cluster) routes(p Policy) oltp.Routes {
 func (c *Cluster) SetPolicy(ctx context.Context, p Policy) error {
 	if c.autoAdapt {
 		return errors.New("anydb: cluster is self-driving (Config.AutoAdapt); the controller owns the policy")
+	}
+	if c.remoteACs != nil && p != SharedNothing {
+		// The fine-grained policies execute writes off the partition
+		// owners; on a multi-process cluster that would write through
+		// the head's stale copy of remote-owned partitions.
+		return errors.New("anydb: multi-process clusters run SharedNothing only")
 	}
 	return c.setPolicy(ctx, p)
 }
@@ -627,6 +689,13 @@ func (c *Cluster) submit(ctx context.Context, t *tpcc.Txn) (*Future, error) {
 	// Resolve the entry AC before injecting: the dispatcher consumes
 	// (and recycles) the txn, so it must not be touched after Inject.
 	entry := route.Entry(oltp.Policy(e.policy), c.lay, t.HomeWarehouse())
+	if c.remoteACs != nil && c.remoteACs[entry] {
+		// Raw transactions never cross the wire (their op programs are
+		// compiled from closures): enter at the head dispatcher instead,
+		// which compiles locally and ships the routed segments — the
+		// wire-encodable form — to the remote owner.
+		entry = c.lay.Dispatch
+	}
 	ev := core.GetEvent()
 	ev.Kind, ev.Txn, ev.Payload, ev.Client = core.EvTxn, id, t, f
 	c.eng.Inject(entry, ev)
@@ -818,7 +887,9 @@ func (c *Cluster) runQuery(ctx context.Context, text string, o QueryOptions) (*o
 	if err != nil {
 		return nil, err
 	}
-	c.eng.Inject(c.ctrl[3], &core.Event{Kind: core.EvQuery, Query: qid, Payload: p})
+	qev := core.GetEvent()
+	qev.Kind, qev.Query, qev.Payload = core.EvQuery, qid, p
+	c.eng.Inject(c.ctrl[3], qev)
 	return c.awaitQuery(ctx, qid, ch)
 }
 
@@ -911,9 +982,12 @@ func (c *Cluster) onDone(ev *core.Event) {
 			// Feed analytical activity into the signal stream so the
 			// controller can react with elasticity (a one-shot
 			// trigger — once growth is requested, stop reporting).
-			c.eng.Inject(c.ctrl[1], &core.Event{Kind: core.EvSignal, Payload: &oltp.Report{
+			sig := core.GetEvent()
+			sig.Kind = core.EvSignal
+			sig.Payload = &oltp.Report{
 				At: sim.Time(time.Since(c.start).Nanoseconds()), Queries: 1,
-			}})
+			}
+			c.eng.Inject(c.ctrl[1], sig)
 		}
 	case *adapt.Decision:
 		if p.Grow {
@@ -996,7 +1070,9 @@ func (c *Cluster) Rebalance(ctx context.Context, warehouse, server int) error {
 		// Only ACs running a dispatcher can own partitions: under
 		// shared-nothing the owner IS the transaction entry point. The
 		// dedicated commit coordinator is the one AC without one.
-		if _, ok := c.dispers[id]; !ok {
+		// Member-hosted ACs all run dispatchers in their own process
+		// (they are not in the head's registry), so they are eligible.
+		if _, ok := c.dispers[id]; !ok && !c.isRemote(id) {
 			continue
 		}
 		if n := len(c.topo.OwnedPartitions(id)); n < bestN {
@@ -1041,6 +1117,13 @@ func (c *Cluster) moveWarehouse(ctx context.Context, w int, dst core.ACID) error
 	g := &moveGate{mask: mask, reopen: make(chan struct{})}
 	c.gate.Store(g)
 	err := c.drainPartitionLocked(ctx, mask)
+	if err == nil && c.remoteACs != nil {
+		// Cross-process leg: ship the partition's live rows between
+		// processes (pull from a remote source, push to a remote
+		// destination) and broadcast the ownership flip, all inside the
+		// same quiet window.
+		err = c.migratePartition(w, dst)
+	}
 	if err == nil {
 		// Quiet window: nothing in flight touches the partition, no
 		// overlapping submission can slip past the gate. Hand off the
@@ -1254,7 +1337,12 @@ func (c *Cluster) Verify() error {
 		e := c.sub.Load()
 		e.closed.Store(true)
 		if err := c.drainLocked(context.Background()); err == nil {
-			_, verr := tpcc.Verify(c.db, c.cfg)
+			// On a multi-process cluster the check runs against the head
+			// database, so remote-owned partitions come home first.
+			verr := c.pullRemotePartitions()
+			if verr == nil {
+				_, verr = tpcc.Verify(c.db, c.cfg)
+			}
 			c.reopenLocked(e, e.policy)
 			c.switchMu.Unlock()
 			return verr
@@ -1263,6 +1351,11 @@ func (c *Cluster) Verify() error {
 	}
 	c.switchMu.Unlock()
 	<-c.closeDrained
+	if c.remoteACs != nil {
+		// Close pulls the remote-owned partitions home after its final
+		// drain; wait for the full teardown so the head copy is complete.
+		<-c.closeDone
+	}
 	_, err := tpcc.Verify(c.db, c.cfg)
 	return err
 }
@@ -1308,7 +1401,28 @@ func (c *Cluster) Close() {
 	}
 	c.switchMu.Unlock()
 	close(c.closeDrained)
+	if c.remoteACs != nil {
+		// Bring every remote-owned partition home — the head database is
+		// the complete post-run state (Verify after Close reads it) —
+		// then dismiss the members; each stops its engine and closes its
+		// connection.
+		_ = c.pullRemotePartitions()
+		for _, m := range c.peers {
+			_ = m.peer.WriteControl(&transport.Bye{})
+		}
+	}
 	c.eng.Stop()
+	if c.remoteACs != nil {
+		// Stop closed the remote-AC outboxes, so the router drainers are
+		// exiting; wait for them, then drop the connections and the
+		// head-side serve loops.
+		for _, m := range c.peers {
+			m.peer.WaitDrainers()
+			m.peer.Close()
+		}
+		c.ln.Close()
+		c.serveWG.Wait()
+	}
 	// The drain above resolved every transaction and delivered every
 	// query result, so the wait table is empty unless something slipped
 	// past accounting; closing leftovers (race-free now — all AC

@@ -1,0 +1,35 @@
+// Command anydbd runs one member process of a multi-process anydb
+// cluster: it joins the head (a process that called anydb.Open with
+// Config.Listen/RemoteServers), hosts one server's ACs, and serves the
+// cluster's event and data streams over TCP until the head dismisses it.
+//
+// Usage:
+//
+//	anydbd -join 127.0.0.1:7070
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"anydb"
+)
+
+func main() {
+	join := flag.String("join", "", "head address to join (host:port)")
+	flag.Parse()
+	if *join == "" {
+		log.Fatal("anydbd: -join host:port is required")
+	}
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	log.Printf("anydbd: joining head at %s", *join)
+	if err := anydb.ServeNode(ctx, *join); err != nil {
+		log.Fatalf("anydbd: %v", err)
+	}
+	log.Print("anydbd: dismissed by head, shutting down")
+}

@@ -1,0 +1,306 @@
+package anydb
+
+// Head side of the multi-process deployment (Config.Listen +
+// Config.RemoteServers): member join handshake, the router goroutines
+// that drain remote-AC outboxes onto the peer connections, the relay of
+// inbound wire messages into the local engine, and the partition
+// migration RPCs that back cross-process Rebalance/Verify/Close. The
+// member side lives in node.go (ServeNode).
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"anydb/internal/core"
+	"anydb/internal/transport"
+)
+
+// member is one joined member process: its connection and the topology
+// server slot whose ACs it hosts.
+type member struct {
+	peer   *transport.Peer
+	server int
+}
+
+// joinTimeout bounds how long Open waits for all members to dial in;
+// rpcTimeout bounds one partition-migration round trip.
+const (
+	joinTimeout = 60 * time.Second
+	rpcTimeout  = 30 * time.Second
+)
+
+// addRemoteServers validates the distributed config, advertises the
+// member servers in the topology and opens the listener — called from
+// Open before partition owners are assigned, so members can own
+// partitions from the start.
+func (c *Cluster) addRemoteServers(cfg Config) ([]core.ACID, error) {
+	if cfg.Listen == "" {
+		return nil, errors.New("anydb: Config.RemoteServers requires Config.Listen")
+	}
+	if cfg.AutoAdapt || cfg.AutoRebalance {
+		return nil, errors.New("anydb: AutoAdapt/AutoRebalance are not supported on a multi-process cluster")
+	}
+	var remote []core.ACID
+	for i := 0; i < cfg.RemoteServers; i++ {
+		remote = append(remote, c.topo.AddServer(cfg.CoresPerServer)...)
+	}
+	c.remoteACs = make([]bool, c.topo.NumACs())
+	for _, id := range remote {
+		c.remoteACs[id] = true
+	}
+	c.tokens = transport.NewTokenTable()
+	c.rpcWait = make(map[uint64]chan any)
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return nil, err
+	}
+	c.ln = ln
+	return remote, nil
+}
+
+// isRemote reports whether an AC is hosted by a member process.
+func (c *Cluster) isRemote(id core.ACID) bool {
+	return c.remoteACs != nil && id >= 0 && int(id) < len(c.remoteACs) && c.remoteACs[id]
+}
+
+// ListenAddr returns the address the head is accepting members on
+// (useful with a ":0" Listen config), or "" on a purely local cluster.
+func (c *Cluster) ListenAddr() string {
+	if c.ln == nil {
+		return ""
+	}
+	return c.ln.Addr().String()
+}
+
+// acceptMembers completes Open on a distributed cluster: accept each
+// member, hand it its server slot and the deterministic rebuild recipe
+// (Welcome), register router drainers for its ACs, wait until it is
+// Ready, then start the inbound serve loops. Members join one at a
+// time in server order.
+func (c *Cluster) acceptMembers(cfg Config) error {
+	owners := make([]int, c.cfg.Warehouses)
+	for w := range owners {
+		owners[w] = int(c.topo.Owner(w))
+	}
+	deadline := time.Now().Add(joinTimeout)
+	err := func() error {
+		for i := 0; i < cfg.RemoteServers; i++ {
+			if tl, ok := c.ln.(*net.TCPListener); ok {
+				tl.SetDeadline(deadline)
+			}
+			conn, err := c.ln.Accept()
+			if err != nil {
+				return fmt.Errorf("anydb: waiting for member %d/%d: %w", i+1, cfg.RemoteServers, err)
+			}
+			peer := transport.NewPeer(conn, c.tokens)
+			hello, err := peer.ReadControl()
+			if err != nil {
+				peer.Close()
+				return fmt.Errorf("anydb: member handshake: %w", err)
+			}
+			if h, ok := hello.(*transport.Hello); !ok || h.Proto != transport.ProtoVersion {
+				peer.Close()
+				return fmt.Errorf("anydb: member handshake: unexpected %#v", hello)
+			}
+			server := cfg.Servers + i
+			if err := peer.WriteControl(&transport.Welcome{
+				Proto: transport.ProtoVersion, Server: server,
+				Servers: cfg.Servers + cfg.RemoteServers, Cores: cfg.CoresPerServer,
+				TC: c.cfg, Owners: owners,
+			}); err != nil {
+				peer.Close()
+				return err
+			}
+			// The member's ACs get engine outboxes now: anything routed at
+			// them buffers until the drainers flush it over the wire.
+			for _, id := range c.topo.ACs(server) {
+				peer.StartDrainer(id, c.eng.RegisterRemote(id))
+			}
+			ready, err := peer.ReadControl()
+			if err != nil {
+				peer.Close()
+				return fmt.Errorf("anydb: member %d ready: %w", server, err)
+			}
+			if _, ok := ready.(*transport.Ready); !ok {
+				peer.Close()
+				return fmt.Errorf("anydb: member %d: expected Ready, got %#v", server, ready)
+			}
+			c.peers = append(c.peers, &member{peer: peer, server: server})
+		}
+		return nil
+	}()
+	if err != nil {
+		for _, m := range c.peers {
+			m.peer.Close()
+		}
+		return err
+	}
+	if tl, ok := c.ln.(*net.TCPListener); ok {
+		tl.SetDeadline(time.Time{})
+	}
+	for _, m := range c.peers {
+		c.serveWG.Add(1)
+		go func(m *member) {
+			defer c.serveWG.Done()
+			_ = m.peer.Serve(c.remoteMsg, c.remoteCtrl)
+		}(m)
+	}
+	return nil
+}
+
+// remoteMsg relays one decoded inbound message into the local engine.
+// ClientAC-destined events resolve through the client callback exactly
+// like a local completion; everything else lands in the destination's
+// mailbox — which, for a message between two members, is another
+// remote-AC outbox, so the head transparently relays member→member
+// traffic.
+func (c *Cluster) remoteMsg(dst core.ACID, m any) {
+	switch v := m.(type) {
+	case *core.Event:
+		if dst == core.ClientAC {
+			c.eng.InjectClient(v)
+			return
+		}
+		c.eng.Inject(dst, v)
+	case *core.DataMsg:
+		c.eng.InjectData(dst, v)
+	}
+}
+
+// remoteCtrl handles inbound control messages on the head: the only
+// ones members originate are partition-migration replies.
+func (c *Cluster) remoteCtrl(v any) error {
+	switch msg := v.(type) {
+	case *transport.PartSnap:
+		c.rpcDeliver(msg.Ref, msg)
+	case *transport.PartAck:
+		c.rpcDeliver(msg.Ref, msg)
+	}
+	return nil
+}
+
+func (c *Cluster) rpcDeliver(ref uint64, v any) {
+	c.rpcMu.Lock()
+	ch := c.rpcWait[ref]
+	delete(c.rpcWait, ref)
+	c.rpcMu.Unlock()
+	if ch != nil {
+		ch <- v
+	}
+}
+
+// rpc sends one control request to a member and blocks for its reply
+// (matched by Ref).
+func (c *Cluster) rpc(m *member, build func(ref uint64) any) (any, error) {
+	ref := c.rpcSeq.Add(1)
+	ch := make(chan any, 1)
+	c.rpcMu.Lock()
+	c.rpcWait[ref] = ch
+	c.rpcMu.Unlock()
+	if err := m.peer.WriteControl(build(ref)); err != nil {
+		c.rpcMu.Lock()
+		delete(c.rpcWait, ref)
+		c.rpcMu.Unlock()
+		return nil, err
+	}
+	select {
+	case v := <-ch:
+		return v, nil
+	case <-time.After(rpcTimeout):
+		c.rpcMu.Lock()
+		delete(c.rpcWait, ref)
+		c.rpcMu.Unlock()
+		return nil, fmt.Errorf("anydb: member %d: partition rpc timed out", m.server)
+	}
+}
+
+// memberOf resolves the member connection hosting an AC.
+func (c *Cluster) memberOf(id core.ACID) *member {
+	s := c.topo.ServerOf(id)
+	for _, m := range c.peers {
+		if m.server == s {
+			return m
+		}
+	}
+	return nil
+}
+
+// pullPartition refreshes the head's copy of one remote-owned partition.
+func (c *Cluster) pullPartition(m *member, w int) error {
+	v, err := c.rpc(m, func(ref uint64) any { return &transport.PartReq{Ref: ref, W: w} })
+	if err != nil {
+		return err
+	}
+	snap, ok := v.(*transport.PartSnap)
+	if !ok {
+		return fmt.Errorf("anydb: partition %d: unexpected rpc reply %T", w, v)
+	}
+	return transport.InstallPartition(c.db, w, snap.Tables)
+}
+
+// migratePartition is the cross-process leg of moveWarehouse, running
+// inside the drained quiet window: pull the live rows home when the
+// source owner is remote, push the fresh copy out when the destination
+// is, then broadcast the ownership flip so every process's topology
+// snapshot reroutes identically. The caller flips the head's own
+// topology afterwards.
+func (c *Cluster) migratePartition(w int, dst core.ACID) error {
+	if src := c.topo.Owner(w); c.isRemote(src) {
+		m := c.memberOf(src)
+		if m == nil {
+			return fmt.Errorf("anydb: no member connection for AC %d", src)
+		}
+		if err := c.pullPartition(m, w); err != nil {
+			return err
+		}
+	}
+	if c.isRemote(dst) {
+		m := c.memberOf(dst)
+		if m == nil {
+			return fmt.Errorf("anydb: no member connection for AC %d", dst)
+		}
+		tables := transport.SnapshotPartition(c.db, w)
+		v, err := c.rpc(m, func(ref uint64) any { return &transport.PartInstall{Ref: ref, W: w, Tables: tables} })
+		if err != nil {
+			return err
+		}
+		ack, ok := v.(*transport.PartAck)
+		if !ok {
+			return fmt.Errorf("anydb: partition %d: unexpected rpc reply %T", w, v)
+		}
+		if ack.Err != "" {
+			return fmt.Errorf("anydb: partition %d install on member %d: %s", w, m.server, ack.Err)
+		}
+	}
+	for _, m := range c.peers {
+		if err := m.peer.WriteControl(&transport.OwnerUpdate{W: w, AC: int(dst)}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pullRemotePartitions brings every remote-owned partition's live rows
+// into the head database — Verify and Close check TPC-C consistency
+// against the head's copy. Caller holds the drained quiet plane.
+func (c *Cluster) pullRemotePartitions() error {
+	if c.remoteACs == nil {
+		return nil
+	}
+	for w := 0; w < c.cfg.Warehouses; w++ {
+		owner := c.topo.Owner(w)
+		if !c.isRemote(owner) {
+			continue
+		}
+		m := c.memberOf(owner)
+		if m == nil {
+			return fmt.Errorf("anydb: no member connection for AC %d", owner)
+		}
+		if err := c.pullPartition(m, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,187 @@
+// Cluster: the paper's architecture-less DBMS spanning two real OS
+// processes. The parent becomes the head (client API + its own servers)
+// and re-executes itself with -member to start a member process that
+// joins over loopback TCP and hosts one more server. The same pipelined
+// payments, new-orders, and SQL queries then run across the process
+// boundary — scans execute inside the member against its live partition
+// copies — and a live Rebalance migrates a warehouse between processes
+// under load. Routing stays the only thing that changed: no code in the
+// workload knows which side of the wire an AC lives on.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/exec"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"anydb"
+)
+
+const warehouses = 8
+
+func main() {
+	member := flag.String("member", "", "run as a member process joining this head address")
+	flag.Parse()
+	if *member != "" {
+		// Member half: serve our share of the cluster until dismissed.
+		if err := anydb.ServeNode(context.Background(), *member); err != nil {
+			log.Fatalf("member: %v", err)
+		}
+		return
+	}
+
+	ctx := context.Background()
+
+	// Reserve a loopback port, hand it to the member we spawn, then
+	// listen on it ourselves: the member dials with retry, so it may
+	// come up before the head listens.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	child := exec.Command(os.Args[0], "-member", addr)
+	child.Stdout, child.Stderr = os.Stdout, os.Stderr
+	if err := child.Start(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("== head %d spawned member %d, joining on %s\n", os.Getpid(), child.Process.Pid, addr)
+
+	cluster, err := anydb.Open(anydb.Config{
+		Warehouses:           warehouses,
+		Districts:            2,
+		CustomersPerDistrict: 50,
+		InitialOrdersPerDist: 40,
+		Listen:               addr,
+		RemoteServers:        1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	placement := cluster.Placement()
+	headOwned, memberOwned := -1, -1
+	for w, s := range placement {
+		if s < 2 && headOwned < 0 {
+			headOwned = w
+		}
+		if s == 2 && memberOwned < 0 {
+			memberOwned = w
+		}
+	}
+	fmt.Printf("== placement across processes: %v (warehouse %d local, %d remote)\n",
+		placement, headOwned, memberOwned)
+
+	// Pipelined OLTP across every warehouse: half the partitions commit
+	// in the other process, acks and done-notifications ride the wire.
+	committed := runLoad(ctx, cluster, 12)
+	fmt.Printf("== %d transactions committed across both processes\n", committed)
+
+	// Analytics: the scans install at the partition owners, so half of
+	// them execute member-side; joins and the sink run on the member's
+	// compute server.
+	var districts int64
+	if err := cluster.QueryRow(ctx, "SELECT COUNT(*) FROM district").Scan(&districts); err != nil {
+		log.Fatal(err)
+	}
+	open, err := cluster.OpenOrders(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("== SQL across the wire: %d districts, %d open orders\n", districts, open)
+
+	// Live migration: keep payments flowing against a head-owned
+	// warehouse while it moves into the member process and back.
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	var during atomic.Int64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			f, err := cluster.SubmitPayment(ctx, anydb.Payment{
+				Warehouse: headOwned, District: 1, Customer: 2, Amount: 1,
+			})
+			if err != nil {
+				return
+			}
+			if ok, err := f.Wait(ctx); err == nil && ok {
+				during.Add(1)
+			}
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	start := time.Now()
+	if err := cluster.Rebalance(ctx, headOwned, 2); err != nil {
+		log.Fatal(err)
+	}
+	out := time.Since(start)
+	runLoad(ctx, cluster, 3)
+	start = time.Now()
+	if err := cluster.Rebalance(ctx, headOwned, 0); err != nil {
+		log.Fatal(err)
+	}
+	back := time.Since(start)
+	stop.Store(true)
+	wg.Wait()
+	fmt.Printf("== warehouse %d migrated head→member in %v and back in %v; %d payments kept committing against it\n",
+		headOwned, out, back, during.Load())
+
+	if err := cluster.Verify(); err != nil {
+		log.Fatalf("consistency check failed: %v", err)
+	}
+	if n := cluster.Stats().UnmatchedDone; n != 0 {
+		log.Fatalf("exactly-once violated: %d unmatched completions", n)
+	}
+	fmt.Println("== TPC-C consistency verified, every transaction exactly-once")
+
+	// Close pulls remote partitions home and dismisses the member; the
+	// member process exits cleanly on its own.
+	cluster.Close()
+	if err := child.Wait(); err != nil {
+		log.Fatalf("member process: %v", err)
+	}
+	fmt.Println("== member dismissed, both processes shut down clean")
+}
+
+// runLoad submits pipelined payments and new-orders against every
+// warehouse and waits for the whole window, returning commits.
+func runLoad(ctx context.Context, c *anydb.Cluster, rounds int) int64 {
+	var committed int64
+	for r := 0; r < rounds; r++ {
+		futs := make([]*anydb.Future, 0, 2*warehouses)
+		for w := 0; w < warehouses; w++ {
+			f, err := c.SubmitPayment(ctx, anydb.Payment{
+				Warehouse: w, District: 1 + r%2, Customer: 1 + w, Amount: 5,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			futs = append(futs, f)
+			f, err = c.SubmitNewOrder(ctx, anydb.NewOrder{
+				Warehouse: w, District: 1 + r%2, Customer: 1 + w,
+				Lines: []anydb.OrderLine{{Item: 1 + (r+w)%50, Qty: 1, SupplyWarehouse: w}},
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			futs = append(futs, f)
+		}
+		for _, f := range futs {
+			if ok, err := f.Wait(ctx); err == nil && ok {
+				committed++
+			}
+		}
+	}
+	return committed
+}

@@ -258,6 +258,9 @@ func (c *Controller) Log() []Decision { return c.log }
 
 // OnEvent implements core.Behavior for core.EvSignal.
 func (c *Controller) OnEvent(ctx core.Context, _ *core.AC, ev *core.Event) {
+	// The report's fields are folded into the windows below; neither the
+	// envelope nor the payload is retained.
+	defer core.FreeEvent(ev)
 	r, ok := ev.Payload.(*oltp.Report)
 	if !ok {
 		panic("adapt: EvSignal payload must be *oltp.Report")
@@ -584,5 +587,7 @@ func (c *Controller) emit(ctx core.Context, d Decision) {
 		d.Regret = c.measured.Regret()
 	}
 	c.log = append(c.log, d)
-	ctx.Send(core.ClientAC, &core.Event{Kind: core.EvAdapt, Payload: &d})
+	ev := core.GetEvent()
+	ev.Kind, ev.Payload = core.EvAdapt, &d
+	ctx.Send(core.ClientAC, ev)
 }

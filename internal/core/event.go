@@ -134,7 +134,12 @@ var eventPool = sync.Pool{New: func() any { return new(Event) }}
 
 // GetEvent returns a zeroed Event from the pool. Pair with FreeEvent at
 // the point the event is provably dead.
-func GetEvent() *Event { return eventPool.Get().(*Event) }
+func GetEvent() *Event {
+	if trackPools.Load() {
+		eventBal.Add(1)
+	}
+	return eventPool.Get().(*Event)
+}
 
 // FreeEvent recycles ev. Only the consumer an event was delivered to may
 // free it, and only when no reference escaped its handler: a freed event
@@ -143,6 +148,9 @@ func GetEvent() *Event { return eventPool.Get().(*Event) }
 // Freeing is optional — events that miss their free (dropped delivery to
 // a killed AC, simulation runs) fall back to the GC.
 func FreeEvent(ev *Event) {
+	if trackPools.Load() {
+		eventBal.Add(-1)
+	}
 	*ev = Event{}
 	eventPool.Put(ev)
 }
@@ -184,7 +192,12 @@ var dataPool = sync.Pool{New: func() any { return new(DataMsg) }}
 
 // GetDataMsg returns a zeroed DataMsg from the pool. Pair with
 // FreeDataMsg at the message's single-consumer death point.
-func GetDataMsg() *DataMsg { return dataPool.Get().(*DataMsg) }
+func GetDataMsg() *DataMsg {
+	if trackPools.Load() {
+		dataBal.Add(1)
+	}
+	return dataPool.Get().(*DataMsg)
+}
 
 // FreeDataMsg recycles m (not its Batch — batches have their own pool
 // and their own, usually later, death point). The same ownership rules
@@ -192,6 +205,9 @@ func GetDataMsg() *DataMsg { return dataPool.Get().(*DataMsg) }
 // free it, and only when no reference escaped. Frees are optional;
 // missed ones fall back to the GC.
 func FreeDataMsg(m *DataMsg) {
+	if trackPools.Load() {
+		dataBal.Add(-1)
+	}
 	*m = DataMsg{}
 	dataPool.Put(m)
 }

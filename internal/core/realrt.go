@@ -56,6 +56,15 @@ type Engine struct {
 // NewEngine starts one goroutine per AC in topo. setup registers
 // behaviors per AC before its goroutine starts.
 func NewEngine(topo *Topology, setup func(ac *AC)) *Engine {
+	return NewEngineAt(topo, setup, nil)
+}
+
+// NewEngineAt starts goroutines only for the ACs where local reports
+// true (nil means all) — the multi-process entry point: a node runs its
+// own server's ACs and registers transport outboxes (RegisterRemote)
+// for every AC living in another process, so the send hot path stays
+// one routing-table load regardless of where the destination runs.
+func NewEngineAt(topo *Topology, setup func(ac *AC), local func(id ACID) bool) *Engine {
 	e := &Engine{
 		Topo:  topo,
 		Costs: sim.DefaultCosts(),
@@ -64,6 +73,9 @@ func NewEngine(topo *Topology, setup func(ac *AC)) *Engine {
 		start: time.Now(),
 	}
 	for _, id := range topo.AllACs() {
+		if local != nil && !local(id) {
+			continue
+		}
 		e.spawn(id, setup)
 	}
 	return e
@@ -225,6 +237,39 @@ func (e *Engine) boxSlow(id ACID) *stream.Mailbox[any] {
 		e.publishRoutesLocked()
 	}
 	return b
+}
+
+// RegisterRemote installs an outbox mailbox for an AC that runs in
+// another process: senders route to it exactly like to a local AC (same
+// published table, same SendBatch semantics), and the transport's
+// router drains it, serializing batches onto the peer connection. If a
+// racing send already pre-created the box (boxSlow), it is adopted so
+// nothing queued is lost. Stop closes the box like any other, which is
+// what terminates the router's drain loop.
+func (e *Engine) RegisterRemote(id ACID) *stream.Mailbox[any] {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	box, ok := e.boxes[id]
+	if !ok {
+		box = stream.NewMailbox[any]()
+		if e.stopped {
+			box.Close()
+		}
+		e.boxes[id] = box
+		e.publishRoutesLocked()
+	}
+	return box
+}
+
+// InjectClient delivers a completion event that arrived over the wire
+// to the client callback, with the same ownership contract as a local
+// Send(ClientAC, ev): the callback must not retain the event, and the
+// engine recycles it when the callback returns.
+func (e *Engine) InjectClient(ev *Event) {
+	if e.client != nil {
+		e.client(ev)
+	}
+	FreeEvent(ev)
 }
 
 // KillAC closes an AC's mailbox, dropping all further deliveries — the

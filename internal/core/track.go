@@ -1,0 +1,50 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"anydb/internal/storage"
+)
+
+// Pool-leak accounting: a test hook counting outstanding pooled objects
+// (Event, DataMsg, storage.Batch). The transport codec boundary frees
+// local copies of every message it serializes, which makes ownership
+// slips (double free, missed free, free-after-send) easy to introduce
+// silently — with tracking enabled they show up as a nonzero balance
+// after a drained Close.
+//
+// Tracking is off by default: the only steady-state cost is one atomic
+// flag load per Get/Free, preserving the 0-alloc hot paths. Enable from
+// tests only; the counters are process-global, so concurrent clusters in
+// one process share them (stress tests run sequentially).
+
+var (
+	trackPools atomic.Bool
+	eventBal   atomic.Int64
+	dataBal    atomic.Int64
+)
+
+// TrackPools toggles pool-leak accounting and resets the counters. Call
+// with true before opening the cluster under test and read PoolBalances
+// after its Close returned.
+func TrackPools(on bool) {
+	eventBal.Store(0)
+	dataBal.Store(0)
+	storage.TrackBatches(on)
+	trackPools.Store(on)
+}
+
+// PoolBalances reports outstanding pooled objects (gets minus frees)
+// since tracking was enabled: Events, DataMsgs, and storage Batches. All
+// zero after a drained shutdown means every pooled message found its
+// single-consumer death point.
+func PoolBalances() (events, datas, batches int64) {
+	return eventBal.Load(), dataBal.Load(), storage.BatchBalance()
+}
+
+// PoolBalanceString formats the balances for test failure messages.
+func PoolBalanceString() string {
+	e, d, b := PoolBalances()
+	return fmt.Sprintf("events=%+d datamsgs=%+d batches=%+d", e, d, b)
+}

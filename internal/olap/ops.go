@@ -184,13 +184,17 @@ func (w *Worker) OnEvent(ctx core.Context, ac *core.AC, ev *core.Event) {
 		spec.step(ctx, w)
 	case *JoinSpec:
 		newJoin(ctx, ac, spec)
+		core.FreeEvent(ev)
 	case *AggSpec:
 		agg := &aggState{spec: spec}
 		ac.Subscribe(ctx, spec.In, agg)
+		core.FreeEvent(ev)
 	case *CollectSpec:
 		ac.Subscribe(ctx, spec.In, &collectState{spec: spec})
+		core.FreeEvent(ev)
 	case *SinkSpec:
 		newSink(ctx, ac, spec)
+		core.FreeEvent(ev)
 	default:
 		panic(fmt.Sprintf("olap: unknown operator spec %T", ev.Payload))
 	}
@@ -245,6 +249,8 @@ func (w *Worker) scanChunk(ctx core.Context, _ *core.AC, ev *core.Event, s *Scan
 	s.cursor = next
 	if done {
 		w.flush(ctx, s, true)
+		// The scan is over; its continuation envelope dies here.
+		core.FreeEvent(ev)
 		return
 	}
 	// Yield: re-enqueue the continuation behind whatever else queued.
@@ -347,10 +353,10 @@ func (j *joinBuildSink) OnData(ctx core.Context, ac *core.AC, msg *core.DataMsg)
 	if msg.Last {
 		st.built = true
 		if st.spec.Notify != core.NoAC {
-			ctx.Send(st.spec.Notify, &core.Event{
-				Kind: core.EvOpDone, Query: st.spec.Query,
-				Payload: &OpDone{Query: st.spec.Query, Label: st.spec.Label + "/build"},
-			})
+			done := core.GetEvent()
+			done.Kind, done.Query = core.EvOpDone, st.spec.Query
+			done.Payload = &OpDone{Query: st.spec.Query, Label: st.spec.Label + "/build"}
+			ctx.Send(st.spec.Notify, done)
 		}
 		// Now attach the probe side; beamed probe data replays here.
 		ac.Subscribe(ctx, st.spec.Probe, (*joinProbeSink)(j))
@@ -404,10 +410,10 @@ func (j *joinProbeSink) OnData(ctx core.Context, ac *core.AC, msg *core.DataMsg)
 		}
 		st.build, st.ht = nil, nil
 		if spec.Notify != core.NoAC {
-			ctx.Send(spec.Notify, &core.Event{
-				Kind: core.EvOpDone, Query: spec.Query,
-				Payload: &OpDone{Query: spec.Query, Label: spec.Label + "/probe"},
-			})
+			done := core.GetEvent()
+			done.Kind, done.Query = core.EvOpDone, spec.Query
+			done.Payload = &OpDone{Query: spec.Query, Label: spec.Label + "/probe"}
+			ctx.Send(spec.Notify, done)
 		}
 	}
 }
@@ -460,10 +466,10 @@ func (a *aggState) OnData(ctx core.Context, _ *core.AC, msg *core.DataMsg) {
 		storage.FreeBatch(msg.Batch)
 	}
 	if msg.Last {
-		ctx.Send(a.spec.Notify, &core.Event{
-			Kind: core.EvQueryDone, Query: a.spec.Query,
-			Payload: &QueryResult{Query: a.spec.Query, Rows: a.rows},
-		})
+		done := core.GetEvent()
+		done.Kind, done.Query = core.EvQueryDone, a.spec.Query
+		done.Payload = &QueryResult{Query: a.spec.Query, Rows: a.rows}
+		ctx.Send(a.spec.Notify, done)
 	}
 }
 
@@ -492,12 +498,12 @@ func (c *collectState) OnData(ctx core.Context, _ *core.AC, msg *core.DataMsg) {
 		storage.FreeBatch(msg.Batch)
 	}
 	if msg.Last {
-		ctx.Send(c.spec.Notify, &core.Event{
-			Kind: core.EvQueryDone, Query: c.spec.Query,
-			Payload: &QueryResult{
-				Query: c.spec.Query, Rows: c.n,
-				Collected: c.rows, Truncated: c.truncated,
-			},
-		})
+		done := core.GetEvent()
+		done.Kind, done.Query = core.EvQueryDone, c.spec.Query
+		done.Payload = &QueryResult{
+			Query: c.spec.Query, Rows: c.n,
+			Collected: c.rows, Truncated: c.truncated,
+		}
+		ctx.Send(c.spec.Notify, done)
 	}
 }

@@ -325,8 +325,9 @@ func (w *Worker) attachShared(ctx core.Context, ev *core.Event, spec *SharedScan
 
 	r.total = t.NumColChunks()
 	if r.total == 0 {
-		// Empty table: the pass is already over.
+		// Empty table: the pass is already over; the install event dies.
 		r.finish(ctx)
+		core.FreeEvent(ev)
 		return
 	}
 
@@ -340,6 +341,7 @@ func (w *Worker) attachShared(ctx core.Context, ev *core.Event, spec *SharedScan
 			r.next = 0
 		}
 		ss.regs = append(ss.regs, r)
+		core.FreeEvent(ev)
 		return
 	}
 	if w.shared == nil {
@@ -359,10 +361,12 @@ func (w *Worker) attachShared(ctx core.Context, ev *core.Event, spec *SharedScan
 // completed their circle detach; the driver stops when none remain.
 func (ss *sharedScan) step(ctx core.Context, w *Worker) {
 	if w.shared[ss.key] != ss {
-		return // superseded or stopped: stale continuation, drop it
+		core.FreeEvent(ss.ev) // superseded or stopped: stale continuation, drop it
+		return
 	}
 	if len(ss.regs) == 0 {
 		delete(w.shared, ss.key)
+		core.FreeEvent(ss.ev)
 		return
 	}
 	t := w.DB.Partition(ss.key.part).Table(ss.key.table)
@@ -425,6 +429,7 @@ func (ss *sharedScan) step(ctx core.Context, w *Worker) {
 	ss.cursor = ci + 1
 	if len(ss.regs) == 0 {
 		delete(w.shared, ss.key)
+		core.FreeEvent(ss.ev)
 		return
 	}
 	ctx.Send(ctx.Self(), ss.ev)

@@ -261,13 +261,13 @@ func (s *sinkState) finalize(ctx core.Context, ac *core.AC) {
 
 	s.groups, s.order, s.rows = nil, nil, nil
 	ac.DropStream(spec.In)
-	ctx.Send(spec.Notify, &core.Event{
-		Kind: core.EvQueryDone, Query: spec.Query,
-		Payload: &QueryResult{
-			Query: spec.Query, Rows: int64(len(out)),
-			Cols: spec.OutCols, Batches: batches, Truncated: s.truncated,
-		},
-	})
+	done := core.GetEvent()
+	done.Kind, done.Query = core.EvQueryDone, spec.Query
+	done.Payload = &QueryResult{
+		Query: spec.Query, Rows: int64(len(out)),
+		Cols: spec.OutCols, Batches: batches, Truncated: s.truncated,
+	}
+	ctx.Send(spec.Notify, done)
 }
 
 // zeroRow synthesizes the zero-input global-aggregate result row in

@@ -50,6 +50,21 @@ func freeAck(a *Ack) {
 	ackPool.Put(a)
 }
 
+// GetSegment returns a pooled Segment for decode paths that materialize
+// segments off the wire (the transport peer plays the dispatcher's role
+// for remotely executed segments).
+func GetSegment() *Segment { return getSegment() }
+
+// FreeSegment recycles a segment owned by a wire codec (the encode side
+// frees its local copy once the frame is written).
+func FreeSegment(s *Segment) { freeSegment(s) }
+
+// GetAck returns a pooled Ack for wire decode paths.
+func GetAck() *Ack { return getAck() }
+
+// FreeAck recycles an ack owned by a wire codec.
+func FreeAck(a *Ack) { freeAck(a) }
+
 // GetDoneInfo returns a zeroed DoneInfo from the pool. The dispatch side
 // allocates it; whoever consumes the EvTxnDone (the anydb client
 // callback) frees it with FreeDoneInfo once the outcome is recorded.

@@ -143,7 +143,9 @@ func (w *sigWindow) maybeFlush(ctx core.Context, policy Policy) {
 	w.admitted, w.committed, w.aborted, w.crossPart = 0, 0, 0, 0
 	w.byHome = nil
 	w.flushTick = 0
-	ctx.Send(w.tel.Sink, &core.Event{Kind: core.EvSignal, Payload: r})
+	ev := core.GetEvent()
+	ev.Kind, ev.Payload = core.EvSignal, r
+	ctx.Send(w.tel.Sink, ev)
 }
 
 // crossPartition reports whether a transaction's operations span more

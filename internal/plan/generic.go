@@ -533,15 +533,15 @@ func (q *QO) onGenericPlan(ctx core.Context, p *GenericPlan) {
 		for i := range p.scans {
 			sc := &p.scans[i]
 			for _, part := range p.Parts {
-				ctx.Send(q.Topo.Owner(part), &core.Event{
-					Kind: core.EvInstallOp, Query: p.Query,
-					Payload: &olap.SharedScanSpec{
-						Query: p.Query, Table: sc.table, Part: part,
-						Filters: sc.filters, Cols: sc.cols,
-						GroupBy: sc.groupBy, Aggs: sc.aggs,
-						Out: sc.out, To: sc.to, Producers: len(p.Parts),
-					},
-				})
+				ev := core.GetEvent()
+				ev.Kind, ev.Query = core.EvInstallOp, p.Query
+				ev.Payload = &olap.SharedScanSpec{
+					Query: p.Query, Table: sc.table, Part: part,
+					Filters: sc.filters, Cols: sc.cols,
+					GroupBy: sc.groupBy, Aggs: sc.aggs,
+					Out: sc.out, To: sc.to, Producers: len(p.Parts),
+				}
+				ctx.Send(q.Topo.Owner(part), ev)
 			}
 		}
 	}
@@ -553,12 +553,16 @@ func (q *QO) onGenericPlan(ctx core.Context, p *GenericPlan) {
 		emitScans()
 	}
 	for i, js := range p.joins {
-		ctx.Send(p.joinACs[i], &core.Event{Kind: core.EvInstallOp, Query: p.Query, Payload: js})
+		ev := core.GetEvent()
+		ev.Kind, ev.Query, ev.Payload = core.EvInstallOp, p.Query, js
+		ctx.Send(p.joinACs[i], ev)
 	}
 	if p.sink == nil {
 		panic("plan: generic plan without final sink")
 	}
-	ctx.Send(p.sinkAC, &core.Event{Kind: core.EvInstallOp, Query: p.Query, Payload: p.sink})
+	ev := core.GetEvent()
+	ev.Kind, ev.Query, ev.Payload = core.EvInstallOp, p.Query, p.sink
+	ctx.Send(p.sinkAC, ev)
 }
 
 // Describe renders the routed plan as a deterministic multi-line

@@ -72,6 +72,9 @@ type QO struct {
 // program: *Q3Plan (the paper's hand-routed pipeline) or *GenericPlan
 // (SQL-compiled).
 func (q *QO) OnEvent(ctx core.Context, _ *core.AC, ev *core.Event) {
+	// The EvQuery envelope dies here (the plan payload lives on in the
+	// emitted install events); freeing keeps the pool balance exact.
+	defer core.FreeEvent(ev)
 	if gp, ok := ev.Payload.(*GenericPlan); ok {
 		q.Compiled++
 		q.onGenericPlan(ctx, gp)
@@ -98,25 +101,32 @@ func (q *QO) OnEvent(ctx core.Context, _ *core.AC, ev *core.Event) {
 	// Phase 3 — execution: install joins, aggregate, and whatever
 	// scans were not beamed.
 	q.installScans(ctx, p, streams, false)
-	ctx.Send(p.Join1AC, &core.Event{Kind: core.EvInstallOp, Query: p.Query, Payload: &olap.JoinSpec{
+	j1 := core.GetEvent()
+	j1.Kind, j1.Query = core.EvInstallOp, p.Query
+	j1.Payload = &olap.JoinSpec{
 		Query: p.Query,
 		Build: streams.cust, BuildKey: []string{"c_w_id", "c_d_id", "c_id"},
 		Probe: streams.ord, ProbeKey: []string{"o_w_id", "o_d_id", "o_c_id"},
 		Semi: true,
 		Out:  streams.join1, To: p.Join2AC, Producers: 1,
 		Notify: p.Notify, Label: "join1",
-	}})
-	ctx.Send(p.Join2AC, &core.Event{Kind: core.EvInstallOp, Query: p.Query, Payload: &olap.JoinSpec{
+	}
+	ctx.Send(p.Join1AC, j1)
+	j2 := core.GetEvent()
+	j2.Kind, j2.Query = core.EvInstallOp, p.Query
+	j2.Payload = &olap.JoinSpec{
 		Query: p.Query,
 		Build: streams.join1, BuildKey: []string{"o_w_id", "o_d_id", "o_id"},
 		Probe: streams.no, ProbeKey: []string{"no_w_id", "no_d_id", "no_o_id"},
 		Semi: true,
 		Out:  streams.agg, To: p.Join2AC, Producers: 1,
 		Notify: p.Notify, Label: "join2",
-	}})
-	ctx.Send(p.Join2AC, &core.Event{Kind: core.EvInstallOp, Query: p.Query, Payload: &olap.AggSpec{
-		Query: p.Query, In: streams.agg, Notify: p.Notify,
-	}})
+	}
+	ctx.Send(p.Join2AC, j2)
+	ag := core.GetEvent()
+	ag.Kind, ag.Query = core.EvInstallOp, p.Query
+	ag.Payload = &olap.AggSpec{Query: p.Query, In: streams.agg, Notify: p.Notify}
+	ctx.Send(p.Join2AC, ag)
 }
 
 // q3streams derives the five stream ids of the pipeline deterministically
@@ -165,14 +175,14 @@ func (q *QO) installScans(ctx core.Context, p *Q3Plan, s streamSet, beamed bool)
 			continue
 		}
 		for _, part := range p.Parts {
-			ctx.Send(q.Topo.Owner(part), &core.Event{
-				Kind: core.EvInstallOp, Query: p.Query,
-				Payload: &olap.ScanSpec{
-					Query: p.Query, Table: sc.table, Part: part,
-					Filters: sc.filter, Cols: sc.cols,
-					Out: sc.out, To: sc.to, Producers: len(p.Parts),
-				},
-			})
+			ev := core.GetEvent()
+			ev.Kind, ev.Query = core.EvInstallOp, p.Query
+			ev.Payload = &olap.ScanSpec{
+				Query: p.Query, Table: sc.table, Part: part,
+				Filters: sc.filter, Cols: sc.cols,
+				Out: sc.out, To: sc.to, Producers: len(p.Parts),
+			}
+			ctx.Send(q.Topo.Owner(part), ev)
 		}
 	}
 }

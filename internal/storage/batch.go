@@ -3,6 +3,7 @@ package storage
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // ColVec is one column of a columnar batch. Only the slice matching Kind
@@ -73,11 +74,39 @@ func batchClass(cols int) int {
 	return cols
 }
 
+// Batch-pool leak accounting, mirroring internal/core's event tracking
+// (core.TrackPools toggles both). Off by default: one atomic flag load
+// per Get/Free. The table-owned columnar chunk cache uses the untracked
+// raw accessors below — its cached batches legitimately outlive any
+// query, so they must not read as leaks.
+var (
+	trackBatches atomic.Bool
+	batchBal     atomic.Int64
+)
+
+// TrackBatches toggles batch-pool accounting and resets the counter.
+func TrackBatches(on bool) {
+	batchBal.Store(0)
+	trackBatches.Store(on)
+}
+
+// BatchBalance reports outstanding tracked batches (gets minus frees).
+func BatchBalance() int64 { return batchBal.Load() }
+
 // GetBatch returns an empty batch shaped like schema, recycling vector
 // capacity from the pool when a same-class batch is available. Pair
 // with FreeBatch at the batch's single-consumer death point (after the
 // last row was read or copied out).
 func GetBatch(schema *Schema) *Batch {
+	if trackBatches.Load() {
+		batchBal.Add(1)
+	}
+	return getBatchRaw(schema)
+}
+
+// getBatchRaw is GetBatch without leak accounting — for the colstore
+// chunk cache, whose batches are table state, not in-flight messages.
+func getBatchRaw(schema *Schema) *Batch {
 	v := batchPools[batchClass(schema.NumCols())].Get()
 	if v == nil {
 		return NewBatch(schema)
@@ -111,6 +140,14 @@ func FreeBatch(b *Batch) {
 	if b == nil {
 		return
 	}
+	if trackBatches.Load() {
+		batchBal.Add(-1)
+	}
+	freeBatchRaw(b)
+}
+
+// freeBatchRaw is FreeBatch without leak accounting (colstore only).
+func freeBatchRaw(b *Batch) {
 	for i := range b.Cols {
 		clear(b.Cols[i].Strs)
 	}
@@ -150,7 +187,8 @@ func (b *Batch) Len() int { return b.n }
 // Bytes returns the approximate wire size.
 func (b *Batch) Bytes() int64 { return b.bytes }
 
-// Project returns a new batch containing only the named columns.
+// Project returns a pooled batch containing only the named columns; the
+// consumer frees it like any other batch.
 func (b *Batch) Project(cols ...string) *Batch {
 	idxs := make([]int, len(cols))
 	outCols := make([]Column, len(cols))
@@ -158,7 +196,7 @@ func (b *Batch) Project(cols ...string) *Batch {
 		idxs[i] = b.Schema.MustCol(name)
 		outCols[i] = b.Schema.Cols[idxs[i]]
 	}
-	out := NewBatch(NewSchema(b.Schema.Name+"_proj", outCols...))
+	out := GetBatch(NewSchema(b.Schema.Name+"_proj", outCols...))
 	for r := 0; r < b.n; r++ {
 		for i, src := range idxs {
 			v := b.Cols[src].value(r)

@@ -66,9 +66,9 @@ func (t *Table) ColChunk(ci int) *Batch {
 		return c.batch
 	}
 	if c.batch != nil {
-		FreeBatch(c.batch)
+		freeBatchRaw(c.batch)
 	}
-	b := GetBatch(t.Schema)
+	b := getBatchRaw(t.Schema)
 	lo := ci << ColChunkShift
 	hi := lo + ColChunkRows
 	if hi > len(t.rows) {

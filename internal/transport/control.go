@@ -1,0 +1,147 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/gob"
+
+	"anydb/internal/storage"
+	"anydb/internal/tpcc"
+)
+
+// Control plane: rare, latency-insensitive messages (handshake,
+// partition migration, ownership broadcasts, shutdown) ride in gob
+// frames so evolving them costs nothing — only the hot event/data plane
+// uses the hand-rolled codec.
+
+// ProtoVersion gates the handshake: both sides must speak the same wire
+// format.
+const ProtoVersion = 1
+
+// Hello is the member's first frame after dialing.
+type Hello struct {
+	Proto int
+}
+
+// Welcome assigns the member its server slot and everything needed to
+// deterministically rebuild the head's database and topology: members
+// do not ship data at join time, they repopulate from the same seed.
+type Welcome struct {
+	Proto   int
+	Server  int // the member's server index in the topology
+	Servers int // total servers (head's + all members')
+	Cores   int // ACs per server
+	TC      tpcc.Config
+	Owners  []int // warehouse -> owner ACID at join time
+}
+
+// Ready signals the member has built its state and spawned its ACs.
+type Ready struct {
+	Server int
+}
+
+// TableSnap is one table's contents inside a partition snapshot, split
+// the way storage.Table.InstallRows re-inserts them.
+type TableSnap struct {
+	Name    string
+	Keys    []storage.Key
+	Rows    []storage.Row
+	Keyless []storage.Row
+}
+
+// PartReq asks the receiver to snapshot its live copy of partition W.
+type PartReq struct {
+	Ref uint64
+	W   int
+}
+
+// PartSnap answers a PartReq.
+type PartSnap struct {
+	Ref    uint64
+	W      int
+	Tables []TableSnap
+}
+
+// PartInstall pushes a snapshot into the receiver's partition W,
+// replacing its contents.
+type PartInstall struct {
+	Ref    uint64
+	W      int
+	Tables []TableSnap
+}
+
+// PartAck acknowledges a PartInstall.
+type PartAck struct {
+	Ref uint64
+	Err string
+}
+
+// OwnerUpdate broadcasts a topology ownership change (SetOwner) so
+// every process's snapshot reroutes identically.
+type OwnerUpdate struct {
+	W  int
+	AC int
+}
+
+// Bye tells a member to shut down; its serve loop returns cleanly.
+type Bye struct{}
+
+// ctrlBox wraps the concrete control message so one gob round trip
+// carries any of them.
+type ctrlBox struct {
+	M any
+}
+
+func init() {
+	gob.Register(&Hello{})
+	gob.Register(&Welcome{})
+	gob.Register(&Ready{})
+	gob.Register(&PartReq{})
+	gob.Register(&PartSnap{})
+	gob.Register(&PartInstall{})
+	gob.Register(&PartAck{})
+	gob.Register(&OwnerUpdate{})
+	gob.Register(&Bye{})
+}
+
+// encodeControl gobs v into a standalone blob (self-describing: each
+// control frame carries its own type info, so frames are independent
+// and may interleave with message frames freely).
+func encodeControl(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&ctrlBox{M: v}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeControl(body []byte) (any, error) {
+	var box ctrlBox
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&box); err != nil {
+		return nil, err
+	}
+	return box.M, nil
+}
+
+// SnapshotPartition deep-copies every table of partition w — call only
+// inside a drained quiet window.
+func SnapshotPartition(db *storage.Database, w int) []TableSnap {
+	p := db.Partition(w)
+	tables := db.Catalog.Tables()
+	out := make([]TableSnap, 0, len(tables))
+	for _, tn := range tables {
+		keys, rows, keyless := p.Table(tn).SnapshotRows()
+		out = append(out, TableSnap{Name: tn, Keys: keys, Rows: rows, Keyless: keyless})
+	}
+	return out
+}
+
+// InstallPartition replaces partition w's contents with a snapshot.
+func InstallPartition(db *storage.Database, w int, tables []TableSnap) error {
+	p := db.Partition(w)
+	for _, ts := range tables {
+		if err := p.Table(ts.Name).InstallRows(ts.Keys, ts.Rows, ts.Keyless); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,159 @@
+// Package transport is the pluggable stream plane: it carries the same
+// event and data streams the in-process mailboxes deliver, across OS
+// processes, with the same batched-push/batched-drain semantics. The
+// in-process path stays the zero-cost default — senders route through
+// the engine's published mailbox table exactly as before; an AC that
+// lives in another process simply has its mailbox drained by a router
+// goroutine that encodes whole batches into length-prefixed frames on a
+// TCP connection instead of by an AC loop (core.Engine.RegisterRemote).
+//
+// The wire codec is hand-rolled, fixed little-endian, and append-only
+// on encode: one reusable buffer per connection, so a steady-state
+// flush allocates nothing. Decode is fully bounds-checked — a malformed
+// or truncated frame surfaces as an error, never a panic — and
+// materializes pooled messages (core.GetEvent / core.GetDataMsg /
+// storage.GetBatch), so the receiving side re-enters the same pooled
+// ownership discipline as local sends: the encode side frees its local
+// copy at the boundary, the decode side's consumer frees the replica.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+)
+
+// errMalformed reports a frame that does not decode; connections treat
+// it as fatal (framing is lost).
+var errMalformed = errors.New("transport: malformed frame")
+
+// wbuf is an append-only encode buffer. All writers are infallible
+// (appends); the frame writer snapshots len() for the length prefix.
+type wbuf struct {
+	b []byte
+}
+
+func (w *wbuf) reset()        { w.b = w.b[:0] }
+func (w *wbuf) u8(v uint8)    { w.b = append(w.b, v) }
+func (w *wbuf) bool(v bool)   { w.b = append(w.b, b2u(v)) }
+func (w *wbuf) u16(v uint16)  { w.b = binary.LittleEndian.AppendUint16(w.b, v) }
+func (w *wbuf) u32(v uint32)  { w.b = binary.LittleEndian.AppendUint32(w.b, v) }
+func (w *wbuf) u64(v uint64)  { w.b = binary.LittleEndian.AppendUint64(w.b, v) }
+func (w *wbuf) i64(v int64)   { w.u64(uint64(v)) }
+func (w *wbuf) i32(v int32)   { w.u32(uint32(v)) }
+func (w *wbuf) f64(v float64) { w.u64(math.Float64bits(v)) }
+func (w *wbuf) varint(v int)  { w.i64(int64(v)) }
+func (w *wbuf) str(s string) {
+	w.u32(uint32(len(s)))
+	w.b = append(w.b, s...)
+}
+
+func b2u(v bool) byte {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// rbuf is a bounds-checked decode cursor. The first out-of-bounds read
+// sets err and every subsequent read returns zero values, so decoders
+// can run straight-line and check err once — malformed input degrades
+// to an error, never an out-of-range panic.
+type rbuf struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *rbuf) fail() {
+	if r.err == nil {
+		r.err = errMalformed
+	}
+}
+
+func (r *rbuf) take(n int) []byte {
+	if r.err != nil || n < 0 || r.off+n > len(r.b) {
+		r.fail()
+		return nil
+	}
+	s := r.b[r.off : r.off+n]
+	r.off += n
+	return s
+}
+
+func (r *rbuf) u8() uint8 {
+	s := r.take(1)
+	if s == nil {
+		return 0
+	}
+	return s[0]
+}
+
+func (r *rbuf) bool() bool { return r.u8() != 0 }
+
+func (r *rbuf) u16() uint16 {
+	s := r.take(2)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(s)
+}
+
+func (r *rbuf) u32() uint32 {
+	s := r.take(4)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(s)
+}
+
+func (r *rbuf) u64() uint64 {
+	s := r.take(8)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(s)
+}
+
+func (r *rbuf) i64() int64   { return int64(r.u64()) }
+func (r *rbuf) i32() int32   { return int32(r.u32()) }
+func (r *rbuf) f64() float64 { return math.Float64frombits(r.u64()) }
+
+// varint decodes a non-negative scalar field previously written by
+// wbuf.varint (indexes, fan-in widths, row budgets). Negative values
+// are malformed; magnitude is NOT frame-bounded — scalars like a scan's
+// chunk budget legitimately exceed their frame's byte length — but is
+// capped at 32 bits so a corrupt field cannot masquerade as a sane int.
+func (r *rbuf) varint() int {
+	v := r.i64()
+	if v < 0 || v > math.MaxInt32 {
+		r.fail()
+		return 0
+	}
+	return int(v)
+}
+
+// count decodes a collection length: non-negative and no larger than
+// the remaining frame could possibly describe (every element occupies
+// at least one byte), so a corrupt count cannot provoke an absurd
+// pre-allocation before element decoding hits the end of the frame.
+func (r *rbuf) count() int {
+	v := r.i64()
+	if v < 0 || v > int64(len(r.b)-r.off) {
+		r.fail()
+		return 0
+	}
+	return int(v)
+}
+
+func (r *rbuf) str() string {
+	n := r.u32()
+	if r.err != nil || int(n) > len(r.b)-r.off {
+		r.fail()
+		return ""
+	}
+	return string(r.take(int(n)))
+}
+
+// done reports whether the cursor consumed the buffer exactly.
+func (r *rbuf) done() bool { return r.err == nil && r.off == len(r.b) }

@@ -1,0 +1,26 @@
+package anydb_test
+
+import (
+	"testing"
+
+	"anydb/internal/core"
+)
+
+// trackPools arms the process-global pool-leak accounting for one test
+// and returns the assertion to run once the cluster's Close returned: a
+// drained shutdown must leave zero outstanding pooled Events, DataMsgs,
+// and Batches — a nonzero balance means some path got a pooled message
+// and never reached its single-consumer death point (or freed it
+// twice). Tests sharing the counters run sequentially, so arming per
+// test is safe.
+func trackPools(t *testing.T) (assertBalanced func()) {
+	t.Helper()
+	core.TrackPools(true)
+	t.Cleanup(func() { core.TrackPools(false) })
+	return func() {
+		t.Helper()
+		if e, d, b := core.PoolBalances(); e != 0 || d != 0 || b != 0 {
+			t.Errorf("pooled objects leaked across Close: %s", core.PoolBalanceString())
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package anydb
+
+// Member side of the multi-process deployment: ServeNode turns the
+// calling process into one server of a head cluster opened with
+// Config.Listen/RemoteServers. The member rebuilds the identical
+// database and topology deterministically from the Welcome (no data
+// ships at join time), runs ONLY its own server's ACs, and routes every
+// other AC through transport outboxes drained onto the head connection
+// — a star: member→member traffic relays through the head.
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"time"
+
+	"anydb/internal/core"
+	"anydb/internal/olap"
+	"anydb/internal/oltp"
+	"anydb/internal/plan"
+	"anydb/internal/route"
+	"anydb/internal/storage"
+	"anydb/internal/tpcc"
+	"anydb/internal/transport"
+)
+
+// dialRetry paces connection attempts while the head is still coming
+// up; dialWindow bounds the total wait.
+const (
+	dialRetry  = 100 * time.Millisecond
+	dialWindow = 30 * time.Second
+)
+
+// ServeNode joins the head listening on addr as a member process and
+// serves its share of the cluster's ACs until the head dismisses it
+// (clean nil return), the connection drops, or ctx ends. It dials with
+// retry, so members may start before the head listens. cmd/anydbd is a
+// thin wrapper around this function.
+func ServeNode(ctx context.Context, addr string) error {
+	conn, err := dialHead(ctx, addr)
+	if err != nil {
+		return err
+	}
+	peer := transport.NewPeer(conn, nil)
+	stop := context.AfterFunc(ctx, func() { peer.Close() })
+	defer stop()
+
+	if err := peer.WriteControl(&transport.Hello{Proto: transport.ProtoVersion}); err != nil {
+		peer.Close()
+		return err
+	}
+	wmsg, err := peer.ReadControl()
+	if err != nil {
+		peer.Close()
+		return fmt.Errorf("anydb: handshake: %w", err)
+	}
+	w, ok := wmsg.(*transport.Welcome)
+	if !ok || w.Proto != transport.ProtoVersion {
+		peer.Close()
+		return fmt.Errorf("anydb: handshake: unexpected %#v", wmsg)
+	}
+
+	// Rebuild the head's exact database and topology from the recipe:
+	// population is deterministic in (config, seed), and the ownership
+	// vector replays the head's SetOwner calls.
+	db := storage.NewDatabase(w.TC.Warehouses, tpcc.Schemas()...)
+	tpcc.Populate(db, w.TC)
+	for _, tn := range db.Catalog.Tables() {
+		db.Catalog.SetStats(tn, storage.Analyze(db.Partition(0).Table(tn)))
+	}
+	topo := core.NewTopology(db)
+	for s := 0; s < w.Servers; s++ {
+		topo.AddServer(w.Cores)
+	}
+	for wh, ac := range w.Owners {
+		topo.SetOwner(wh, core.ACID(ac))
+	}
+	local := make([]bool, topo.NumACs())
+	for _, id := range topo.ACs(w.Server) {
+		local[id] = true
+	}
+
+	// The member registers the full behavior set on its ACs — executors
+	// for cross-process segments, workers for installed scans/joins, a
+	// dispatcher per AC so the server can own partitions (under
+	// shared-nothing the owner IS the entry point; the head redirects
+	// raw transactions, but the role must exist for symmetry with local
+	// owners). Telemetry stays disabled: the self-driving loop does not
+	// run distributed.
+	execs := topo.ACs(0)
+	ctrl := topo.ACs(1)
+	lay := route.Layout{
+		Owner: topo.Owner, Execs: execs,
+		Dispatch: ctrl[0], Seq: ctrl[1], Coord: ctrl[2],
+	}
+	setup := func(ac *core.AC) {
+		ac.Register(core.EvSegment, &oltp.Executor{DB: db})
+		ac.Register(core.EvInstallOp, &olap.Worker{DB: db})
+		ac.Register(core.EvQuery, &plan.QO{Topo: topo})
+		ac.Register(core.EvSeqStamp, &core.Sequencer{})
+		d := oltp.NewDispatcher(oltp.SharedNothing, db, route.For(oltp.SharedNothing, lay))
+		ac.Register(core.EvTxn, d)
+		ac.Register(core.EvAck, d)
+	}
+	eng := core.NewEngineAt(topo, setup, func(id core.ACID) bool { return local[id] })
+	// Completions surfacing here (query results, op-done notifications
+	// from locally hosted operators) belong to the head's client: relay
+	// them; the engine recycles the envelope when the callback returns.
+	eng.SetClient(func(ev *core.Event) { _ = peer.ForwardClient(ev) })
+	// Every non-local AC routes through one outbox drained to the head.
+	for _, id := range topo.AllACs() {
+		if !local[id] {
+			peer.StartDrainer(id, eng.RegisterRemote(id))
+		}
+	}
+	if err := peer.WriteControl(&transport.Ready{Server: w.Server}); err != nil {
+		eng.Stop()
+		peer.Close()
+		return err
+	}
+
+	serveErr := peer.Serve(
+		func(dst core.ACID, m any) {
+			switch v := m.(type) {
+			case *core.Event:
+				eng.Inject(dst, v)
+			case *core.DataMsg:
+				eng.InjectData(dst, v)
+			}
+		},
+		func(v any) error {
+			switch msg := v.(type) {
+			case *transport.PartReq:
+				// Inside the head's quiet window: nothing local touches
+				// the partition. Barrier extends the executors' last
+				// flush into a happens-before edge for these reads.
+				peer.Barrier()
+				return peer.WriteControl(&transport.PartSnap{
+					Ref: msg.Ref, W: msg.W,
+					Tables: transport.SnapshotPartition(db, msg.W),
+				})
+			case *transport.PartInstall:
+				peer.Barrier()
+				ack := &transport.PartAck{Ref: msg.Ref}
+				if err := transport.InstallPartition(db, msg.W, msg.Tables); err != nil {
+					ack.Err = err.Error()
+				}
+				return peer.WriteControl(ack)
+			case *transport.OwnerUpdate:
+				topo.SetOwner(msg.W, core.ACID(msg.AC))
+				db.Partition(msg.W).Handoff(int64(msg.AC))
+			case *transport.Bye:
+				return transport.ErrBye
+			}
+			return nil
+		})
+	eng.Stop()
+	peer.WaitDrainers()
+	peer.Close()
+	if serveErr == nil && ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return serveErr
+}
+
+func dialHead(ctx context.Context, addr string) (net.Conn, error) {
+	deadline := time.Now().Add(dialWindow)
+	for {
+		d := net.Dialer{Timeout: 2 * time.Second}
+		conn, err := d.DialContext(ctx, "tcp", addr)
+		if err == nil {
+			return conn, nil
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("anydb: dialing head %s: %w", addr, err)
+		}
+		time.Sleep(dialRetry)
+	}
+}

@@ -17,6 +17,7 @@ import (
 // work at the moving owner, so no scan may observe a half-moved
 // partition, lose rows, or double-count them.
 func TestQueryStressUnderChurn(t *testing.T) {
+	assertBalanced := trackPools(t)
 	cfg := anydb.Config{
 		Warehouses: 4, Districts: 2, CustomersPerDistrict: 50,
 		InitialOrdersPerDist: 10, Items: 40,
@@ -155,4 +156,6 @@ func TestQueryStressUnderChurn(t *testing.T) {
 	if err := c.Verify(); err != nil {
 		t.Fatalf("consistency after churn: %v", err)
 	}
+	c.Close()
+	assertBalanced()
 }

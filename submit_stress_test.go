@@ -20,6 +20,7 @@ import (
 // rejected with ErrClosed; nothing may be lost, double-resolved
 // (UnmatchedDone), or left blocking after Close.
 func TestSubmitEpochStress(t *testing.T) {
+	assertBalanced := trackPools(t)
 	c, err := anydb.Open(anydb.Config{
 		Warehouses: 4, Districts: 2, CustomersPerDistrict: 50,
 		InitialOrdersPerDist: 10, Items: 40,
@@ -140,8 +141,10 @@ func TestSubmitEpochStress(t *testing.T) {
 		t.Fatal("no transactions resolved — the stress never exercised the plane")
 	}
 	t.Logf("resolved %d transactions across %d workers", resolved.Load(), workers)
-	// Close already drained; the state must verify.
+	// Close already drained; the state must verify and the pools must
+	// balance — nothing in flight at Close may outlive it.
 	if err := c.Verify(); err != nil {
 		t.Fatal(err)
 	}
+	assertBalanced()
 }
