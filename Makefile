@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-submit bench-json cluster-smoke profile fmt vet figures ci
+.PHONY: all build test race bench bench-submit bench-json allocs-gate cluster-smoke profile fmt vet figures ci
 
 all: build
 
@@ -29,18 +29,32 @@ bench:
 # BenchmarkRebalance rides along: live-handoff latency plus the txn/s
 # the moves leave intact (the throughput dip).
 bench-submit:
-	$(GO) test -run '^$$' -bench 'BenchmarkSubmitContention|BenchmarkPaymentPipelined|BenchmarkRebalance|BenchmarkSharedScanConcurrency' \
+	$(GO) test -run '^$$' -bench 'BenchmarkSubmitContention|BenchmarkPaymentPipelined|BenchmarkSessionAffinity|BenchmarkRebalance|BenchmarkSharedScanConcurrency' \
 		-benchmem -benchtime 0.3s -cpu 1,4 .
 	$(GO) test -run '^$$' -bench 'BenchmarkTopologyRead' -benchmem -benchtime 0.3s -cpu 1,4 ./internal/core
 	$(GO) test -run '^$$' -bench 'BenchmarkScanFlush' -benchmem -benchtime 0.3s ./internal/olap
 
 # Machine-readable benchmark summary: per-policy + adaptive throughput
-# on the evolving workload. CI uploads BENCH_PR7.json as an artifact,
+# on the evolving workload. CI uploads BENCH_PR8.json as an artifact,
 # and benchdata/ keeps the committed per-PR trajectory points for
 # comparison. Deterministic virtual-time runs — the short phase keeps
 # it a smoke, shapes are scale-invariant.
 bench-json:
-	$(GO) run ./cmd/anydb-bench -phase-ms 6 -json BENCH_PR7.json
+	$(GO) run ./cmd/anydb-bench -phase-ms 6 -json BENCH_PR8.json
+
+# Deterministic allocation gate: the pipelined payment path and the
+# analytical scan-flush path must report exactly 0 allocs/op. Fixed
+# iteration counts keep the gate reproducible on any machine; the
+# payment path runs 100000x so cold-pool warm-up amortizes below the
+# integer allocs/op floor (a reintroduced per-op allocation still
+# shows as >= 1).
+allocs-gate:
+	@set -e; \
+	out1="$$($(GO) test -run '^$$' -bench 'BenchmarkPaymentPipelined' -benchmem -benchtime 100000x -cpu 4 .)"; \
+	out2="$$($(GO) test -run '^$$' -bench 'BenchmarkScanFlush' -benchmem -benchtime 100x ./internal/olap)"; \
+	printf '%s\n%s\n' "$$out1" "$$out2"; \
+	printf '%s\n%s\n' "$$out1" "$$out2" | awk '/^Benchmark/ { a=$$(NF-1)+0; if (a != 0) { print "ALLOCS GATE FAIL: " $$1 " = " a " allocs/op"; bad=1 } } END { exit bad }'; \
+	echo "allocs gate OK: 0 allocs/op on the payment and scan-flush hot paths"
 
 # Two-process cluster smoke: builds the member binary, then runs the
 # head + member demo end to end (payments, new-orders, SQL, and a live

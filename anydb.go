@@ -211,6 +211,10 @@ type Cluster struct {
 	// pipelined submission hot path allocates nothing per call in steady
 	// state.
 	futPool sync.Pool
+	// sessPool recycles Sessions; nextSess round-robins their pinned
+	// submission shards so concurrent sessions spread over the counters.
+	sessPool sync.Pool
+	nextSess atomic.Uint32
 
 	// Self-driving state (Config.AutoAdapt). Decisions queue under mu
 	// and the applier is kicked via decKick: the controller assumes
@@ -390,7 +394,13 @@ func Open(cfg Config) (*Cluster, error) {
 }
 
 func (c *Cluster) setupAC(ac *core.AC) {
-	ac.Register(core.EvSegment, &oltp.Executor{DB: c.db})
+	// One free-list set per AC, shared by every OLTP behavior registered
+	// on it: under aggregated routing the dispatcher, executor and
+	// embedded coordinator of a transaction all run on the same AC
+	// goroutine, so events, segments, acks and program blocks recycle
+	// through plain slices instead of sync.Pools.
+	pools := &oltp.Pools{}
+	ac.Register(core.EvSegment, &oltp.Executor{DB: c.db, Pools: pools})
 	ac.Register(core.EvInstallOp, &olap.Worker{DB: c.db})
 	ac.Register(core.EvQuery, &plan.QO{Topo: c.topo})
 	ac.Register(core.EvSeqStamp, &core.Sequencer{})
@@ -407,6 +417,7 @@ func (c *Cluster) setupAC(ac *core.AC) {
 	}
 	if len(c.ctrl) > 2 && ac.ID == c.ctrl[2] {
 		coord := oltp.NewCoordinator()
+		coord.Pools = pools
 		coord.SetTelemetry(tel)
 		ac.Register(core.EvAck, coord)
 		return
@@ -418,6 +429,7 @@ func (c *Cluster) setupAC(ac *core.AC) {
 	c.mu.Lock()
 	pol := c.curPolicy
 	d := oltp.NewDispatcher(oltp.Policy(pol), c.db, c.routes(pol))
+	d.Pools = pools
 	d.SetTelemetry(tel)
 	c.dispers[ac.ID] = d
 	c.mu.Unlock()
@@ -571,6 +583,13 @@ type Future struct {
 	// (resolver) or abandonment (waiter); the loser follows the winner
 	// and parks the future back in the pool (futPooled).
 	state atomic.Uint32
+	// sess and sgen tie a future issued through a Session to that
+	// session's private freelist: Wait on the session goroutine recycles
+	// it there (no atomics) when sgen still matches the session's
+	// generation; stale futures — the session closed meanwhile — and
+	// futures parked by the resolver fall back to the shared pool.
+	sess *Session
+	sgen uint32
 }
 
 const (
@@ -589,9 +608,19 @@ func (c *Cluster) getFuture() *Future {
 	return &Future{c: c, ch: make(chan bool, 1)}
 }
 
-// park returns a consumed future to the pool. Its channel is empty.
+// park returns a consumed future to its pool: the owning session's
+// freelist when the future was issued through a still-open session (park
+// then runs on the session goroutine — Wait's contract), the shared
+// cluster pool otherwise. Its channel is empty.
 func (f *Future) park() {
 	f.state.Store(futPooled)
+	if s := f.sess; s != nil {
+		if s.gen.Load() == f.sgen && len(s.free) < sessFutureCap {
+			s.free = append(s.free, f)
+			return
+		}
+		f.sess = nil
+	}
 	f.c.futPool.Put(f)
 }
 
@@ -604,8 +633,12 @@ func (f *Future) resolve(committed bool) {
 		return
 	}
 	// The waiter abandoned the future (context canceled); nobody will
-	// ever Wait on it again, so recycle it here.
-	f.park()
+	// ever Wait on it again, so recycle it here. This runs on an AC
+	// goroutine, so a session-issued future may not touch its session's
+	// freelist — it returns to the shared pool.
+	f.state.Store(futPooled)
+	f.sess = nil
+	f.c.futPool.Put(f)
 }
 
 // Wait blocks until the transaction resolves and reports whether it
@@ -860,6 +893,12 @@ func (c *Cluster) QueryAll(ctx context.Context, text string) (int64, [][]any, er
 // the OpenOrders wrappers: parse, compile onto the shared-scan operator
 // plane, register with the in-flight accounting, inject, await.
 func (c *Cluster) runQuery(ctx context.Context, text string, o QueryOptions) (*olap.QueryResult, error) {
+	return c.runQueryAt(ctx, text, o, -1)
+}
+
+// runQueryAt is runQuery with a caller-pinned submission shard (< 0
+// fingerprints the goroutine as usual); Session.Query pins its own.
+func (c *Cluster) runQueryAt(ctx context.Context, text string, o QueryOptions, si int32) (*olap.QueryResult, error) {
 	q, err := sql.Parse(text)
 	if err != nil {
 		return nil, err
@@ -883,7 +922,7 @@ func (c *Cluster) runQuery(ctx context.Context, text string, o QueryOptions) (*o
 
 	// Enter the epoch only once compilation succeeded (enter re-checks
 	// closed, so a registration can never slip past Close's drain).
-	ch, err := c.registerQueryID(ctx, qid)
+	ch, err := c.registerQueryID(ctx, qid, si)
 	if err != nil {
 		return nil, err
 	}
@@ -905,8 +944,11 @@ type queryWait struct {
 // same sharded in-flight accounting as transactions — a drain covers
 // both; their warehouse mask is the shared query bit, so partition
 // handoffs drain them too) and registers the completion channel for qid.
-func (c *Cluster) registerQueryID(ctx context.Context, qid core.QueryID) (chan *olap.QueryResult, error) {
-	_, si, err := c.enter(ctx, queryMask)
+func (c *Cluster) registerQueryID(ctx context.Context, qid core.QueryID, si int32) (chan *olap.QueryResult, error) {
+	if si < 0 {
+		si = c.shardIdx()
+	}
+	_, si, err := c.enterAt(ctx, si, queryMask)
 	if err != nil {
 		return nil, err
 	}

@@ -41,6 +41,7 @@ func smallDistCfg(addr string) anydb.Config {
 // cross-process Rebalance in both directions under load, TPC-C Verify,
 // and exactly-once completion accounting.
 func TestDistributedPair(t *testing.T) {
+	assertBalanced := trackPools(t)
 	addr := freeAddr(t)
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -175,6 +176,10 @@ func TestDistributedPair(t *testing.T) {
 	if err := c.Verify(); err != nil {
 		t.Fatalf("verify after close: %v", err)
 	}
+	// Both processes share this test binary's pools: a drained
+	// cross-process shutdown must leave zero outstanding pooled
+	// objects — the per-AC free lists count through the same balance.
+	assertBalanced()
 }
 
 // TestDistributedConfigErrors pins the distributed-mode restrictions.

@@ -151,8 +151,43 @@ func FreeEvent(ev *Event) {
 	if trackPools.Load() {
 		eventBal.Add(-1)
 	}
-	*ev = Event{}
+	ClearEvent(ev)
 	eventPool.Put(ev)
+}
+
+// ClearEvent resets every field an event producer may have set, keeping
+// the Need slice's capacity. Field stores beat a whole-struct zero here:
+// the compiler would route `*ev = Event{}` through memclr (the struct
+// holds pointers), while explicit stores of mostly-already-zero fields
+// cost a handful of moves.
+func ClearEvent(ev *Event) {
+	ev.Kind = 0
+	ev.Txn = 0
+	ev.Query = 0
+	ev.Seq = 0
+	ev.Need = ev.Need[:0]
+	ev.NeedClosed = false
+	ev.Payload = nil
+	ev.Client = nil
+	ev.Size = 0
+}
+
+// CountEventGet and CountEventFree maintain the leak-tracking balance
+// for event recycling that bypasses GetEvent/FreeEvent — the per-AC
+// free lists (oltp.Pools). Keeping the count through the bypass means
+// PoolBalances still proves every event reaches a free, whichever pool
+// it came from.
+func CountEventGet() {
+	if trackPools.Load() {
+		eventBal.Add(1)
+	}
+}
+
+// CountEventFree is the free-side counterpart of CountEventGet.
+func CountEventFree() {
+	if trackPools.Load() {
+		eventBal.Add(-1)
+	}
 }
 
 // DataMsg is one element of a data stream: a columnar batch, or a pure
@@ -208,6 +243,11 @@ func FreeDataMsg(m *DataMsg) {
 	if trackPools.Load() {
 		dataBal.Add(-1)
 	}
-	*m = DataMsg{}
+	m.Stream = 0
+	m.Query = 0
+	m.Batch = nil
+	m.Last = false
+	m.Producers = 0
+	m.Prehashed = false
 	dataPool.Put(m)
 }

@@ -45,24 +45,41 @@ type Predicate struct {
 	MinI   int64
 }
 
-// Matches evaluates the predicate on a row of the given schema.
+// colIdx resolves the predicate's column against schema once (PredNone
+// has no column and resolves to -1); evaluation then uses matchesAt so
+// the per-row path never probes the name map.
+func (p *Predicate) colIdx(schema *storage.Schema) int {
+	if p.Kind == PredNone {
+		return -1
+	}
+	return schema.MustCol(p.Col)
+}
+
+// Matches evaluates the predicate on a row of the given schema. Cold
+// path — per-row evaluation resolves the column every call; scans
+// resolve once with colIdx and use matchesAt.
 func (p Predicate) Matches(schema *storage.Schema, row storage.Row) bool {
+	return p.matchesAt(p.colIdx(schema), row)
+}
+
+// matchesAt evaluates the predicate against the pre-resolved column.
+func (p *Predicate) matchesAt(col int, row storage.Row) bool {
 	switch p.Kind {
 	case PredNone:
 		return true
 	case PredPrefix:
-		v := row[schema.MustCol(p.Col)].S
+		v := row[col].S
 		return len(v) >= len(p.Prefix) && v[:len(p.Prefix)] == p.Prefix
 	case PredGEInt:
-		return row[schema.MustCol(p.Col)].I >= p.MinI
+		return row[col].I >= p.MinI
 	case PredLTInt:
-		return row[schema.MustCol(p.Col)].I < p.MinI
+		return row[col].I < p.MinI
 	case PredEqInt:
-		return row[schema.MustCol(p.Col)].I == p.MinI
+		return row[col].I == p.MinI
 	case PredNeInt:
-		return row[schema.MustCol(p.Col)].I != p.MinI
+		return row[col].I != p.MinI
 	case PredEqStr:
-		return row[schema.MustCol(p.Col)].S == p.Str
+		return row[col].S == p.Str
 	default:
 		panic("olap: unknown predicate kind")
 	}
@@ -74,7 +91,7 @@ func (p Predicate) Matches(schema *storage.Schema, row storage.Row) bool {
 // non-blocking rule applied to long-running operators).
 type ScanSpec struct {
 	Query     core.QueryID
-	Table     string
+	Table     storage.TableID
 	Part      int
 	Filters   []Predicate // AND-composed
 	Cols      []string
@@ -88,6 +105,7 @@ type ScanSpec struct {
 	schema *storage.Schema
 	batch  *storage.Batch
 	cols   []int
+	fcols  []int // Filters[i].Col resolved once against the schema
 	rowBuf storage.Row
 }
 
@@ -204,7 +222,7 @@ func (w *Worker) OnEvent(ctx core.Context, ac *core.AC, ev *core.Event) {
 // the table is exhausted.
 func (w *Worker) scanChunk(ctx core.Context, _ *core.AC, ev *core.Event, s *ScanSpec) {
 	if s.schema == nil {
-		t := w.DB.Partition(s.Part).Table(s.Table)
+		t := w.DB.Partition(s.Part).TableByID(s.Table)
 		s.schema = t.Schema
 		s.cols = make([]int, len(s.Cols))
 		outCols := make([]storage.Column, len(s.Cols))
@@ -212,7 +230,11 @@ func (w *Worker) scanChunk(ctx core.Context, _ *core.AC, ev *core.Event, s *Scan
 			s.cols[i] = t.Schema.MustCol(c)
 			outCols[i] = t.Schema.Cols[s.cols[i]]
 		}
-		s.batch = storage.GetBatch(storage.NewSchema(s.Table+"_scan", outCols...))
+		s.fcols = make([]int, len(s.Filters))
+		for i := range s.Filters {
+			s.fcols[i] = s.Filters[i].colIdx(t.Schema)
+		}
+		s.batch = storage.GetBatch(storage.NewSchema(t.Schema.Name+"_scan", outCols...))
 		s.rowBuf = make(storage.Row, len(s.cols))
 		if s.ChunkRows == 0 {
 			s.ChunkRows = DefaultChunkRows
@@ -221,13 +243,13 @@ func (w *Worker) scanChunk(ctx core.Context, _ *core.AC, ev *core.Event, s *Scan
 			s.BatchRows = DefaultBatchRows
 		}
 	}
-	t := w.DB.Partition(s.Part).Table(s.Table)
+	t := w.DB.Partition(s.Part).TableByID(s.Table)
 	costs := ctx.Costs()
 	offloaded := ctx.Offloaded(s.To)
 	next, done := t.ScanRange(s.cursor, s.ChunkRows, func(_ int32, row storage.Row) bool {
 		ctx.Charge(costs.ScanRow)
 		for i := range s.Filters {
-			if !s.Filters[i].Matches(t.Schema, row) {
+			if !s.Filters[i].matchesAt(s.fcols[i], row) {
 				return true
 			}
 		}

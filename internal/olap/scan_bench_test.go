@@ -55,14 +55,17 @@ func BenchmarkScanFlush(b *testing.B) {
 	w := &Worker{DB: db}
 	ctx := &flushSink{costs: sim.DefaultCosts()}
 	spec := &ScanSpec{
-		Query: 1, Table: tpcc.TCustomer, Part: 0,
+		Query: 1, Table: tpcc.TCustomerID, Part: 0,
 		Cols: []string{"c_w_id", "c_d_id", "c_id"},
 		Out:  7, To: 1, Producers: 1,
 	}
-	ev := core.GetEvent()
-	ev.Kind, ev.Payload = core.EvInstallOp, spec
-
+	// Each pass draws a fresh pooled install event, exactly as a real
+	// query install does: the worker frees the event at scan completion
+	// (its death point), so reusing one event across passes would be a
+	// use-after-free against the pool.
 	scan := func() {
+		ev := core.GetEvent()
+		ev.Kind, ev.Payload = core.EvInstallOp, spec
 		spec.cursor = 0
 		for {
 			ctx.resent = nil

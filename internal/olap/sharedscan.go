@@ -80,7 +80,7 @@ type AggExpr struct {
 //     completes. The sink merges partials with MergePartials.
 type SharedScanSpec struct {
 	Query     core.QueryID
-	Table     string
+	Table     storage.TableID
 	Part      int
 	Filters   []Predicate // AND-composed
 	Cols      []string    // streaming projection
@@ -94,7 +94,7 @@ type SharedScanSpec struct {
 
 // sharedKey addresses one shared cursor.
 type sharedKey struct {
-	table string
+	table storage.TableID
 	part  int
 }
 
@@ -273,7 +273,7 @@ type sharedScan struct {
 // starting) the driver when the cursor is idle. The install event is
 // recycled as the driver continuation when one is needed.
 func (w *Worker) attachShared(ctx core.Context, ev *core.Event, spec *SharedScanSpec) {
-	t := w.DB.Partition(spec.Part).Table(spec.Table)
+	t := w.DB.Partition(spec.Part).TableByID(spec.Table)
 	r := &scanReg{spec: spec}
 	r.preds = make([]compiledPred, 0, len(spec.Filters))
 	for _, f := range spec.Filters {
@@ -290,7 +290,7 @@ func (w *Worker) attachShared(ctx core.Context, ev *core.Event, spec *SharedScan
 			r.outIdx[i] = t.Schema.MustCol(c)
 			outCols[i] = t.Schema.Cols[r.outIdx[i]]
 		}
-		r.out = storage.GetBatch(storage.NewSchema(spec.Table+"_scan", outCols...))
+		r.out = storage.GetBatch(storage.NewSchema(t.Schema.Name+"_scan", outCols...))
 		r.rowBuf = make(storage.Row, len(r.outIdx))
 	} else {
 		r.groupIdx = colIdx(t.Schema, spec.GroupBy)
@@ -319,7 +319,7 @@ func (w *Worker) attachShared(ctx core.Context, ev *core.Event, spec *SharedScan
 				cols = append(cols, storage.Column{Name: fmt.Sprintf("p%d", j), Kind: srcKind})
 			}
 		}
-		r.partial = storage.NewSchema(spec.Table+"_partial", cols...)
+		r.partial = storage.NewSchema(t.Schema.Name+"_partial", cols...)
 		r.groups = make(map[string]*groupAcc)
 	}
 
@@ -369,7 +369,7 @@ func (ss *sharedScan) step(ctx core.Context, w *Worker) {
 		core.FreeEvent(ss.ev)
 		return
 	}
-	t := w.DB.Partition(ss.key.part).Table(ss.key.table)
+	t := w.DB.Partition(ss.key.part).TableByID(ss.key.table)
 	m := 0
 	for _, r := range ss.regs {
 		if r.total > m {

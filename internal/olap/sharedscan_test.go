@@ -67,7 +67,7 @@ func (h *sharedHarness) installCount(qid core.QueryID, at sim.Time) {
 		h.cl.Inject(h.topo.Owner(w), &core.Event{
 			Kind: core.EvInstallOp, Query: qid,
 			Payload: &olap.SharedScanSpec{
-				Query: qid, Table: tpcc.TCustomer, Part: w,
+				Query: qid, Table: tpcc.TCustomerID, Part: w,
 				Aggs: aggs, Out: out, To: h.sinkAC, Producers: h.cfg.Warehouses,
 			},
 		}, at)
@@ -164,7 +164,7 @@ func TestSharedScanStreamingAttach(t *testing.T) {
 			h.cl.Inject(h.topo.Owner(w), &core.Event{
 				Kind: core.EvInstallOp, Query: qid,
 				Payload: &olap.SharedScanSpec{
-					Query: qid, Table: tpcc.TCustomer, Part: w,
+					Query: qid, Table: tpcc.TCustomerID, Part: w,
 					Filters: []olap.Predicate{{Col: "c_d_id", Kind: olap.PredEqInt, MinI: dist}},
 					Cols:    []string{"c_id", "c_d_id"},
 					Out:     out, To: h.sinkAC, Producers: h.cfg.Warehouses,

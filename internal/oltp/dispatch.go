@@ -67,6 +67,12 @@ type Routes struct {
 // coordination unless Routes.Coord redirects acks elsewhere.
 type Dispatcher struct {
 	DB *storage.Database
+	// Pools is the hosting AC's free-list set for events, segments,
+	// acks, and program blocks; it is shared with the Executor (and any
+	// Coordinator) registered on the same AC, so under aggregated
+	// routing the get/free cycle of a local transaction never touches a
+	// sync.Pool. nil (simulation runtime) uses the globals.
+	Pools *Pools
 	// cfg holds the active policy and routing atomically, so the engine
 	// can reroute at runtime (the paper's zero-downtime architecture
 	// shift) while AC goroutines dispatch concurrently.
@@ -152,7 +158,7 @@ func (d *Dispatcher) OnEvent(ctx core.Context, ac *core.AC, ev *core.Event) {
 		id, client := ev.Txn, ev.Client
 		// The envelope is dead once admission has the txn (queued
 		// admissions keep the payload, never the event).
-		core.FreeEvent(ev)
+		d.Pools.FreeEvent(ev)
 		d.admit(ctx, cfg, id, txn, client)
 	case core.EvAck:
 		d.onAck(ctx, cfg, ev)
@@ -168,14 +174,14 @@ func (d *Dispatcher) admit(ctx core.Context, cfg *DispatchConfig, id core.TxnID,
 	// segments never need distributed undo.
 	if txn.Kind == tpcc.TxnNewOrder {
 		ctx.Charge(ctx.Costs().IndexLookup * sim.Time(len(txn.NewOrder.Lines)))
-		if !Valid(*txn) {
+		if !Valid(txn) {
 			ctx.Charge(ctx.Costs().TxnCommit) // abort bookkeeping
 			d.Aborted.Inc()
 			d.win.observeAbort()
 			d.win.maybeFlush(ctx, cfg.Policy)
 			home := txn.HomeWarehouse()
 			tpcc.FreeTxn(txn)
-			sendTxnDone(ctx, id, false, home, client)
+			sendTxnDone(ctx, d.Pools, id, false, home, client)
 			return
 		}
 	}
@@ -204,7 +210,7 @@ func (d *Dispatcher) admit(ctx core.Context, cfg *DispatchConfig, id core.TxnID,
 // the scratch is free for the next transaction immediately.
 func (d *Dispatcher) dispatch(ctx core.Context, cfg *DispatchConfig, id core.TxnID, txn *tpcc.Txn, client any) {
 	var prog *paymentProgram
-	d.ops, prog = programInto(d.ops[:0], txn)
+	d.ops, prog = programInto(d.ops[:0], txn, d.Pools)
 	// The transaction parameters are fully compiled into the op program
 	// now; the txn itself dies here and is recycled for the next
 	// submission (both runtimes inject pooled txns).
@@ -253,7 +259,7 @@ func (d *Dispatcher) dispatch(ctx core.Context, cfg *DispatchConfig, id core.Txn
 				Ev:  d.segmentEvent(id, groups[i].ops, coord, total, client, prog),
 			})
 		}
-		seq := core.GetEvent()
+		seq := d.Pools.GetEvent()
 		seq.Kind, seq.Txn, seq.Payload = core.EvSeqStamp, id, batch
 		ctx.Send(cfg.Routes.Seq, seq)
 		return
@@ -265,10 +271,10 @@ func (d *Dispatcher) dispatch(ctx core.Context, cfg *DispatchConfig, id core.Txn
 
 // segmentEvent builds one pooled EvSegment event owning a copy of ops.
 func (d *Dispatcher) segmentEvent(id core.TxnID, ops []Op, coord core.ACID, total int, client any, prog *paymentProgram) *core.Event {
-	seg := getSegment()
+	seg := d.Pools.getSegment()
 	seg.Ops = append(seg.Ops[:0], ops...)
 	seg.Coord, seg.Total, seg.Client, seg.Prog = coord, total, client, prog
-	ev := core.GetEvent()
+	ev := d.Pools.GetEvent()
 	ev.Kind, ev.Txn, ev.Payload, ev.Size = core.EvSegment, id, seg, seg.wireSize()
 	return ev
 }
@@ -277,10 +283,14 @@ func (d *Dispatcher) segmentEvent(id core.TxnID, ops []Op, coord core.ACID, tota
 // the consumer of the event frees the DoneInfo (FreeDoneInfo). Shared
 // by the dispatcher-embedded and dedicated-coordinator commit paths.
 // client is the submitter's completion token, handed back untouched.
-func sendTxnDone(ctx core.Context, id core.TxnID, committed bool, home int, client any) {
+// The DoneInfo itself stays on the global pool (it dies client-side),
+// but the envelope comes from the AC's free lists: the real runtime
+// frees client-bound envelopes synchronously on the sending AC's
+// goroutine, so the event returns to the same lists.
+func sendTxnDone(ctx core.Context, pools *Pools, id core.TxnID, committed bool, home int, client any) {
 	done := GetDoneInfo()
 	done.Committed, done.Home, done.Client = committed, home, client
-	ev := core.GetEvent()
+	ev := pools.GetEvent()
 	ev.Kind, ev.Txn, ev.Payload = core.EvTxnDone, id, done
 	ctx.Send(core.ClientAC, ev)
 }
@@ -299,14 +309,14 @@ func route(cfg *DispatchConfig, op Op) core.ACID {
 }
 
 func (d *Dispatcher) onAck(ctx core.Context, cfg *DispatchConfig, ev *core.Event) {
-	id, ackHome, client, done := takeAck(ctx, d.pending, ev)
+	id, ackHome, client, done := takeAck(ctx, d.Pools, d.pending, ev)
 	if !done {
 		return
 	}
 	ctx.Charge(ctx.Costs().TxnCommit)
 	d.Committed.Inc()
 	d.win.observeCommit(false)
-	sendTxnDone(ctx, id, true, ackHome, client)
+	sendTxnDone(ctx, d.Pools, id, true, ackHome, client)
 	// Naive admission: release the home warehouse and start the next
 	// queued transaction.
 	if cfg.Policy == NaiveIntra {

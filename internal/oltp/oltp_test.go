@@ -208,7 +208,7 @@ func TestNewOrderMixWithAborts(t *testing.T) {
 	txns := genTxns(cfg, mix, 400)
 	wantAborts := 0
 	for _, txn := range txns {
-		if !Valid(txn) {
+		if !Valid(&txn) {
 			wantAborts++
 		}
 	}
@@ -328,10 +328,10 @@ func TestValidDetectsRollback(t *testing.T) {
 	bad := tpcc.Txn{Kind: tpcc.TxnNewOrder, NewOrder: tpcc.NewOrder{
 		Lines: []tpcc.NewOrderLine{{Item: 5}, {Item: -1}},
 	}}
-	if !Valid(ok) || Valid(bad) {
+	if !Valid(&ok) || Valid(&bad) {
 		t.Fatal("Valid broken")
 	}
-	if !Valid(tpcc.Txn{Kind: tpcc.TxnPayment}) {
+	if !Valid(&tpcc.Txn{Kind: tpcc.TxnPayment}) {
 		t.Fatal("payments are always valid")
 	}
 }

@@ -89,13 +89,13 @@ func (o *UpdateWarehouseYTD) Locks() []cc.Resource {
 	return []cc.Resource{{Table: tpcc.TWarehouse, Key: tpcc.WarehouseKey(o.W)}}
 }
 func (o *UpdateWarehouseYTD) Run(e *Exec) error {
-	t := e.DB.Partition(o.W).Table(tpcc.TWarehouse)
+	t := e.DB.Partition(o.W).TableByID(tpcc.TWarehouseID)
 	slot, ok := t.Lookup(tpcc.WarehouseKey(o.W))
 	e.Charge(e.Costs.IndexLookup)
 	if !ok {
 		panic(fmt.Sprintf("oltp: warehouse %d missing", o.W))
 	}
-	col := t.Schema.MustCol("w_ytd")
+	col := tpcc.ColWYTD
 	old := t.UpdateAt(slot, col, storage.Float(t.Field(slot, col).F+o.Amount))
 	e.Undo.LogUpdate(t, slot, col, old)
 	e.Charge(e.Costs.RecordUpdate)
@@ -114,13 +114,13 @@ func (o *UpdateDistrictYTD) Locks() []cc.Resource {
 	return []cc.Resource{{Table: tpcc.TDistrict, Key: tpcc.DistrictKey(o.W, o.D)}}
 }
 func (o *UpdateDistrictYTD) Run(e *Exec) error {
-	t := e.DB.Partition(o.W).Table(tpcc.TDistrict)
+	t := e.DB.Partition(o.W).TableByID(tpcc.TDistrictID)
 	slot, ok := t.Lookup(tpcc.DistrictKey(o.W, o.D))
 	e.Charge(e.Costs.IndexLookup)
 	if !ok {
 		panic(fmt.Sprintf("oltp: district %d/%d missing", o.W, o.D))
 	}
-	col := t.Schema.MustCol("d_ytd")
+	col := tpcc.ColDYTD
 	old := t.UpdateAt(slot, col, storage.Float(t.Field(slot, col).F+o.Amount))
 	e.Undo.LogUpdate(t, slot, col, old)
 	e.Charge(e.Costs.RecordUpdate)
@@ -150,7 +150,7 @@ func (o *PayCustomer) Locks() []cc.Resource {
 	return []cc.Resource{{Table: tpcc.TCustomer, Key: tpcc.CustomerKey(o.W, o.D, o.C)}}
 }
 func (o *PayCustomer) Run(e *Exec) error {
-	t := e.DB.Partition(o.W).Table(tpcc.TCustomer)
+	t := e.DB.Partition(o.W).TableByID(tpcc.TCustomerID)
 	var slot int32
 	if o.ByLast {
 		// Ordered range over the by-last-name index: the long scan
@@ -177,9 +177,7 @@ func (o *PayCustomer) Run(e *Exec) error {
 		}
 	}
 	e.Charge(e.Costs.RecordRead)
-	bal := t.Schema.MustCol("c_balance")
-	ytd := t.Schema.MustCol("c_ytd_payment")
-	cnt := t.Schema.MustCol("c_payment_cnt")
+	const bal, ytd, cnt = tpcc.ColCBalance, tpcc.ColCYtdPayment, tpcc.ColCPaymentCnt
 	e.Undo.LogUpdate(t, slot, bal, t.UpdateAt(slot, bal, storage.Float(t.Field(slot, bal).F-o.Amount)))
 	e.Undo.LogUpdate(t, slot, ytd, t.UpdateAt(slot, ytd, storage.Float(t.Field(slot, ytd).F+o.Amount)))
 	e.Undo.LogUpdate(t, slot, cnt, t.UpdateAt(slot, cnt, storage.Int(t.Field(slot, cnt).I+1)))
@@ -213,7 +211,7 @@ func (o *InsertHistory) Locks() []cc.Resource { return nil }
 // exactly like keyed ones).
 func (o *InsertHistory) Run(e *Exec) error {
 	p := e.DB.Partition(o.W)
-	t := p.Table(tpcc.THistory)
+	t := p.TableByID(tpcc.THistoryID)
 	row := p.Slab().NewRow(6)
 	row[0] = storage.Int(o.CRef)
 	row[1] = storage.Int(int64(o.CD))
@@ -249,19 +247,19 @@ func (o *InsertOrder) Locks() []cc.Resource {
 }
 func (o *InsertOrder) Run(e *Exec) error {
 	p := e.DB.Partition(o.W)
-	dt := p.Table(tpcc.TDistrict)
+	dt := p.TableByID(tpcc.TDistrictID)
 	slot, ok := dt.Lookup(tpcc.DistrictKey(o.W, o.D))
 	e.Charge(e.Costs.IndexLookup)
 	if !ok {
 		panic(fmt.Sprintf("oltp: district %d/%d missing", o.W, o.D))
 	}
-	nextCol := dt.Schema.MustCol("d_next_o_id")
+	const nextCol = tpcc.ColDNextOID
 	oid := dt.Field(slot, nextCol).I
 	e.Undo.LogUpdate(dt, slot, nextCol, dt.UpdateAt(slot, nextCol, storage.Int(oid+1)))
 	e.Charge(e.Costs.RecordUpdate)
 
-	it := p.Table(tpcc.TItem)
-	ot := p.Table(tpcc.TOrders)
+	it := p.TableByID(tpcc.TItemID)
+	ot := p.TableByID(tpcc.TOrdersID)
 	if _, err := ot.Insert(tpcc.OrderKey(o.W, o.D, oid), storage.Row{
 		storage.Int(int64(o.W)), storage.Int(int64(o.D)), storage.Int(oid),
 		storage.Int(int64(o.C)), storage.Int(o.Year), storage.Int(0),
@@ -272,7 +270,7 @@ func (o *InsertOrder) Run(e *Exec) error {
 	e.Undo.LogInsert(ot, tpcc.OrderKey(o.W, o.D, oid))
 	e.Charge(e.Costs.RecordInsert)
 
-	not := p.Table(tpcc.TNewOrder)
+	not := p.TableByID(tpcc.TNewOrderID)
 	if _, err := not.Insert(tpcc.NewOrderKey(o.W, o.D, oid), storage.Row{
 		storage.Int(int64(o.W)), storage.Int(int64(o.D)), storage.Int(oid),
 	}); err != nil {
@@ -281,7 +279,7 @@ func (o *InsertOrder) Run(e *Exec) error {
 	e.Undo.LogInsert(not, tpcc.NewOrderKey(o.W, o.D, oid))
 	e.Charge(e.Costs.RecordInsert)
 
-	olt := p.Table(tpcc.TOrderLine)
+	olt := p.TableByID(tpcc.TOrderLineID)
 	for i, l := range o.Lines {
 		if l.Item < 0 {
 			e.Charge(e.Costs.IndexLookup) // the failed item probe
@@ -292,7 +290,7 @@ func (o *InsertOrder) Run(e *Exec) error {
 		if !ok {
 			return ErrAbort
 		}
-		price := it.Field(islot, it.Schema.MustCol("i_price")).F
+		price := it.Field(islot, tpcc.ColIPrice).F
 		e.Charge(e.Costs.RecordRead)
 		key := tpcc.OrderLineKey(o.W, o.D, oid, i+1)
 		if _, err := olt.Insert(key, storage.Row{
@@ -328,10 +326,8 @@ func (o *UpdateStock) Locks() []cc.Resource {
 	return out
 }
 func (o *UpdateStock) Run(e *Exec) error {
-	t := e.DB.Partition(o.SupplyW).Table(tpcc.TStock)
-	qCol := t.Schema.MustCol("s_quantity")
-	yCol := t.Schema.MustCol("s_ytd")
-	cCol := t.Schema.MustCol("s_order_cnt")
+	t := e.DB.Partition(o.SupplyW).TableByID(tpcc.TStockID)
+	const qCol, yCol, cCol = tpcc.ColSQuantity, tpcc.ColSYTD, tpcc.ColSOrderCnt
 	for _, l := range o.Lines {
 		if l.Item < 0 {
 			continue // aborting txns never reach here in AnyDB; baseline aborts earlier
@@ -385,15 +381,16 @@ type paymentProgram struct {
 // ops reference freshly built operation values; the input transaction
 // is not retained beyond its Lines slices.
 func ProgramAppend(ops []Op, t *tpcc.Txn) []Op {
-	ops, _ = programInto(ops, t)
+	ops, _ = programInto(ops, t, nil)
 	return ops
 }
 
 // programInto is ProgramAppend plus the pooled payment block the ops
 // were carved from (nil for new-order programs, whose op shapes vary).
 // The dispatcher uses it to set the block's segment refcount and thread
-// the block through the segments for recycling.
-func programInto(ops []Op, t *tpcc.Txn) ([]Op, *paymentProgram) {
+// the block through the segments for recycling. pools, when non-nil, is
+// the dispatching AC's free-list set for the program block.
+func programInto(ops []Op, t *tpcc.Txn, pools *Pools) ([]Op, *paymentProgram) {
 	switch t.Kind {
 	case tpcc.TxnPayment:
 		p := t.Payment
@@ -401,7 +398,7 @@ func programInto(ops []Op, t *tpcc.Txn) ([]Op, *paymentProgram) {
 		if p.ByLast {
 			cref = -int64(p.Last) - 1
 		}
-		pp := getProg()
+		pp := pools.getProg()
 		pp.w = UpdateWarehouseYTD{W: p.W, Amount: p.Amount}
 		pp.d = UpdateDistrictYTD{W: p.W, D: p.D, Amount: p.Amount}
 		pp.c = PayCustomer{W: p.CW, D: p.CD, C: p.C, ByLast: p.ByLast, Last: p.Last, Amount: p.Amount}
@@ -443,7 +440,7 @@ func programInto(ops []Op, t *tpcc.Txn) ([]Op, *paymentProgram) {
 // the replicated item catalog before any event is dispatched, so
 // distributed execution never needs cross-AC undo. It returns false for
 // the §2.4.1.4 rollback case.
-func Valid(t tpcc.Txn) bool {
+func Valid(t *tpcc.Txn) bool {
 	if t.Kind != tpcc.TxnNewOrder {
 		return true
 	}

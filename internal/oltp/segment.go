@@ -52,6 +52,9 @@ type DoneInfo struct {
 // any locking (§3.3).
 type Executor struct {
 	DB *storage.Database
+	// Pools is the hosting AC's free-list set, shared with every other
+	// behavior on that AC; nil uses the global pools.
+	Pools *Pools
 	// Executed counts segments for observability.
 	Executed int64
 
@@ -84,7 +87,7 @@ func (x *Executor) OnEvent(ctx core.Context, _ *core.AC, ev *core.Event) {
 	}
 	x.undo.Commit()
 	x.Executed++
-	ack := getAck()
+	ack := x.Pools.getAck()
 	ack.Total, ack.Client = seg.Total, seg.Client
 	if len(seg.Ops) > 0 {
 		ack.Home = seg.Ops[0].Warehouse()
@@ -92,9 +95,9 @@ func (x *Executor) OnEvent(ctx core.Context, _ *core.AC, ev *core.Event) {
 	coord, id := seg.Coord, ev.Txn
 	// The segment and its envelope die here; the ack rides a fresh
 	// pooled event.
-	freeSegment(seg)
-	core.FreeEvent(ev)
-	ackEv := core.GetEvent()
+	x.Pools.freeSegment(seg)
+	x.Pools.FreeEvent(ev)
+	ackEv := x.Pools.GetEvent()
 	ackEv.Kind, ackEv.Txn, ackEv.Payload = core.EvAck, id, ack
 	ctx.Send(coord, ackEv)
 }
@@ -105,6 +108,8 @@ func (x *Executor) OnEvent(ctx core.Context, _ *core.AC, ev *core.Event) {
 // executors' critical path; in the other policies the dispatcher embeds
 // the same logic.
 type Coordinator struct {
+	// Pools is the hosting AC's free-list set; nil uses the globals.
+	Pools   *Pools
 	pending map[core.TxnID]int
 	// win accumulates the telemetry window (commit-side signals).
 	win sigWindow
@@ -128,13 +133,13 @@ func (c *Coordinator) SetTelemetry(t Telemetry) { c.win.SetTelemetry(t) }
 // envelope (the pooled-ownership rule lives here, in one place), counts
 // the ack against pending, and reports whether the transaction is now
 // fully acked.
-func takeAck(ctx core.Context, pending map[core.TxnID]int, ev *core.Event) (id core.TxnID, home int, client any, done bool) {
+func takeAck(ctx core.Context, pools *Pools, pending map[core.TxnID]int, ev *core.Event) (id core.TxnID, home int, client any, done bool) {
 	ack := ev.Payload.(*Ack)
 	ctx.Charge(ctx.Costs().AckProcess)
 	var total int
 	id, home, total, client = ev.Txn, ack.Home, ack.Total, ack.Client
-	freeAck(ack)
-	core.FreeEvent(ev)
+	pools.freeAck(ack)
+	pools.FreeEvent(ev)
 	got := pending[id] + 1
 	if got < total {
 		pending[id] = got
@@ -146,7 +151,7 @@ func takeAck(ctx core.Context, pending map[core.TxnID]int, ev *core.Event) (id c
 
 // OnEvent implements core.Behavior for EvAck.
 func (c *Coordinator) OnEvent(ctx core.Context, _ *core.AC, ev *core.Event) {
-	id, ackHome, client, done := takeAck(ctx, c.pending, ev)
+	id, ackHome, client, done := takeAck(ctx, c.Pools, c.pending, ev)
 	if !done {
 		return
 	}
@@ -156,5 +161,5 @@ func (c *Coordinator) OnEvent(ctx core.Context, _ *core.AC, ev *core.Event) {
 	// advance on commits (it never sees admissions).
 	c.win.observeCommit(true)
 	c.win.maybeFlush(ctx, StreamingCC)
-	sendTxnDone(ctx, id, true, ackHome, client)
+	sendTxnDone(ctx, c.Pools, id, true, ackHome, client)
 }

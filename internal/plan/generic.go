@@ -37,6 +37,7 @@ type GenericPlan struct {
 // per partition at emission.
 type scanTemplate struct {
 	table   string
+	tableID storage.TableID // interned handle the emitted specs carry
 	filters []olap.Predicate
 	cols    []string       // streaming projection
 	groupBy []string       // aggregate pushdown
@@ -237,7 +238,7 @@ func CompileSQL(cat *storage.Catalog, q *sql.Query, qid core.QueryID,
 			// Aggregate pushdown: the shared scan folds the grouped
 			// aggregates per partition; the sink merges partials.
 			p.scans = append(p.scans, scanTemplate{
-				table: t, filters: infos[t].filters,
+				table: t, tableID: infos[t].schema.ID, filters: infos[t].filters,
 				groupBy: groupCols, aggs: aggs,
 				out: scanStream(0), to: acOf(0),
 			})
@@ -246,7 +247,7 @@ func CompileSQL(cat *storage.Catalog, q *sql.Query, qid core.QueryID,
 			sink.MergePartials = true
 		} else {
 			p.scans = append(p.scans, scanTemplate{
-				table: t, filters: infos[t].filters,
+				table: t, tableID: infos[t].schema.ID, filters: infos[t].filters,
 				cols: setToSlice(needed[t]),
 				out:  scanStream(0), to: acOf(0),
 			})
@@ -267,15 +268,16 @@ func CompileSQL(cat *storage.Catalog, q *sql.Query, qid core.QueryID,
 	accStream := scanStream(0)
 	joinAC := func(i int) core.ACID { return acOf(i - 1) } // J_i for i>=1
 	p.scans = append(p.scans, scanTemplate{
-		table: chain[0], filters: infos[chain[0]].filters,
-		cols: setToSlice(needed[chain[0]]),
-		out:  accStream, to: joinAC(1),
+		table: chain[0], tableID: infos[chain[0]].schema.ID,
+		filters: infos[chain[0]].filters,
+		cols:    setToSlice(needed[chain[0]]),
+		out:     accStream, to: joinAC(1),
 	})
 	for i := 1; i < len(chain); i++ {
 		t := chain[i]
 		probeStream := scanStream(i)
 		p.scans = append(p.scans, scanTemplate{
-			table: t, filters: infos[t].filters,
+			table: t, tableID: infos[t].schema.ID, filters: infos[t].filters,
 			cols: setToSlice(needed[t]),
 			out:  probeStream, to: joinAC(i),
 		})
@@ -536,7 +538,7 @@ func (q *QO) onGenericPlan(ctx core.Context, p *GenericPlan) {
 				ev := core.GetEvent()
 				ev.Kind, ev.Query = core.EvInstallOp, p.Query
 				ev.Payload = &olap.SharedScanSpec{
-					Query: p.Query, Table: sc.table, Part: part,
+					Query: p.Query, Table: sc.tableID, Part: part,
 					Filters: sc.filters, Cols: sc.cols,
 					GroupBy: sc.groupBy, Aggs: sc.aggs,
 					Out: sc.out, To: sc.to, Producers: len(p.Parts),

@@ -149,7 +149,7 @@ func q3Streams(p *Q3Plan) streamSet {
 // installScans emits the scan operators; beamed selects which subset.
 func (q *QO) installScans(ctx core.Context, p *Q3Plan, s streamSet, beamed bool) {
 	type scan struct {
-		table  string
+		table  storage.TableID
 		filter []olap.Predicate
 		cols   []string
 		out    core.StreamID
@@ -157,15 +157,15 @@ func (q *QO) installScans(ctx core.Context, p *Q3Plan, s streamSet, beamed bool)
 		beam   bool
 	}
 	scans := []scan{
-		{tpcc.TCustomer,
+		{tpcc.TCustomerID,
 			[]olap.Predicate{{Col: "c_state", Kind: olap.PredPrefix, Prefix: tpcc.Q3StatePrefix}},
 			[]string{"c_w_id", "c_d_id", "c_id"},
 			s.cust, p.Join1AC, p.Beam >= BeamBuild},
-		{tpcc.TOrders,
+		{tpcc.TOrdersID,
 			[]olap.Predicate{{Col: "o_entry_d", Kind: olap.PredGEInt, MinI: tpcc.Q3SinceYear}},
 			[]string{"o_w_id", "o_d_id", "o_id", "o_c_id"},
 			s.ord, p.Join1AC, p.Beam >= BeamAll},
-		{tpcc.TNewOrder,
+		{tpcc.TNewOrderID,
 			nil,
 			[]string{"no_w_id", "no_d_id", "no_o_id"},
 			s.no, p.Join2AC, p.Beam >= BeamAll},

@@ -12,6 +12,7 @@ import (
 type Partition struct {
 	ID     int
 	tables map[string]*Table
+	list   []*Table // dense, indexed by Schema.ID — the hot-path lookup
 	seq    int64
 	slab   RowSlab
 	// owner is an observability tag recording the last live handoff
@@ -54,13 +55,29 @@ func NewPartition(id int) *Partition {
 	return p
 }
 
-// CreateTable adds an empty table for schema and returns it.
+// CreateTable adds an empty table for schema and returns it. The table
+// also lands in the partition's dense by-ID list: at schema.ID when the
+// schema was already registered with a catalog, otherwise at the next
+// free slot (assigning schema.ID). Creating tables in the same schema
+// order in every partition — what NewDatabase does — therefore gives
+// every partition the same TableID → table mapping.
 func (p *Partition) CreateTable(schema *Schema) *Table {
 	if _, dup := p.tables[schema.Name]; dup {
 		panic("storage: duplicate table " + schema.Name + " in partition")
 	}
 	t := NewTable(schema)
 	p.tables[schema.Name] = t
+	if schema.ID == NoTable {
+		schema.ID = TableID(len(p.list))
+	}
+	for int(schema.ID) >= len(p.list) {
+		p.list = append(p.list, nil)
+	}
+	if p.list[schema.ID] != nil {
+		panic(fmt.Sprintf("storage: TableID %d already bound in partition %d (schema %q)",
+			schema.ID, p.ID, schema.Name))
+	}
+	p.list[schema.ID] = t
 	return t
 }
 
@@ -70,6 +87,16 @@ func (p *Partition) Table(name string) *Table {
 	t, ok := p.tables[name]
 	if !ok {
 		panic(fmt.Sprintf("storage: no table %q in partition %d", name, p.ID))
+	}
+	return t
+}
+
+// TableByID returns the table bound to an interned handle — the execute
+// hot path's lookup: an array index instead of a string-keyed map probe.
+func (p *Partition) TableByID(id TableID) *Table {
+	t := p.list[id]
+	if t == nil {
+		panic(fmt.Sprintf("storage: no TableID %d in partition %d", id, p.ID))
 	}
 	return t
 }
@@ -129,6 +156,7 @@ func (db *Database) NumPartitions() int { return len(db.Partitions) }
 // Catalog maps table names to schemas and statistics.
 type Catalog struct {
 	schemas map[string]*Schema
+	byID    []*Schema
 	stats   map[string]*TableStats
 }
 
@@ -137,11 +165,31 @@ func NewCatalog() *Catalog {
 	return &Catalog{schemas: make(map[string]*Schema), stats: make(map[string]*TableStats)}
 }
 
-// AddSchema registers a schema.
-func (c *Catalog) AddSchema(s *Schema) { c.schemas[s.Name] = s }
+// AddSchema registers a schema, assigning its interned TableID (the
+// registration position) unless the schema already carries one from an
+// earlier catalog — registration order is deterministic, so shared
+// schema sets intern identically everywhere.
+func (c *Catalog) AddSchema(s *Schema) {
+	c.schemas[s.Name] = s
+	if s.ID == NoTable {
+		s.ID = TableID(len(c.byID))
+	}
+	for int(s.ID) >= len(c.byID) {
+		c.byID = append(c.byID, nil)
+	}
+	c.byID[s.ID] = s
+}
 
 // Schema returns the schema for a table name, or nil.
 func (c *Catalog) Schema(name string) *Schema { return c.schemas[name] }
+
+// SchemaByID returns the schema for an interned handle, or nil.
+func (c *Catalog) SchemaByID(id TableID) *Schema {
+	if id < 0 || int(id) >= len(c.byID) {
+		return nil
+	}
+	return c.byID[id]
+}
 
 // SetStats stores statistics for a table.
 func (c *Catalog) SetStats(table string, st *TableStats) { c.stats[table] = st }

@@ -131,10 +131,21 @@ type Column struct {
 	Kind Kind
 }
 
+// TableID is an interned table handle: the dense index a schema gets
+// when it is registered with a catalog (and its tables created in each
+// partition, in the same order). Hot paths carry the handle instead of
+// the table name, so executing an op costs an array index rather than a
+// string-keyed map probe.
+type TableID int32
+
+// NoTable is the ID of a schema never registered with a catalog.
+const NoTable TableID = -1
+
 // Schema describes a table: ordered columns plus the positions that make
 // up the primary key (encoded into a single uint64 by the owner).
 type Schema struct {
 	Name string
+	ID   TableID // assigned at catalog registration; NoTable before
 	Cols []Column
 
 	byName map[string]int
@@ -142,7 +153,7 @@ type Schema struct {
 
 // NewSchema builds a schema and its name lookup.
 func NewSchema(name string, cols ...Column) *Schema {
-	s := &Schema{Name: name, Cols: cols, byName: make(map[string]int, len(cols))}
+	s := &Schema{Name: name, ID: NoTable, Cols: cols, byName: make(map[string]int, len(cols))}
 	for i, c := range cols {
 		if _, dup := s.byName[c.Name]; dup {
 			panic("storage: duplicate column " + c.Name + " in " + name)

@@ -24,26 +24,59 @@ type undoEntry struct {
 	table *Table
 	key   Key // inserts
 	slot  int32
-	col   int
+	col   int32
 	old   Value
 }
 
 // Len returns the number of recorded operations.
 func (u *UndoLog) Len() int { return len(u.entries) }
 
+// next returns a pointer to the next free entry, extending within
+// capacity when possible. Writing fields through the pointer (instead of
+// appending a composite literal) keeps the ~70-byte undoEntry out of
+// duffcopy on the per-update logging path; the profile showed those
+// struct copies as the bulk of duffcopy time.
+func (u *UndoLog) next() *undoEntry {
+	n := len(u.entries)
+	if n < cap(u.entries) {
+		u.entries = u.entries[:n+1]
+	} else {
+		u.entries = append(u.entries, undoEntry{})
+	}
+	return &u.entries[n]
+}
+
 // LogUpdate records the pre-image of a cell update.
 func (u *UndoLog) LogUpdate(t *Table, slot int32, col int, old Value) {
-	u.entries = append(u.entries, undoEntry{kind: undoUpdate, table: t, slot: slot, col: col, old: old})
+	e := u.next()
+	e.kind = undoUpdate
+	e.table = t
+	e.key = 0
+	e.slot = slot
+	e.col = int32(col)
+	e.old = old
 }
 
 // LogInsert records an insert for reversal.
 func (u *UndoLog) LogInsert(t *Table, key Key) {
-	u.entries = append(u.entries, undoEntry{kind: undoInsert, table: t, key: key})
+	e := u.next()
+	e.kind = undoInsert
+	e.table = t
+	e.key = key
+	e.slot = 0
+	e.col = 0
+	e.old = Value{}
 }
 
 // LogAppend records a keyless append (Table.Append) for reversal.
 func (u *UndoLog) LogAppend(t *Table, slot int32) {
-	u.entries = append(u.entries, undoEntry{kind: undoAppend, table: t, slot: slot})
+	e := u.next()
+	e.kind = undoAppend
+	e.table = t
+	e.key = 0
+	e.slot = slot
+	e.col = 0
+	e.old = Value{}
 }
 
 // Rollback applies the log in reverse and clears it. It returns the

@@ -24,6 +24,70 @@ const (
 // select-by-last-name path.
 const IdxCustomerByLast = "customer_by_last"
 
+// Interned table handles: the position each table takes in Schemas(),
+// which is the TableID `Catalog.AddSchema`/`Partition.CreateTable`
+// assign at database creation. The OLTP execute path indexes partitions
+// by these instead of hashing table names.
+const (
+	TWarehouseID storage.TableID = iota
+	TDistrictID
+	TCustomerID
+	THistoryID
+	TOrdersID
+	TNewOrderID
+	TOrderLineID
+	TItemID
+	TStockID
+)
+
+// Hot column positions, resolved once here instead of per-op MustCol
+// lookups on the execute path. The schema layouts are fixed; init
+// asserts every constant (and the table IDs) against Schemas().
+const (
+	ColWYTD        = 4 // warehouse.w_ytd
+	ColDYTD        = 4 // district.d_ytd
+	ColDNextOID    = 5 // district.d_next_o_id
+	ColCBalance    = 7 // customer.c_balance
+	ColCYtdPayment = 8 // customer.c_ytd_payment
+	ColCPaymentCnt = 9 // customer.c_payment_cnt
+	ColCLast       = 4 // customer.c_last
+	ColIPrice      = 2 // item.i_price
+	ColSQuantity   = 2 // stock.s_quantity
+	ColSYTD        = 3 // stock.s_ytd
+	ColSOrderCnt   = 4 // stock.s_order_cnt
+)
+
+func init() {
+	cat := storage.NewCatalog()
+	schemas := Schemas()
+	for _, s := range schemas {
+		cat.AddSchema(s)
+	}
+	ids := map[string]storage.TableID{
+		TWarehouse: TWarehouseID, TDistrict: TDistrictID, TCustomer: TCustomerID,
+		THistory: THistoryID, TOrders: TOrdersID, TNewOrder: TNewOrderID,
+		TOrderLine: TOrderLineID, TItem: TItemID, TStock: TStockID,
+	}
+	cols := map[string]map[string]int{
+		TWarehouse: {"w_ytd": ColWYTD},
+		TDistrict:  {"d_ytd": ColDYTD, "d_next_o_id": ColDNextOID},
+		TCustomer: {"c_balance": ColCBalance, "c_ytd_payment": ColCYtdPayment,
+			"c_payment_cnt": ColCPaymentCnt, "c_last": ColCLast},
+		TItem:  {"i_price": ColIPrice},
+		TStock: {"s_quantity": ColSQuantity, "s_ytd": ColSYTD, "s_order_cnt": ColSOrderCnt},
+	}
+	for _, s := range schemas {
+		if want := ids[s.Name]; s.ID != want {
+			panic("tpcc: TableID constant out of sync for " + s.Name)
+		}
+		for col, idx := range cols[s.Name] {
+			if s.MustCol(col) != idx {
+				panic("tpcc: column constant out of sync: " + s.Name + "." + col)
+			}
+		}
+	}
+}
+
 // Schemas returns the full schema set. Column subsets follow TPC-C §1.3
 // trimmed to the attributes the reproduced transactions and the CH query
 // touch; pad columns keep row sizes realistic for transfer modelling.

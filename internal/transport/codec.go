@@ -218,7 +218,7 @@ func (e *encoder) encodePayload(p any) error {
 	case *olap.ScanSpec:
 		e.w.u8(pScanSpec)
 		e.w.u64(uint64(v.Query))
-		e.w.str(v.Table)
+		e.w.i32(int32(v.Table))
 		e.w.varint(v.Part)
 		e.encodePreds(v.Filters)
 		e.encodeStrs(v.Cols)
@@ -230,7 +230,7 @@ func (e *encoder) encodePayload(p any) error {
 	case *olap.SharedScanSpec:
 		e.w.u8(pSharedScanSpec)
 		e.w.u64(uint64(v.Query))
-		e.w.str(v.Table)
+		e.w.i32(int32(v.Table))
 		e.w.varint(v.Part)
 		e.encodePreds(v.Filters)
 		e.encodeStrs(v.Cols)
@@ -628,14 +628,14 @@ func (d *decoder) decodePayload(r *rbuf) any {
 		return nil
 	case pScanSpec:
 		return &olap.ScanSpec{
-			Query: core.QueryID(r.u64()), Table: r.str(), Part: r.varint(),
+			Query: core.QueryID(r.u64()), Table: storage.TableID(r.i32()), Part: r.varint(),
 			Filters: d.decodePreds(r), Cols: d.decodeStrs(r),
 			Out: core.StreamID(r.u64()), To: core.ACID(r.i32()),
 			Producers: r.varint(), ChunkRows: r.varint(), BatchRows: r.varint(),
 		}
 	case pSharedScanSpec:
 		return &olap.SharedScanSpec{
-			Query: core.QueryID(r.u64()), Table: r.str(), Part: r.varint(),
+			Query: core.QueryID(r.u64()), Table: storage.TableID(r.i32()), Part: r.varint(),
 			Filters: d.decodePreds(r), Cols: d.decodeStrs(r),
 			GroupBy: d.decodeStrs(r), Aggs: d.decodeAggs(r),
 			Out: core.StreamID(r.u64()), To: core.ACID(r.i32()),

@@ -57,12 +57,12 @@ func sampleEvents() []*core.Event {
 			Collected: []storage.Row{{storage.Int(1), storage.Str("x"), storage.Float(2)}},
 		}),
 		mk(core.EvInstallOp, &olap.ScanSpec{
-			Query: 4, Table: "orders", Part: 2,
+			Query: 4, Table: tpcc.TOrdersID, Part: 2,
 			Filters: []olap.Predicate{{Col: "year", Kind: olap.PredEqInt, MinI: 2021}},
 			Cols:    []string{"id"}, Out: 31, To: 6, Producers: 4, ChunkRows: 256, BatchRows: 512,
 		}),
 		mk(core.EvInstallOp, &olap.SharedScanSpec{
-			Query: 4, Table: "orders", Part: 2,
+			Query: 4, Table: tpcc.TOrdersID, Part: 2,
 			Cols: []string{"id"}, GroupBy: []string{"d"},
 			Aggs: []olap.AggExpr{{Fn: olap.AggCount}},
 			Out:  31, To: 6, Producers: 4, BatchRows: 512,

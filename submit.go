@@ -153,7 +153,12 @@ func (c *Cluster) addInflight(si int32, mask uint64, delta int64) {
 // abandons the attempt and ErrClosed reports a cluster that will never
 // reopen.
 func (c *Cluster) enter(ctx context.Context, mask uint64) (e *submitEpoch, si int32, err error) {
-	si = c.shardIdx()
+	return c.enterAt(ctx, c.shardIdx(), mask)
+}
+
+// enterAt is enter with the shard chosen by the caller — sessions pin
+// theirs at open instead of fingerprinting the goroutine per call.
+func (c *Cluster) enterAt(ctx context.Context, si int32, mask uint64) (e *submitEpoch, _ int32, err error) {
 	for {
 		e = c.sub.Load()
 		// Increment first, then check the flags: a drainer sets its flag
