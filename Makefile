@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-submit bench-json allocs-gate cluster-smoke profile fmt vet figures ci
+.PHONY: all build test race bench bench-submit bench-json allocs-gate cluster-smoke crash-smoke profile fmt vet figures clean ci
 
 all: build
 
@@ -27,9 +27,11 @@ bench:
 # hot path scales visibly worse at 4) shows up in CI. Short benchtime —
 # this watches the slope and allocs/op, not absolute throughput.
 # BenchmarkRebalance rides along: live-handoff latency plus the txn/s
-# the moves leave intact (the throughput dip).
+# the moves leave intact (the throughput dip). BenchmarkPaymentDurable
+# documents the group-commit WAL cost next to the Durability=Off
+# baseline (same pipelined shape, Batch mode, one fsync per drain).
 bench-submit:
-	$(GO) test -run '^$$' -bench 'BenchmarkSubmitContention|BenchmarkPaymentPipelined|BenchmarkSessionAffinity|BenchmarkRebalance|BenchmarkSharedScanConcurrency' \
+	$(GO) test -run '^$$' -bench 'BenchmarkSubmitContention|BenchmarkPaymentPipelined|BenchmarkPaymentDurable|BenchmarkSessionAffinity|BenchmarkRebalance|BenchmarkSharedScanConcurrency' \
 		-benchmem -benchtime 0.3s -cpu 1,4 .
 	$(GO) test -run '^$$' -bench 'BenchmarkTopologyRead' -benchmem -benchtime 0.3s -cpu 1,4 ./internal/core
 	$(GO) test -run '^$$' -bench 'BenchmarkScanFlush' -benchmem -benchtime 0.3s ./internal/olap
@@ -42,12 +44,14 @@ bench-submit:
 bench-json:
 	$(GO) run ./cmd/anydb-bench -phase-ms 6 -json BENCH_PR8.json
 
-# Deterministic allocation gate: the pipelined payment path and the
-# analytical scan-flush path must report exactly 0 allocs/op. Fixed
-# iteration counts keep the gate reproducible on any machine; the
-# payment path runs 100000x so cold-pool warm-up amortizes below the
-# integer allocs/op floor (a reintroduced per-op allocation still
-# shows as >= 1).
+# Deterministic allocation gate: the pipelined payment path (with
+# Durability=Off — the default; BenchmarkPaymentPipelined never sets
+# Config.Durability, so a WAL hook leaking onto the undurable hot path
+# shows up here) and the analytical scan-flush path must report exactly
+# 0 allocs/op. Fixed iteration counts keep the gate reproducible on any
+# machine; the payment path runs 100000x so cold-pool warm-up amortizes
+# below the integer allocs/op floor (a reintroduced per-op allocation
+# still shows as >= 1).
 allocs-gate:
 	@set -e; \
 	out1="$$($(GO) test -run '^$$' -bench 'BenchmarkPaymentPipelined' -benchmem -benchtime 100000x -cpu 4 .)"; \
@@ -62,6 +66,14 @@ allocs-gate:
 cluster-smoke:
 	$(GO) build ./cmd/anydbd
 	$(GO) run ./examples/cluster
+
+# Fault smoke, blocking in CI: the kill-and-restart recovery test
+# (SIGKILL mid-burst under Batch durability, reopen, Verify-clean with
+# exactly-once acked effects) plus the member-death cluster tests
+# (futures resolve typed, partitions pulled home, traffic resumes).
+# Run under -race: the failure paths are the racy ones.
+crash-smoke:
+	$(GO) test -race -count=1 -run 'TestCrashRecovery|TestMemberDeath|TestMemberReconnect|TestSessionAcrossMemberDeath' -v .
 
 # CPU + allocation profiles of the parallel submission hot path (the
 # public API entry under GOMAXPROCS submitters). Inspect with `go tool
@@ -82,5 +94,10 @@ vet:
 # Regenerate every paper figure at full scale.
 figures:
 	$(GO) run ./cmd/anydb-bench -fig all
+
+# Remove generated build/bench artifacts (everything .gitignore lists).
+clean:
+	rm -f cpu.prof mem.prof mutex.prof anydb-profile.test anydbd \
+		BENCH_PR*.json submit_bench_new.txt
 
 ci: fmt vet build race bench

@@ -37,6 +37,8 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -53,6 +55,7 @@ import (
 	"anydb/internal/storage"
 	"anydb/internal/tpcc"
 	"anydb/internal/transport"
+	"anydb/internal/wal"
 )
 
 // Policy selects how transactions are routed over the ACs — the paper's
@@ -124,6 +127,27 @@ type Config struct {
 	// AdaptWindow is the sliding signal window for AutoAdapt and
 	// AutoRebalance (default 10ms wall clock).
 	AdaptWindow time.Duration
+	// Durability selects the write-ahead command log. Off (the default)
+	// keeps everything in memory. Batch group-commits: each dispatcher
+	// AC appends its admitted transactions' command records to a
+	// per-dispatcher log and fsyncs once per mailbox drain cycle — a
+	// transaction's segments dispatch only after its record is durable,
+	// so an acknowledged commit survives a crash. Strict fsyncs per
+	// transaction. Open replays any logs found in WALDir into the fresh
+	// database before serving (full replay from genesis — no
+	// checkpointing yet; see ROADMAP).
+	Durability Durability
+	// WALDir is the directory holding the per-dispatcher command logs
+	// (wal-*.log). Required when Durability is not Off.
+	WALDir string
+	// HeartbeatInterval paces liveness Pings between the head and member
+	// processes on a multi-process cluster (default 1s; < 0 disables).
+	// A peer silent for ~3 intervals is considered failed.
+	HeartbeatInterval time.Duration
+	// MemberGrace is how long the head waits for a disconnected member
+	// to redial before declaring it dead and pulling its partitions home
+	// (default 2s).
+	MemberGrace time.Duration
 	// Listen and RemoteServers turn the cluster into the head of a real
 	// multi-process deployment: Open listens on Listen (host:port) and
 	// waits for RemoteServers member processes (cmd/anydbd, or
@@ -256,11 +280,67 @@ type Cluster struct {
 	rpcSeq    atomic.Uint64
 	rpcMu     sync.Mutex
 	rpcWait   map[uint64]chan any
+
+	// Durability plane (Config.Durability != DurabilityOff). walFiles
+	// maps log path -> open device plus the LSN recovery replayed up to,
+	// so each dispatcher's logger resumes numbering where the previous
+	// incarnation stopped. walApplied counts replayed transactions —
+	// when nonzero on a multi-process cluster, the head pushes the
+	// replayed partitions to joining members (they repopulate from the
+	// seed and would otherwise miss recovered state).
+	durability Durability
+	walDir     string
+	walMu      sync.Mutex
+	walFiles   map[string]*walFile
+	walApplied int
+
+	// Failure-detection pacing (multi-process clusters; distributed.go).
+	heartbeat   time.Duration
+	memberGrace time.Duration
+}
+
+// Durability selects how (whether) the cluster logs admitted
+// transactions before executing them; see Config.Durability.
+type Durability uint8
+
+const (
+	// DurabilityOff runs fully in memory (the default).
+	DurabilityOff Durability = iota
+	// DurabilityBatch group-commits: one fsync per dispatcher drain
+	// cycle covers every transaction admitted in that burst.
+	DurabilityBatch
+	// DurabilityStrict fsyncs before dispatching each transaction.
+	DurabilityStrict
+)
+
+func (d Durability) String() string {
+	switch d {
+	case DurabilityOff:
+		return "Off"
+	case DurabilityBatch:
+		return "Batch"
+	case DurabilityStrict:
+		return "Strict"
+	}
+	return fmt.Sprintf("Durability(%d)", uint8(d))
+}
+
+// walFile is one per-dispatcher log: the open device and the last LSN
+// recovery observed in it (0 for a fresh file).
+type walFile struct {
+	dev  *wal.FileDevice
+	last uint64
 }
 
 // ErrClosed is returned by every entry point once Close has begun;
 // match it with errors.Is to distinguish shutdown from other failures.
 var ErrClosed = errors.New("anydb: cluster closed")
+
+// ErrMemberDown resolves work that was in flight against a cluster
+// member that died: pending Future.Wait calls and analytical queries
+// fail with it instead of hanging. The member's partitions are pulled
+// home to the head and subsequent submissions succeed.
+var ErrMemberDown = errors.New("anydb: cluster member down")
 
 // Open populates the database and starts the AC goroutines.
 func Open(cfg Config) (*Cluster, error) {
@@ -283,11 +363,6 @@ func Open(cfg Config) (*Cluster, error) {
 	}
 	db := storage.NewDatabase(tc.Warehouses, tpcc.Schemas()...)
 	tpcc.Populate(db, tc)
-	// Statistics for the SQL planner (partition 0 is representative:
-	// population is symmetric across warehouses).
-	for _, tn := range db.Catalog.Tables() {
-		db.Catalog.SetStats(tn, storage.Analyze(db.Partition(0).Table(tn)))
-	}
 
 	c := &Cluster{
 		db: db, cfg: tc, cores: cfg.CoresPerServer,
@@ -298,6 +373,40 @@ func Open(cfg Config) (*Cluster, error) {
 		closeDrained: make(chan struct{}),
 		closeDone:    make(chan struct{}),
 		start:        time.Now(),
+	}
+	if cfg.Durability != DurabilityOff {
+		if cfg.WALDir == "" {
+			return nil, errors.New("anydb: Config.Durability requires Config.WALDir")
+		}
+		if err := os.MkdirAll(cfg.WALDir, 0o755); err != nil {
+			return nil, fmt.Errorf("anydb: WALDir: %w", err)
+		}
+		c.durability, c.walDir = cfg.Durability, cfg.WALDir
+		c.walFiles = make(map[string]*walFile)
+		// Recovery: replay every existing log into the freshly populated
+		// database before any AC serves traffic. Each log preserves its
+		// dispatcher's admission order; cross-log order is not recorded,
+		// which is sound because transactions admitted by different
+		// dispatchers in the same epoch never conflicted (SharedNothing
+		// partitioning) or were serialized by acks before acking clients.
+		if err := c.replayWAL(); err != nil {
+			return nil, err
+		}
+	}
+	// Statistics for the SQL planner (partition 0 is representative:
+	// population is symmetric across warehouses).
+	for _, tn := range db.Catalog.Tables() {
+		db.Catalog.SetStats(tn, storage.Analyze(db.Partition(0).Table(tn)))
+	}
+	c.heartbeat = cfg.HeartbeatInterval
+	if c.heartbeat == 0 {
+		c.heartbeat = time.Second
+	} else if c.heartbeat < 0 {
+		c.heartbeat = 0 // explicitly disabled
+	}
+	c.memberGrace = cfg.MemberGrace
+	if c.memberGrace <= 0 {
+		c.memberGrace = 2 * time.Second
 	}
 	// Size the submission shards to the parallelism the runtime can
 	// actually offer (power of two for cheap masking, padded to cache
@@ -393,6 +502,60 @@ func Open(cfg Config) (*Cluster, error) {
 	return c, nil
 }
 
+// replayWAL re-executes every wal-*.log in WALDir against the freshly
+// populated database, truncates each file back to its last intact
+// record (discarding a torn tail from a mid-write crash), and records
+// the per-file resume LSN for the dispatchers that will adopt the logs.
+func (c *Cluster) replayWAL() error {
+	paths, err := filepath.Glob(filepath.Join(c.walDir, "wal-*.log"))
+	if err != nil {
+		return fmt.Errorf("anydb: scanning WALDir: %w", err)
+	}
+	for _, path := range paths {
+		dev, err := wal.OpenFile(path)
+		if err != nil {
+			return fmt.Errorf("anydb: opening %s: %w", path, err)
+		}
+		applied, clean, last, err := wal.Replay(dev, c.db)
+		if err != nil {
+			dev.Close()
+			return fmt.Errorf("anydb: replaying %s: %w", path, err)
+		}
+		if err := dev.Truncate(clean); err != nil {
+			dev.Close()
+			return fmt.Errorf("anydb: truncating %s: %w", path, err)
+		}
+		c.walFiles[path] = &walFile{dev: dev, last: last}
+		c.walApplied += applied
+	}
+	return nil
+}
+
+// walLogger opens (or adopts the recovered) log for one dispatcher AC
+// and returns a logger resuming at the replayed LSN. GroupSize 0: the
+// dispatcher controls flush boundaries (per batch or per transaction).
+func (c *Cluster) walLogger(id core.ACID) *wal.Logger {
+	path := filepath.Join(c.walDir, fmt.Sprintf("wal-%04d.log", id))
+	c.walMu.Lock()
+	defer c.walMu.Unlock()
+	wf := c.walFiles[path]
+	if wf == nil {
+		dev, err := wal.OpenFile(path)
+		if err != nil {
+			// setupAC cannot return an error; Open already validated the
+			// directory is writable, so this is an environment failure
+			// (fd exhaustion, disk gone) where fail-stop is the only
+			// durable answer.
+			panic(fmt.Sprintf("anydb: opening %s: %v", path, err))
+		}
+		wf = &walFile{dev: dev}
+		c.walFiles[path] = wf
+	}
+	lg := wal.NewLogger(wf.dev, 0)
+	lg.Resume(wf.last)
+	return lg
+}
+
 func (c *Cluster) setupAC(ac *core.AC) {
 	// One free-list set per AC, shared by every OLTP behavior registered
 	// on it: under aggregated routing the dispatcher, executor and
@@ -433,6 +596,17 @@ func (c *Cluster) setupAC(ac *core.AC) {
 	d.SetTelemetry(tel)
 	c.dispers[ac.ID] = d
 	c.mu.Unlock()
+	if c.durability != DurabilityOff {
+		d.Log = c.walLogger(ac.ID)
+		d.Strict = c.durability == DurabilityStrict
+		if !d.Strict {
+			// Group commit: admitted transactions queue in the
+			// dispatcher until the runtime's batch-end hook fires —
+			// one fsync covers the whole drain cycle, then the batch's
+			// segments dispatch.
+			ac.OnBatchEnd = d.FlushBatch
+		}
+	}
 	ac.Register(core.EvTxn, d)
 	ac.Register(core.EvAck, d)
 }
@@ -590,6 +764,11 @@ type Future struct {
 	// futures parked by the resolver fall back to the shared pool.
 	sess *Session
 	sgen uint32
+	// err distinguishes an infrastructure failure (ErrMemberDown: the
+	// member executing a segment died) from a logical rollback. Written
+	// by the completion callback before the channel send, read by Wait
+	// after the receive — the channel orders the pair.
+	err error
 }
 
 const (
@@ -602,6 +781,7 @@ const (
 func (c *Cluster) getFuture() *Future {
 	if v := c.futPool.Get(); v != nil {
 		f := v.(*Future)
+		f.err = nil
 		f.state.Store(futPending)
 		return f
 	}
@@ -642,7 +822,9 @@ func (f *Future) resolve(committed bool) {
 }
 
 // Wait blocks until the transaction resolves and reports whether it
-// committed (false with a nil error means it rolled back). If ctx is
+// committed (false with a nil error means it rolled back; false with
+// ErrMemberDown means the cluster member executing one of its segments
+// died before acknowledging). If ctx is
 // canceled first, Wait returns ctx.Err() immediately; the transaction
 // itself still completes in the background — cancellation abandons the
 // wait, not the work — and the cluster's in-flight accounting drains
@@ -653,16 +835,18 @@ func (f *Future) Wait(ctx context.Context) (bool, error) {
 	}
 	select {
 	case committed := <-f.ch:
+		err := f.err
 		f.park()
-		return committed, nil
+		return committed, err
 	case <-ctx.Done():
 		if f.state.CompareAndSwap(futPending, futAbandoned) {
 			return false, ctx.Err()
 		}
 		// Lost the race: the result is (about to be) in the channel.
 		committed := <-f.ch
+		err := f.err
 		f.park()
-		return committed, nil
+		return committed, err
 	}
 }
 
@@ -889,6 +1073,32 @@ func (c *Cluster) QueryAll(ctx context.Context, text string) (int64, [][]any, er
 	return int64(len(out)), out, nil
 }
 
+// computeACs picks the pool that hosts a query's joins and final sink:
+// the ACs of the highest-numbered live server. Normally that is the
+// newest server — analytics get fresh compute, disaggregated from the
+// OLTP owners (§5 elasticity) — but a cluster member the head has
+// declared dead is skipped, falling back toward the head, so analytics
+// keep flowing after a failover instead of planning onto a corpse.
+func (c *Cluster) computeACs() []core.ACID {
+	for s := c.topo.NumServers() - 1; s > 0; s-- {
+		if !c.serverDown(s) {
+			return c.topo.ACs(s)
+		}
+	}
+	return c.topo.ACs(0)
+}
+
+// serverDown reports whether server s is a cluster member declared
+// dead. Local servers and live members report false.
+func (c *Cluster) serverDown(s int) bool {
+	for _, m := range c.peers {
+		if m.server == s {
+			return m.down.Load()
+		}
+	}
+	return false
+}
+
 // runQuery is the analytical entry point shared by Query, QueryRow and
 // the OpenOrders wrappers: parse, compile onto the shared-scan operator
 // plane, register with the in-flight accounting, inject, await.
@@ -912,8 +1122,7 @@ func (c *Cluster) runQueryAt(ctx context.Context, text string, o QueryOptions, s
 	for i := range parts {
 		parts[i] = i
 	}
-	compute := c.topo.ACs(c.topo.NumServers() - 1)
-	p, err := plan.CompileSQL(c.db.Catalog, q, qid, parts, compute, core.ClientAC)
+	p, err := plan.CompileSQL(c.db.Catalog, q, qid, parts, c.computeACs(), core.ClientAC)
 	if err != nil {
 		return nil, err
 	}
@@ -967,6 +1176,11 @@ func (c *Cluster) awaitQuery(ctx context.Context, qid core.QueryID, ch chan *ola
 		if !ok {
 			return nil, ErrClosed
 		}
+		if res == nil {
+			// failQueries delivered a nil result: a member whose scans
+			// this query depended on died mid-flight.
+			return nil, ErrMemberDown
+		}
 		return res, nil
 	case <-ctx.Done():
 		// Abandon the wait: drop the channel so the eventual result is
@@ -981,6 +1195,42 @@ func (c *Cluster) awaitQuery(ctx context.Context, qid core.QueryID, ch chan *ola
 	}
 }
 
+// failQueries resolves every in-flight analytical query with
+// ErrMemberDown (delivered as a nil result — see awaitQuery). Every
+// query scans all partitions, so a member death strands every
+// outstanding query's collector: failing them all is not conservative,
+// it is exact. Late stragglers (results computed before the death
+// raced here) find no registration and are discarded by onDone.
+func (c *Cluster) failQueries() {
+	c.qMu.Lock()
+	for qid, qw := range c.qWait {
+		delete(c.qWait, qid)
+		if qw.ch != nil {
+			qw.ch <- nil
+		}
+		c.exitShard(qw.shard, queryMask)
+	}
+	c.qMu.Unlock()
+}
+
+// failQuery resolves one analytical query with ErrMemberDown — invoked
+// when a piece of its plan (a scan install, a stream batch) diverts to
+// a dead peer, so the query can never complete. Idempotent: later
+// diverted pieces of the same query find no registration.
+func (c *Cluster) failQuery(qid core.QueryID) {
+	c.qMu.Lock()
+	qw := c.qWait[qid]
+	delete(c.qWait, qid)
+	c.qMu.Unlock()
+	if qw == nil {
+		return
+	}
+	if qw.ch != nil {
+		qw.ch <- nil
+	}
+	c.exitShard(qw.shard, queryMask)
+}
+
 // onDone resolves waiting callers. It runs on AC goroutines and must
 // never block. The transaction path is lock-free: the DoneInfo carries
 // the submitter's *Future back as its client token, so resolution is a
@@ -989,6 +1239,7 @@ func (c *Cluster) onDone(ev *core.Event) {
 	switch p := ev.Payload.(type) {
 	case *oltp.DoneInfo:
 		committed := p.Committed
+		failure := p.Err
 		f, _ := p.Client.(*Future)
 		oltp.FreeDoneInfo(p)
 		if f == nil {
@@ -1000,6 +1251,7 @@ func (c *Cluster) onDone(ev *core.Event) {
 		// Read the shard and mask before resolving: resolve may recycle
 		// the future into the pool, where another session can claim it.
 		si, mask := f.shard, f.mask
+		f.err = failure
 		f.resolve(committed)
 		c.exitShard(si, mask)
 	case *olap.QueryResult:
@@ -1465,6 +1717,14 @@ func (c *Cluster) Close() {
 		c.ln.Close()
 		c.serveWG.Wait()
 	}
+	// The dispatcher goroutines are gone, so no appends are in flight:
+	// closing the log devices is race-free. The final drain flushed
+	// every admitted batch, so nothing durable is lost here.
+	c.walMu.Lock()
+	for _, wf := range c.walFiles {
+		wf.dev.Close()
+	}
+	c.walMu.Unlock()
 	// The drain above resolved every transaction and delivered every
 	// query result, so the wait table is empty unless something slipped
 	// past accounting; closing leftovers (race-free now — all AC

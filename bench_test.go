@@ -431,6 +431,59 @@ func BenchmarkPaymentPipelined(b *testing.B) {
 	wg.Wait()
 }
 
+// BenchmarkPaymentDurable is the pipelined payment path with the
+// group-commit WAL on (Durability Batch): per-dispatcher logs, one
+// fsync per drain cycle. Compare against BenchmarkPaymentPipelined for
+// the durability tax; allocs/op stays bounded (the log's record and
+// batch buffers amortize), it is not required to hit zero.
+func BenchmarkPaymentDurable(b *testing.B) {
+	c, err := anydb.Open(anydb.Config{
+		Warehouses: 4, Districts: 4, CustomersPerDistrict: 100,
+		InitialOrdersPerDist: 10, Items: 100,
+		Durability: anydb.DurabilityBatch, WALDir: b.TempDir(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(c.Close)
+	const window = 64
+	ctx := context.Background()
+	b.ResetTimer()
+	b.ReportAllocs()
+	var wg sync.WaitGroup
+	for g := 0; g < submitWorkers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			s := c.Session()
+			defer s.Close()
+			futs := make([]*anydb.Future, 0, window)
+			flush := func() {
+				for _, f := range futs {
+					if _, err := f.Wait(ctx); err != nil {
+						b.Error(err)
+					}
+				}
+				futs = futs[:0]
+			}
+			for i := g; i < b.N; i += submitWorkers {
+				f, err := s.SubmitPayment(ctx, anydb.Payment{
+					Warehouse: i % 4, District: 1 + i%4, Customer: 1 + i%100, Amount: 1,
+				})
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				if futs = append(futs, f); len(futs) == window {
+					flush()
+				}
+			}
+			flush()
+		}(g)
+	}
+	wg.Wait()
+}
+
 // BenchmarkSessionAffinity isolates what Session pinning buys on the
 // submission path: the same pipelined payment load driven through
 // per-goroutine Sessions (pinned shard, cached epoch, private future

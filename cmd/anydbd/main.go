@@ -1,7 +1,11 @@
 // Command anydbd runs one member process of a multi-process anydb
 // cluster: it joins the head (a process that called anydb.Open with
 // Config.Listen/RemoteServers), hosts one server's ACs, and serves the
-// cluster's event and data streams over TCP until the head dismisses it.
+// cluster's event and data streams over TCP until the head dismisses
+// it. A dropped connection is survived: the member redials the head
+// with backoff and resumes if the splice lands inside the head's
+// grace window; only a dismissal (or an exhausted rejoin window) ends
+// the process.
 //
 // Usage:
 //

@@ -45,7 +45,7 @@ func main() {
 			continue
 		}
 		undo.Commit()
-		if _, err := logger.Append(txn); err != nil {
+		if _, err := logger.Append(&txn); err != nil {
 			log.Fatal(err)
 		}
 		committed++

@@ -1,0 +1,13 @@
+package anydb
+
+// Test-only exports: hooks the black-box test package (anydb_test)
+// needs to inject faults that have no public-API surface.
+
+// AbortMemberConns severs every member connection without marking the
+// peers dead — a network drop, not a process death. The serve loops
+// notice, fail in-flight work, and wait for the members to redial.
+func (c *Cluster) AbortMemberConns() {
+	for _, m := range c.peers {
+		m.peer.Abort()
+	}
+}

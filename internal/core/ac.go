@@ -85,6 +85,14 @@ type AC struct {
 	streams   map[StreamID]*StreamState
 	parked    map[StreamID][]*Event
 
+	// OnBatchEnd, when set, runs after the AC's goroutine handled one
+	// drained mailbox batch (goroutine runtime only). This is the group
+	// boundary durability hangs off: a dispatcher parks admitted
+	// transactions during the batch and the hook fsyncs once and
+	// releases them all. Sends issued by the hook are flushed by the
+	// runtime exactly like a handler's.
+	OnBatchEnd func(ctx Context)
+
 	// Stats.
 	EventsHandled int64
 	DataHandled   int64

@@ -130,6 +130,12 @@ func (e *Engine) spawn(id ACID, setup func(ac *AC)) bool {
 				// handler on this AC runs.
 				ctx.flush()
 			}
+			// Batch boundary: the natural group-commit point. The hook
+			// sees every message of the drained batch already handled.
+			if hook := ac.OnBatchEnd; hook != nil {
+				hook(ctx)
+				ctx.flush()
+			}
 		}
 	}()
 	return true

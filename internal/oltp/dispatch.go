@@ -60,6 +60,15 @@ type Routes struct {
 	Coord core.ACID
 }
 
+// CommandLog is the durable command log a dispatcher writes ahead of
+// dispatch (wal.Logger implements it; the interface lives here to avoid
+// an import cycle — wal imports oltp for replay). Append buffers one
+// record; Flush makes the open group durable with one device sync.
+type CommandLog interface {
+	Append(txn *tpcc.Txn) (uint64, error)
+	Flush() error
+}
+
 // Dispatcher is the behavior of an AC acting as the transaction entry
 // point (the "QO" role for OLTP in Figure 4): it logically disaggregates
 // the transaction into operations, groups them into segments per the
@@ -78,7 +87,24 @@ type Dispatcher struct {
 	// shift) while AC goroutines dispatch concurrently.
 	cfg atomic.Pointer[DispatchConfig]
 
+	// Log, when set, makes admission write-ahead: a transaction's
+	// command record must be durable before any of its segments
+	// dispatch, so effects never precede the log and recovery replays
+	// exactly the prefix whose effects may exist. Strict flushes per
+	// transaction; otherwise admitted transactions park in logq until
+	// the batch-end FlushBatch group-commits them (one fsync per AC
+	// drain cycle).
+	Log    CommandLog
+	Strict bool
+	logq   []queuedTxn
+	// logErr latches the first log failure: the durability plane is
+	// fail-stop, so every later admission fails fast with it.
+	logErr error
+
 	pending map[core.TxnID]int
+	// failed poisons transactions that received a synthetic failure ack
+	// (a segment lost to a dead member).
+	failed map[core.TxnID]error
 	// Naive-mode admission: one transaction in flight per home
 	// warehouse; the rest queue here.
 	busy   map[int]bool
@@ -125,6 +151,7 @@ func NewDispatcher(policy Policy, db *storage.Database, routes Routes) *Dispatch
 	d := &Dispatcher{
 		DB:      db,
 		pending: make(map[core.TxnID]int),
+		failed:  make(map[core.TxnID]error),
 		busy:    make(map[int]bool),
 		queued:  make(map[int][]queuedTxn),
 		homeOf:  make(map[core.TxnID]int),
@@ -171,20 +198,45 @@ func (d *Dispatcher) admit(ctx core.Context, cfg *DispatchConfig, id core.TxnID,
 	ctx.Charge(ctx.Costs().TxnBegin)
 	// Reconnaissance (Calvin-style): validate new-order items against
 	// the replicated catalog before dispatching anything, so routed
-	// segments never need distributed undo.
+	// segments never need distributed undo — and, under durability,
+	// before logging anything, so replay never re-executes an abort.
 	if txn.Kind == tpcc.TxnNewOrder {
 		ctx.Charge(ctx.Costs().IndexLookup * sim.Time(len(txn.NewOrder.Lines)))
 		if !Valid(txn) {
-			ctx.Charge(ctx.Costs().TxnCommit) // abort bookkeeping
-			d.Aborted.Inc()
-			d.win.observeAbort()
-			d.win.maybeFlush(ctx, cfg.Policy)
-			home := txn.HomeWarehouse()
-			tpcc.FreeTxn(txn)
-			sendTxnDone(ctx, d.Pools, id, false, home, client)
+			d.failTxn(ctx, cfg, id, txn, client, nil)
 			return
 		}
 	}
+	if d.Log == nil {
+		d.admitChecked(ctx, cfg, id, txn, client)
+		return
+	}
+	// Write-ahead: the command record precedes any dispatch.
+	if d.logErr != nil {
+		d.failTxn(ctx, cfg, id, txn, client, d.logErr)
+		return
+	}
+	if _, err := d.Log.Append(txn); err != nil {
+		d.logErr = err
+		d.failTxn(ctx, cfg, id, txn, client, err)
+		return
+	}
+	if d.Strict {
+		if err := d.Log.Flush(); err != nil {
+			d.logErr = err
+			d.failTxn(ctx, cfg, id, txn, client, err)
+			return
+		}
+		d.admitChecked(ctx, cfg, id, txn, client)
+		return
+	}
+	// Group commit: park until the batch-end fsync releases the group.
+	d.logq = append(d.logq, queuedTxn{id: id, txn: txn, client: client})
+}
+
+// admitChecked is admission past reconnaissance and durability:
+// telemetry, naive-mode serialization, dispatch.
+func (d *Dispatcher) admitChecked(ctx core.Context, cfg *DispatchConfig, id core.TxnID, txn *tpcc.Txn, client any) {
 	if d.win.tel.Enabled {
 		d.win.observeAdmit(txn.HomeWarehouse(), crossPartition(txn))
 		d.win.maybeFlush(ctx, cfg.Policy)
@@ -201,6 +253,47 @@ func (d *Dispatcher) admit(ctx core.Context, cfg *DispatchConfig, id core.TxnID,
 		d.homeOf[id] = home
 	}
 	d.dispatch(ctx, cfg, id, txn, client)
+}
+
+// failTxn completes a transaction as aborted before it dispatched:
+// reconnaissance rejection (err nil) or a durability failure (err set,
+// surfaced on the DoneInfo so the submitter's Wait sees a typed error).
+func (d *Dispatcher) failTxn(ctx core.Context, cfg *DispatchConfig, id core.TxnID, txn *tpcc.Txn, client any, err error) {
+	ctx.Charge(ctx.Costs().TxnCommit) // abort bookkeeping
+	d.Aborted.Inc()
+	d.win.observeAbort()
+	d.win.maybeFlush(ctx, cfg.Policy)
+	home := txn.HomeWarehouse()
+	tpcc.FreeTxn(txn)
+	sendTxnDone(ctx, d.Pools, id, false, home, client, err)
+}
+
+// FlushBatch is the AC's batch-end hook (core.AC.OnBatchEnd) under
+// group-commit durability: one fsync makes every transaction admitted
+// during the drain batch durable, then their segments dispatch. If the
+// flush fails, the whole group fails — no segment of an unlogged
+// transaction ever executes.
+func (d *Dispatcher) FlushBatch(ctx core.Context) {
+	if len(d.logq) == 0 {
+		return
+	}
+	err := d.Log.Flush()
+	q := d.logq
+	cfg := d.cfg.Load()
+	if err != nil {
+		d.logErr = err
+		for i := range q {
+			d.failTxn(ctx, cfg, q[i].id, q[i].txn, q[i].client, err)
+			q[i] = queuedTxn{}
+		}
+		d.logq = q[:0]
+		return
+	}
+	for i := range q {
+		d.admitChecked(ctx, cfg, q[i].id, q[i].txn, q[i].client)
+		q[i] = queuedTxn{}
+	}
+	d.logq = q[:0]
 }
 
 // dispatch groups the transaction's operations by destination AC and
@@ -287,9 +380,9 @@ func (d *Dispatcher) segmentEvent(id core.TxnID, ops []Op, coord core.ACID, tota
 // but the envelope comes from the AC's free lists: the real runtime
 // frees client-bound envelopes synchronously on the sending AC's
 // goroutine, so the event returns to the same lists.
-func sendTxnDone(ctx core.Context, pools *Pools, id core.TxnID, committed bool, home int, client any) {
+func sendTxnDone(ctx core.Context, pools *Pools, id core.TxnID, committed bool, home int, client any, err error) {
 	done := GetDoneInfo()
-	done.Committed, done.Home, done.Client = committed, home, client
+	done.Committed, done.Home, done.Client, done.Err = committed, home, client, err
 	ev := pools.GetEvent()
 	ev.Kind, ev.Txn, ev.Payload = core.EvTxnDone, id, done
 	ctx.Send(core.ClientAC, ev)
@@ -309,14 +402,24 @@ func route(cfg *DispatchConfig, op Op) core.ACID {
 }
 
 func (d *Dispatcher) onAck(ctx core.Context, cfg *DispatchConfig, ev *core.Event) {
-	id, ackHome, client, done := takeAck(ctx, d.Pools, d.pending, ev)
+	id, ackHome, client, err, done := takeAck(ctx, d.Pools, d.pending, d.failed, ev)
 	if !done {
 		return
 	}
 	ctx.Charge(ctx.Costs().TxnCommit)
-	d.Committed.Inc()
-	d.win.observeCommit(false)
-	sendTxnDone(ctx, d.Pools, id, true, ackHome, client)
+	if err != nil {
+		// Some segments were lost to a dead member: the transaction's
+		// effects are partial on the surviving copy, and the submitter
+		// sees a typed failure instead of a hang.
+		d.Aborted.Inc()
+		d.win.observeAbort()
+		d.win.maybeFlush(ctx, cfg.Policy)
+		sendTxnDone(ctx, d.Pools, id, false, ackHome, client, err)
+	} else {
+		d.Committed.Inc()
+		d.win.observeCommit(false)
+		sendTxnDone(ctx, d.Pools, id, true, ackHome, client, nil)
+	}
 	// Naive admission: release the home warehouse and start the next
 	// queued transaction.
 	if cfg.Policy == NaiveIntra {

@@ -150,6 +150,7 @@ func (p *Pools) freeAck(a *Ack) {
 	a.Total = 0
 	a.Home = 0
 	a.Client = nil
+	a.Err = nil
 	if p != nil && len(p.acks) < poolsCap {
 		p.acks = append(p.acks, a)
 		return
@@ -184,5 +185,6 @@ func FreeDoneInfo(d *DoneInfo) {
 	d.Committed = false
 	d.Home = 0
 	d.Client = nil
+	d.Err = nil
 	donePool.Put(d)
 }

@@ -33,6 +33,12 @@ type Ack struct {
 	Total  int
 	Home   int // home warehouse (admission bookkeeping)
 	Client any // completion token, carried from the segment
+	// Err marks a synthetic failure ack: the head injects one for each
+	// segment lost to a dead member, so the coordinator's pending count
+	// still converges and the transaction completes exactly once — as a
+	// typed failure. Real executor acks never set it, and it never
+	// crosses the wire.
+	Err error
 }
 
 // DoneInfo is the payload of core.EvTxnDone toward the client.
@@ -42,6 +48,11 @@ type DoneInfo struct {
 	// Client is the token the submitter attached at injection (nil for
 	// harness-driven transactions, which match completions themselves).
 	Client any
+	// Err is the failure the submitter's Wait surfaces when Committed
+	// is false for an infrastructure reason (dead member, failed log
+	// flush) rather than a logical abort. Local-only: dispatchers that
+	// produce errors live on the head, so it never crosses the wire.
+	Err error
 }
 
 // Executor is the worker-side behavior: it runs segments against the
@@ -111,6 +122,7 @@ type Coordinator struct {
 	// Pools is the hosting AC's free-list set; nil uses the globals.
 	Pools   *Pools
 	pending map[core.TxnID]int
+	failed  map[core.TxnID]error
 	// win accumulates the telemetry window (commit-side signals).
 	win sigWindow
 	// Committed counts completed transactions; atomic because harness
@@ -120,7 +132,10 @@ type Coordinator struct {
 
 // NewCoordinator returns an empty coordinator.
 func NewCoordinator() *Coordinator {
-	return &Coordinator{pending: make(map[core.TxnID]int)}
+	return &Coordinator{
+		pending: make(map[core.TxnID]int),
+		failed:  make(map[core.TxnID]error),
+	}
 }
 
 // SetTelemetry enables commit-rate reporting toward the adaptation
@@ -132,34 +147,49 @@ func (c *Coordinator) SetTelemetry(t Telemetry) { c.win.SetTelemetry(t) }
 // Dispatcher.onAck). It copies the fields out, recycles the ack and its
 // envelope (the pooled-ownership rule lives here, in one place), counts
 // the ack against pending, and reports whether the transaction is now
-// fully acked.
-func takeAck(ctx core.Context, pools *Pools, pending map[core.TxnID]int, ev *core.Event) (id core.TxnID, home int, client any, done bool) {
+// fully acked. A failure ack (synthetic, from the dead-member path)
+// poisons the transaction: when the count converges, err carries the
+// first failure and the caller completes the transaction as failed.
+func takeAck(ctx core.Context, pools *Pools, pending map[core.TxnID]int, failed map[core.TxnID]error, ev *core.Event) (id core.TxnID, home int, client any, err error, done bool) {
 	ack := ev.Payload.(*Ack)
 	ctx.Charge(ctx.Costs().AckProcess)
 	var total int
 	id, home, total, client = ev.Txn, ack.Home, ack.Total, ack.Client
+	if ack.Err != nil {
+		if _, dup := failed[id]; !dup {
+			failed[id] = ack.Err
+		}
+	}
 	pools.freeAck(ack)
 	pools.FreeEvent(ev)
 	got := pending[id] + 1
 	if got < total {
 		pending[id] = got
-		return id, home, client, false
+		return id, home, client, nil, false
 	}
 	delete(pending, id)
-	return id, home, client, true
+	if e, ok := failed[id]; ok {
+		delete(failed, id)
+		err = e
+	}
+	return id, home, client, err, true
 }
 
 // OnEvent implements core.Behavior for EvAck.
 func (c *Coordinator) OnEvent(ctx core.Context, _ *core.AC, ev *core.Event) {
-	id, ackHome, client, done := takeAck(ctx, c.Pools, c.pending, ev)
+	id, ackHome, client, err, done := takeAck(ctx, c.Pools, c.pending, c.failed, ev)
 	if !done {
 		return
 	}
 	ctx.Charge(ctx.Costs().TxnCommit)
+	if err != nil {
+		sendTxnDone(ctx, c.Pools, id, false, ackHome, client, err)
+		return
+	}
 	c.Committed.Inc()
 	// A dedicated coordinator only runs under streaming CC; its windows
 	// advance on commits (it never sees admissions).
 	c.win.observeCommit(true)
 	c.win.maybeFlush(ctx, StreamingCC)
-	sendTxnDone(ctx, c.Pools, id, true, ackHome, client)
+	sendTxnDone(ctx, c.Pools, id, true, ackHome, client, nil)
 }

@@ -59,26 +59,55 @@ const (
 // until it returns to the issuer, which resolves and retires it.
 type Token uint64
 
+// AckInfo is the commit-coordination identity of the segment a token
+// rode out on: enough to synthesize the ack the dead member will never
+// send, so the coordinator's pending count still converges and the
+// waiting future resolves with a typed error instead of hanging.
+type AckInfo struct {
+	Coord core.ACID
+	ID    core.TxnID
+	Total int
+	Home  int
+}
+
+// tokEntry is one outstanding token: the client value, the server the
+// frame went to, and (for segment-carried tokens) the ack identity.
+type tokEntry struct {
+	v      any
+	owner  int
+	ack    AckInfo
+	hasAck bool
+}
+
+// FailedToken is one entry reclaimed by FailOwner.
+type FailedToken struct {
+	Value  any
+	Ack    AckInfo
+	HasAck bool
+}
+
 // TokenTable is the issuer-side token registry. One per node; only the
 // node that owns client tokens (the head, where submissions originate)
 // resolves entries — everyone else passes Tokens through.
 type TokenTable struct {
 	mu   sync.Mutex
 	next uint64
-	m    map[uint64]any
+	m    map[uint64]tokEntry
 }
 
 // NewTokenTable returns an empty table.
 func NewTokenTable() *TokenTable {
-	return &TokenTable{m: make(map[uint64]any)}
+	return &TokenTable{m: make(map[uint64]tokEntry)}
 }
 
-// Put registers v and returns its wire key.
-func (t *TokenTable) Put(v any) uint64 {
+// Put registers v, attributed to the destination server, and returns
+// its wire key. hasAck marks tokens riding a segment, whose loss is
+// repaired by a synthetic ack.
+func (t *TokenTable) Put(v any, owner int, ack AckInfo, hasAck bool) uint64 {
 	t.mu.Lock()
 	t.next++
 	k := t.next
-	t.m[k] = v
+	t.m[k] = tokEntry{v: v, owner: owner, ack: ack, hasAck: hasAck}
 	t.mu.Unlock()
 	return k
 }
@@ -87,12 +116,30 @@ func (t *TokenTable) Put(v any) uint64 {
 // else, or already retired) report false.
 func (t *TokenTable) Take(k uint64) (any, bool) {
 	t.mu.Lock()
-	v, ok := t.m[k]
+	e, ok := t.m[k]
 	if ok {
 		delete(t.m, k)
 	}
 	t.mu.Unlock()
-	return v, ok
+	return e.v, ok
+}
+
+// FailOwner retires every token attributed to a dead server and returns
+// them. Callers must have stopped token issuance toward that server
+// first (Peer.MarkDead serializes with encodes), so the snapshot is
+// complete: a returned key can never race a late Take — the bytes that
+// would carry it back only existed on the dead member.
+func (t *TokenTable) FailOwner(owner int) []FailedToken {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []FailedToken
+	for k, e := range t.m {
+		if e.owner == owner {
+			out = append(out, FailedToken{Value: e.v, Ack: e.ack, HasAck: e.hasAck})
+			delete(t.m, k)
+		}
+	}
+	return out
 }
 
 // Len returns the number of outstanding tokens (leak check).
@@ -105,9 +152,18 @@ func (t *TokenTable) Len() int {
 // encoder is one connection's encode state: a reusable append buffer
 // and the node's token table (nil on nodes that never issue tokens).
 // Encoding is single-writer per connection (the peer's write mutex).
+// owner is the server index of the connection's far end; curTxn and
+// curAck thread the coordination identity of the event/segment being
+// encoded down to the token issued for its client, so a dead-owner
+// sweep can synthesize the lost ack.
 type encoder struct {
-	w   wbuf
-	tok *TokenTable
+	w     wbuf
+	tok   *TokenTable
+	owner int
+
+	curTxn   core.TxnID
+	curAck   AckInfo
+	ackValid bool
 }
 
 // decoder is one connection's decode state: the schema cache (batches
@@ -140,6 +196,7 @@ func (e *encoder) encodeMsg(m any) error {
 }
 
 func (e *encoder) encodeEvent(ev *core.Event) error {
+	e.curTxn, e.ackValid = ev.Txn, false
 	e.w.u8(uint8(ev.Kind))
 	e.w.u64(uint64(ev.Txn))
 	e.w.u64(uint64(ev.Query))
@@ -168,7 +225,7 @@ func (e *encoder) encodeClient(c any) error {
 			return fmt.Errorf("transport: cannot issue token for client %T on a non-issuing node", c)
 		}
 		e.w.u8(cToken)
-		e.w.u64(e.tok.Put(v))
+		e.w.u64(e.tok.Put(v, e.owner, e.curAck, e.ackValid))
 	}
 	return nil
 }
@@ -204,6 +261,12 @@ func (e *encoder) encodePayload(p any) error {
 		e.w.varint(v.Home)
 		return e.encodeClient(v.Client)
 	case *oltp.DoneInfo:
+		if v.Err != nil {
+			// Failure DoneInfos are head-local by construction (the
+			// dispatchers that produce them live there); an attempt to
+			// ship one is a routing bug, not a field to silently drop.
+			return fmt.Errorf("transport: DoneInfo with error %q cannot cross the wire", v.Err)
+		}
 		e.w.u8(pDoneInfo)
 		e.w.bool(v.Committed)
 		e.w.varint(v.Home)
@@ -297,7 +360,15 @@ func (e *encoder) encodePayload(p any) error {
 func (e *encoder) encodeSegment(s *oltp.Segment) error {
 	e.w.i32(int32(s.Coord))
 	e.w.varint(s.Total)
-	if err := e.encodeClient(s.Client); err != nil {
+	home := 0
+	if len(s.Ops) > 0 {
+		home = s.Ops[0].Warehouse()
+	}
+	e.curAck = AckInfo{Coord: s.Coord, ID: e.curTxn, Total: s.Total, Home: home}
+	e.ackValid = true
+	err := e.encodeClient(s.Client)
+	e.ackValid = false
+	if err != nil {
 		return err
 	}
 	e.w.varint(len(s.Ops))
@@ -865,6 +936,12 @@ func (d *decoder) decodeBatch(r *rbuf) *storage.Batch {
 	}
 	return b
 }
+
+// FreeLocal releases a message that will never be written — the peer
+// died and WriteMessages diverted it to Peer.OnDead. Ownership passed
+// to the callback; once it has extracted what it needs it must balance
+// the pools exactly as an outbox flush would.
+func FreeLocal(m any) { freeLocal(m) }
 
 // freeLocal releases the encode-side copy of a message once its frame
 // is written: the wire replica is now the live one, and freeing here is

@@ -17,9 +17,14 @@ import (
 // format.
 const ProtoVersion = 1
 
-// Hello is the member's first frame after dialing.
+// Hello is the member's first frame after dialing. A reconnecting
+// member sets Rejoin with its previously assigned server slot; the head
+// splices the fresh connection into the existing peer instead of
+// running a full join.
 type Hello struct {
-	Proto int
+	Proto  int
+	Rejoin bool
+	Server int
 }
 
 // Welcome assigns the member its server slot and everything needed to
@@ -32,6 +37,9 @@ type Welcome struct {
 	Cores   int // ACs per server
 	TC      tpcc.Config
 	Owners  []int // warehouse -> owner ACID at join time
+	// HeartbeatNs is the Ping cadence both sides keep (0 disables);
+	// silence beyond a few intervals trips the peer's read watchdog.
+	HeartbeatNs int64
 }
 
 // Ready signals the member has built its state and spawned its ACs.
@@ -85,6 +93,14 @@ type OwnerUpdate struct {
 // Bye tells a member to shut down; its serve loop returns cleanly.
 type Bye struct{}
 
+// Ping is the liveness heartbeat. No reply: each side sends its own,
+// and arrival alone feeds the receiver's read watchdog.
+type Ping struct{}
+
+// RejoinOK confirms a rejoin handshake: the head spliced the connection
+// and resumed the member's drainers onto it.
+type RejoinOK struct{}
+
 // ctrlBox wraps the concrete control message so one gob round trip
 // carries any of them.
 type ctrlBox struct {
@@ -101,6 +117,8 @@ func init() {
 	gob.Register(&PartAck{})
 	gob.Register(&OwnerUpdate{})
 	gob.Register(&Bye{})
+	gob.Register(&Ping{})
+	gob.Register(&RejoinOK{})
 }
 
 // encodeControl gobs v into a standalone blob (self-describing: each

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"anydb/internal/core"
 	"anydb/internal/olap"
@@ -34,16 +35,36 @@ const drainChunk = 256
 // cleanly (orderly shutdown rather than a failure).
 var ErrBye = errors.New("transport: bye")
 
+// ErrPeerDead reports a write toward a peer already marked dead.
+var ErrPeerDead = errors.New("transport: peer is dead")
+
 // Peer is one end of a node-to-node connection: a frame writer shared
 // by all of this node's drainers (serialized by wmu), and a single-
 // goroutine read loop (Serve). Encode and decode state are per-peer, so
 // steady-state flushes reuse one buffer and batch schemas resolve from
 // a warm cache.
 type Peer struct {
+	// cmu guards the connection pointer so a rejoin can swap in a fresh
+	// conn (SetConn) while drainers and the read loop capture it.
+	cmu  sync.Mutex
 	conn net.Conn
 
 	wmu sync.Mutex
 	enc encoder
+	// dead, guarded by wmu so it serializes with encodes, marks the far
+	// end as failed: no further bytes (and crucially no further client
+	// tokens) leave toward it. Outbound messages divert to OnDead.
+	dead bool
+
+	// OnDead, when set, consumes each message that would have been
+	// written to a dead peer (ownership transfers: the callback must
+	// free what it takes, typically after synthesizing failure acks).
+	// nil drops-and-frees. Install before MarkDead can run.
+	OnDead func(m any)
+
+	// readTimeout, when positive, bounds the silence readFrame tolerates
+	// — the heartbeat watchdog (peers Ping within this window).
+	readTimeout time.Duration
 
 	// Read-loop state (single goroutine, no locking).
 	dec  *decoder
@@ -64,7 +85,79 @@ func NewPeer(conn net.Conn, tok *TokenTable) *Peer {
 }
 
 // Close tears down the connection; a blocked Serve returns.
-func (p *Peer) Close() error { return p.conn.Close() }
+func (p *Peer) Close() error { return p.current().Close() }
+
+// current returns the live connection (rejoin may have swapped it).
+func (p *Peer) current() net.Conn {
+	p.cmu.Lock()
+	defer p.cmu.Unlock()
+	return p.conn
+}
+
+// SetOwner attributes future client tokens issued on this connection to
+// a server index, so a dead-owner sweep can find them. Call before any
+// message traffic.
+func (p *Peer) SetOwner(server int) {
+	p.wmu.Lock()
+	p.enc.owner = server
+	p.wmu.Unlock()
+}
+
+// SetReadTimeout arms the silence watchdog: if no frame (heartbeats
+// included) arrives within d, the read loop fails. Zero disables.
+func (p *Peer) SetReadTimeout(d time.Duration) { p.readTimeout = d }
+
+// MarkDead declares the far end failed: the connection closes, and no
+// further messages — or client tokens — leave toward it. Taking wmu
+// serializes the flip with in-flight encodes, so once MarkDead returns,
+// the token table's view of this owner is final (FailOwner may sweep).
+func (p *Peer) MarkDead() {
+	p.wmu.Lock()
+	if !p.dead {
+		p.dead = true
+		p.current().Close()
+	}
+	p.wmu.Unlock()
+}
+
+// Dead reports whether MarkDead ran.
+func (p *Peer) Dead() bool {
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+	return p.dead
+}
+
+// SetConn installs a fresh connection after a rejoin handshake and
+// clears the dead mark. The caller must have completed the handshake on
+// conn and guaranteed no Serve loop is still reading the old one.
+func (p *Peer) SetConn(conn net.Conn) {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	p.wmu.Lock()
+	p.cmu.Lock()
+	p.conn = conn
+	p.cmu.Unlock()
+	p.dead = false
+	p.wmu.Unlock()
+}
+
+// Abort severs the connection without marking the peer dead — the
+// fault-injection hook for reconnect tests (simulates a network drop
+// rather than a process death).
+func (p *Peer) Abort() { p.current().Close() }
+
+// drop consumes messages bound for a dead peer: the OnDead callback
+// takes ownership (synthesizing failure acks), or they are freed.
+func (p *Peer) drop(msgs []any) {
+	for _, m := range msgs {
+		if p.OnDead != nil {
+			p.OnDead(m)
+		} else {
+			freeLocal(m)
+		}
+	}
+}
 
 // frameStart resets the write buffer with a length placeholder. wmu
 // must be held through frameWrite.
@@ -77,7 +170,7 @@ func (p *Peer) frameStart(kind uint8) {
 func (p *Peer) frameWrite() error {
 	b := p.enc.w.b
 	binary.LittleEndian.PutUint32(b[:4], uint32(len(b)-4))
-	_, err := p.conn.Write(b)
+	_, err := p.current().Write(b)
 	return err
 }
 
@@ -93,6 +186,11 @@ func (p *Peer) WriteMessages(dst core.ACID, msgs []any) error {
 		return fmt.Errorf("transport: frame of %d messages exceeds the count field", len(msgs))
 	}
 	p.wmu.Lock()
+	if p.dead {
+		p.wmu.Unlock()
+		p.drop(msgs)
+		return ErrPeerDead
+	}
 	p.frameStart(fkMessages)
 	p.enc.w.i32(int32(dst))
 	p.enc.w.u16(uint16(len(msgs)))
@@ -124,6 +222,23 @@ func (p *Peer) WriteMessages(dst core.ACID, msgs []any) error {
 // wire replica supersedes them.
 func (p *Peer) ForwardClient(ev *core.Event) error {
 	p.wmu.Lock()
+	if p.dead {
+		p.wmu.Unlock()
+		// The far-end client is gone with its process; release the
+		// payload (the envelope stays with the engine, per contract).
+		switch pd := ev.Payload.(type) {
+		case *oltp.DoneInfo:
+			oltp.FreeDoneInfo(pd)
+		case *oltp.Ack:
+			oltp.FreeAck(pd)
+		case *olap.QueryResult:
+			for _, b := range pd.Batches {
+				storage.FreeBatch(b)
+			}
+		}
+		ev.Payload = nil
+		return ErrPeerDead
+	}
 	p.frameStart(fkMessages)
 	p.enc.w.i32(int32(core.ClientAC))
 	p.enc.w.u16(1)
@@ -160,15 +275,24 @@ func (p *Peer) WriteControl(v any) error {
 	}
 	p.wmu.Lock()
 	defer p.wmu.Unlock()
+	if p.dead {
+		return ErrPeerDead
+	}
 	p.frameStart(fkControl)
 	p.enc.w.b = append(p.enc.w.b, body...)
 	return p.frameWrite()
 }
 
-// readFrame blocks for the next frame, reusing the body buffer.
+// readFrame blocks for the next frame, reusing the body buffer. With a
+// read timeout armed, the whole frame must arrive within the window —
+// heartbeat Pings keep a healthy but idle link inside it.
 func (p *Peer) readFrame() (uint8, []byte, error) {
+	conn := p.current()
+	if p.readTimeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(p.readTimeout))
+	}
 	var hdr [4]byte
-	if _, err := io.ReadFull(p.conn, hdr[:]); err != nil {
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
 		return 0, nil, err
 	}
 	n := binary.LittleEndian.Uint32(hdr[:])
@@ -179,7 +303,7 @@ func (p *Peer) readFrame() (uint8, []byte, error) {
 		p.body = make([]byte, n)
 	}
 	body := p.body[:n]
-	if _, err := io.ReadFull(p.conn, body); err != nil {
+	if _, err := io.ReadFull(conn, body); err != nil {
 		return 0, nil, err
 	}
 	return body[0], body[1:], nil

@@ -1,0 +1,157 @@
+package wal
+
+import (
+	"errors"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Truncater is the optional Device extension recovery uses to cut a
+// torn tail off before the log is reopened for appending: without it a
+// partial record would sit in front of every future append.
+type Truncater interface {
+	Truncate(size int64) error
+}
+
+// ErrInjected is the failure FaultDevice injects; tests match it with
+// errors.Is to distinguish injected faults from real device errors.
+var ErrInjected = errors.New("wal: injected device fault")
+
+// FileDevice is a real file-backed Device. Writes land in the OS page
+// cache; Sync is fsync. Unlike MemDevice, Reader exposes everything
+// written — after an OS-level crash the file's contents are exactly the
+// durable prefix plus possibly a torn tail, which replay already stops
+// at cleanly.
+type FileDevice struct {
+	f *os.File
+}
+
+// OpenFile opens (creating if absent) a log file for appending and
+// recovery reads.
+func OpenFile(path string) (*FileDevice, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &FileDevice{f: f}, nil
+}
+
+// Write appends to the file.
+func (d *FileDevice) Write(p []byte) (int, error) { return d.f.Write(p) }
+
+// Sync fsyncs the file.
+func (d *FileDevice) Sync() error { return d.f.Sync() }
+
+// Reader returns a reader over the file's current contents. It reads
+// via ReadAt, so it never disturbs the append position.
+func (d *FileDevice) Reader() (io.Reader, error) {
+	fi, err := d.f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	return io.NewSectionReader(d.f, 0, fi.Size()), nil
+}
+
+// Truncate cuts the file to size bytes (recovery trimming a torn
+// tail). Appends continue from the new end.
+func (d *FileDevice) Truncate(size int64) error { return d.f.Truncate(size) }
+
+// Size reports the current file length.
+func (d *FileDevice) Size() (int64, error) {
+	fi, err := d.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+// Close closes the underlying file.
+func (d *FileDevice) Close() error { return d.f.Close() }
+
+// FaultDevice wraps a Device with crash-shaped failure injection for
+// the recovery harness: short writes, failed fsyncs, and write/sync
+// latency. Torn tails are simulated on the wrapped MemDevice directly
+// (Corrupt) — a tear is a property of what survived, not of the write
+// path.
+type FaultDevice struct {
+	Inner Device
+
+	mu         sync.Mutex
+	failSyncs  int
+	shortAfter int // -1 = off; else bytes accepted before a short write
+	latency    time.Duration
+}
+
+// NewFaultDevice wraps inner with no faults armed.
+func NewFaultDevice(inner Device) *FaultDevice {
+	return &FaultDevice{Inner: inner, shortAfter: -1}
+}
+
+// FailSyncs makes the next n Sync calls fail with ErrInjected.
+func (d *FaultDevice) FailSyncs(n int) {
+	d.mu.Lock()
+	d.failSyncs = n
+	d.mu.Unlock()
+}
+
+// ShortWriteAfter accepts n more bytes, then fails the write that
+// crosses the boundary after persisting only its prefix — the classic
+// partial-append crash.
+func (d *FaultDevice) ShortWriteAfter(n int) {
+	d.mu.Lock()
+	d.shortAfter = n
+	d.mu.Unlock()
+}
+
+// SetLatency adds a fixed delay to every Write and Sync.
+func (d *FaultDevice) SetLatency(t time.Duration) {
+	d.mu.Lock()
+	d.latency = t
+	d.mu.Unlock()
+}
+
+// Write implements io.Writer with short-write injection.
+func (d *FaultDevice) Write(p []byte) (int, error) {
+	d.mu.Lock()
+	short := d.shortAfter
+	lat := d.latency
+	if short >= 0 {
+		if len(p) > short {
+			d.shortAfter = 0
+		} else {
+			d.shortAfter -= len(p)
+		}
+	}
+	d.mu.Unlock()
+	if lat > 0 {
+		time.Sleep(lat)
+	}
+	if short >= 0 && len(p) > short {
+		n, _ := d.Inner.Write(p[:short])
+		return n, ErrInjected
+	}
+	return d.Inner.Write(p)
+}
+
+// Sync implements Device with failed-fsync injection.
+func (d *FaultDevice) Sync() error {
+	d.mu.Lock()
+	fail := d.failSyncs > 0
+	if fail {
+		d.failSyncs--
+	}
+	lat := d.latency
+	d.mu.Unlock()
+	if lat > 0 {
+		time.Sleep(lat)
+	}
+	if fail {
+		return ErrInjected
+	}
+	return d.Inner.Sync()
+}
+
+// Reader reads the durable prefix of the wrapped device.
+func (d *FaultDevice) Reader() (io.Reader, error) { return d.Inner.Reader() }

@@ -1,0 +1,225 @@
+package wal
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"anydb/internal/tpcc"
+)
+
+// TestTruncatedMidRecordStopsCleanly is the torn-tail regression the
+// durability plane depends on: for every possible truncation depth into
+// the final record, replay must stop cleanly at the last complete
+// record, never error, and leave a Verify-clean database.
+func TestTruncatedMidRecordStopsCleanly(t *testing.T) {
+	cfg := walCfg()
+	for cut := 1; cut < 40; cut += 3 {
+		db, _ := tpcc.NewDatabase(cfg)
+		dev := &MemDevice{}
+		log := NewLogger(dev, 0)
+		committed := runAndLog(t, db, cfg, log, 60)
+		if err := log.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		dev.Corrupt(cut)
+		rec, applied, err := Recover(dev, cfg)
+		if err != nil {
+			t.Fatalf("cut=%d: torn-tail recovery errored: %v", cut, err)
+		}
+		if applied >= committed {
+			t.Fatalf("cut=%d: replayed %d of %d despite torn tail", cut, applied, committed)
+		}
+		if _, err := tpcc.Verify(rec, cfg); err != nil {
+			t.Fatalf("cut=%d: prefix recovery inconsistent: %v", cut, err)
+		}
+	}
+}
+
+// TestFailedSyncLatchesLogger pins fail-stop semantics: after a failed
+// fsync nothing else reaches the device, every subsequent append reports
+// the latched fault, and recovery sees exactly the pre-fault prefix.
+func TestFailedSyncLatchesLogger(t *testing.T) {
+	cfg := walCfg()
+	db, _ := tpcc.NewDatabase(cfg)
+	mem := &MemDevice{}
+	dev := NewFaultDevice(mem)
+	log := NewLogger(dev, 0)
+	runAndLog(t, db, cfg, log, 40)
+	if err := log.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	durable := log.DurableLSN()
+
+	dev.FailSyncs(1)
+	runAndLog(t, db, cfg, log, 20) // buffered: the fault hits at Flush
+	if err := log.Flush(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Flush after injected sync failure = %v, want ErrInjected", err)
+	}
+	if _, err := log.Append(&tpcc.Txn{Kind: tpcc.TxnPayment}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Append after latched fault = %v, want ErrInjected", err)
+	}
+	if log.Err() == nil {
+		t.Fatal("Err() did not latch")
+	}
+	if log.DurableLSN() != durable {
+		t.Fatal("DurableLSN advanced past a failed sync")
+	}
+	rec, applied, err := Recover(mem, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(applied) != durable {
+		t.Fatalf("replayed %d, want the pre-fault prefix %d", applied, durable)
+	}
+	if _, err := tpcc.Verify(rec, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShortWriteStopsCleanly crashes a group mid-write: the device
+// accepts a prefix of the flush and fails. The logger latches, and
+// recovery replays only complete records out of what was synced before.
+func TestShortWriteStopsCleanly(t *testing.T) {
+	cfg := walCfg()
+	db, _ := tpcc.NewDatabase(cfg)
+	mem := &MemDevice{}
+	dev := NewFaultDevice(mem)
+	log := NewLogger(dev, 0)
+	committed := runAndLog(t, db, cfg, log, 40)
+	if err := log.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	dev.ShortWriteAfter(13) // tear the next group mid-record
+	runAndLog(t, db, cfg, log, 20)
+	if err := log.Flush(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Flush across short write = %v, want ErrInjected", err)
+	}
+	// The torn bytes were never synced; even if they had been, replay
+	// stops at the checksum boundary.
+	mem.Sync()
+	rec, applied, err := Recover(mem, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != committed {
+		t.Fatalf("replayed %d, want the %d records of the clean prefix", applied, committed)
+	}
+	if _, err := tpcc.Verify(rec, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSyncLatency only pins that an injected delay is exercised on the
+// flush path (the latency knob exists for crash-timing tests).
+func TestSyncLatency(t *testing.T) {
+	mem := &MemDevice{}
+	dev := NewFaultDevice(mem)
+	dev.SetLatency(5 * time.Millisecond)
+	log := NewLogger(dev, 0)
+	if _, err := log.Append(&tpcc.Txn{Kind: tpcc.TxnPayment, Payment: tpcc.Payment{D: 1, C: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := log.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 5*time.Millisecond {
+		t.Fatal("latency injection did not delay the flush")
+	}
+}
+
+// TestLSNGapStopsCleanly: a discontinuous sequence is a corruption
+// boundary, not a replay error.
+func TestLSNGapStopsCleanly(t *testing.T) {
+	cfg := walCfg()
+	txn := &tpcc.Txn{Kind: tpcc.TxnPayment, Payment: tpcc.Payment{W: 0, D: 1, CW: 0, CD: 1, C: 1, Amount: 5}}
+	var raw []byte
+	raw = appendRecord(raw, 1, txn)
+	raw = appendRecord(raw, 2, txn)
+	raw = appendRecord(raw, 4, txn) // gap: 3 is missing
+	dev := &MemDevice{}
+	dev.Write(raw)
+	dev.Sync()
+
+	rec, applied, err := Recover(dev, cfg)
+	if err != nil {
+		t.Fatalf("LSN gap must stop cleanly, got %v", err)
+	}
+	if applied != 2 {
+		t.Fatalf("replayed %d, want the 2 records before the gap", applied)
+	}
+	if _, err := tpcc.Verify(rec, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFileDeviceRecoveryCycle runs the real-file path end to end:
+// append, crash with a torn tail, replay, truncate to the clean offset,
+// resume the LSN sequence, append more, and replay everything.
+func TestFileDeviceRecoveryCycle(t *testing.T) {
+	cfg := walCfg()
+	path := filepath.Join(t.TempDir(), "wal.log")
+
+	db, _ := tpcc.NewDatabase(cfg)
+	dev, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := NewLogger(dev, 8)
+	first := runAndLog(t, db, cfg, log, 50)
+	if err := log.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash that tore the tail: append garbage half-record.
+	if _, err := dev.Write([]byte{0xde, 0xad, 0xbe}); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: replay, trim, resume, append more.
+	dev, err = OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+	db2, _ := tpcc.NewDatabase(cfg)
+	applied, clean, last, err := Replay(dev, db2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != first {
+		t.Fatalf("replayed %d, want %d", applied, first)
+	}
+	if size, _ := dev.Size(); clean >= size {
+		t.Fatalf("clean offset %d does not trim the torn tail (size %d)", clean, size)
+	}
+	if err := dev.Truncate(clean); err != nil {
+		t.Fatal(err)
+	}
+	log = NewLogger(dev, 8)
+	log.Resume(last)
+	more := runAndLog(t, db2, cfg, log, 30)
+	if err := log.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	db3, _ := tpcc.NewDatabase(cfg)
+	applied, _, _, err = Replay(dev, db3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != first+more {
+		t.Fatalf("full replay = %d, want %d", applied, first+more)
+	}
+	if got, want := stateDigest(db3, cfg), stateDigest(db2, cfg); got != want {
+		t.Fatalf("replayed state diverged: %v vs %v", got, want)
+	}
+	if _, err := tpcc.Verify(db3, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

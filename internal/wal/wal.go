@@ -5,16 +5,16 @@
 // same property streaming CC exploits), command logging suffices — the
 // log records transaction parameters, not page images.
 //
-// The smarter direction the paper sketches — making the streams
-// themselves reliable so work reroutes on AC failure — is exercised at
-// the query level: analytics are pure consumers of beamed streams, so a
-// failed query simply re-issues with a different routing (see the
-// recovery example and the facade tests).
+// The live cluster hangs one Logger off each dispatcher AC
+// (write-ahead: a transaction's record is durable before any of its
+// segments dispatch) and group-commits per drain batch — see
+// oltp.Dispatcher and anydb.Config.Durability. Records use a canonical
+// binary framing (record.go) so the hot path appends into a reused
+// buffer, and recovery stops cleanly at the first torn, corrupt, or
+// discontinuous record rather than failing the whole replay.
 package wal
 
 import (
-	"encoding/gob"
-	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -94,43 +94,51 @@ func (r *sliceReader) Read(p []byte) (int, error) {
 	return n, nil
 }
 
-// Record is one durable log entry: a committed transaction command.
-type Record struct {
-	LSN uint64
-	Txn tpcc.Txn
-}
-
 // Logger appends committed transactions with group commit: records
-// buffer in memory and one Sync makes the whole group durable —
-// amortizing the device round trip exactly like the acknowledgment
-// batching the paper's storage events imply.
+// encode into an in-memory group buffer and one Write+Sync makes the
+// whole group durable — amortizing the device round trip exactly like
+// the acknowledgment batching the paper's storage events imply.
+//
+// The logger is fail-stop: the first device error latches, every
+// subsequent Append and Flush reports it, and nothing more reaches the
+// device. The database stays consistent because under write-ahead use
+// the transactions of a failed group never execute.
 type Logger struct {
 	mu      sync.Mutex
 	dev     Device
-	enc     *gob.Encoder
+	buf     []byte // the open group: encoded but unwritten records
 	lsn     uint64
 	durable uint64
 	pending int
+	err     error
 	// GroupSize flushes automatically every N appends (0 = manual
-	// Flush only).
+	// Flush only — the dispatcher's batch-end hook in the live engine).
 	GroupSize int
 }
 
 // NewLogger returns a logger on dev.
 func NewLogger(dev Device, groupSize int) *Logger {
-	return &Logger{dev: dev, enc: gob.NewEncoder(dev), GroupSize: groupSize}
+	return &Logger{dev: dev, GroupSize: groupSize}
 }
 
-// Append logs one committed transaction and returns its LSN. The record
+// Resume continues an existing log whose replay ended at lsn: the next
+// Append gets lsn+1, keeping the on-device sequence continuous.
+func (l *Logger) Resume(lsn uint64) {
+	l.mu.Lock()
+	l.lsn, l.durable = lsn, lsn
+	l.mu.Unlock()
+}
+
+// Append logs one transaction command and returns its LSN. The record
 // is durable only after the next Flush (or group auto-flush).
-func (l *Logger) Append(txn tpcc.Txn) (uint64, error) {
+func (l *Logger) Append(txn *tpcc.Txn) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.lsn++
-	rec := Record{LSN: l.lsn, Txn: txn}
-	if err := l.enc.Encode(&rec); err != nil {
-		return 0, fmt.Errorf("wal: encode: %w", err)
+	if l.err != nil {
+		return 0, l.err
 	}
+	l.lsn++
+	l.buf = appendRecord(l.buf, l.lsn, txn)
 	l.pending++
 	if l.GroupSize > 0 && l.pending >= l.GroupSize {
 		if err := l.flushLocked(); err != nil {
@@ -140,7 +148,8 @@ func (l *Logger) Append(txn tpcc.Txn) (uint64, error) {
 	return l.lsn, nil
 }
 
-// Flush makes all appended records durable.
+// Flush writes and syncs the open group, making every appended record
+// durable. A clean logger with nothing pending is a no-op (no fsync).
 func (l *Logger) Flush() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -148,8 +157,20 @@ func (l *Logger) Flush() error {
 }
 
 func (l *Logger) flushLocked() error {
+	if l.err != nil {
+		return l.err
+	}
+	if l.pending == 0 && len(l.buf) == 0 {
+		return nil
+	}
+	if _, err := l.dev.Write(l.buf); err != nil {
+		l.err = fmt.Errorf("wal: write: %w", err)
+		return l.err
+	}
+	l.buf = l.buf[:0]
 	if err := l.dev.Sync(); err != nil {
-		return err
+		l.err = fmt.Errorf("wal: sync: %w", err)
+		return l.err
 	}
 	l.durable = l.lsn
 	l.pending = 0
@@ -163,42 +184,64 @@ func (l *Logger) DurableLSN() uint64 {
 	return l.durable
 }
 
+// Err reports the latched device failure, if any.
+func (l *Logger) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// Replay decodes the durable prefix of dev and re-executes every record
+// against db in LSN order. It returns the number of transactions
+// applied, the byte offset of the clean prefix — callers truncate the
+// device there (Truncater) before appending again, so a torn tail never
+// sits in front of new records — and the last LSN applied (Logger.Resume
+// continues from it).
+//
+// A torn tail, corrupt record, or LSN discontinuity ends the replay
+// cleanly at the last good record: after a real crash the bytes past
+// the durable prefix are garbage by definition, never an error. Device
+// read failures and replay aborts are real errors.
+func Replay(dev Device, db *storage.Database) (applied int, clean int64, lastLSN uint64, err error) {
+	r, err := dev.Reader()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	costs := sim.DefaultCosts()
+	off := 0
+	for off < len(data) {
+		lsn, txn, n, derr := decodeRecord(data[off:])
+		if derr != nil {
+			break // torn or corrupt tail: stop at the clean prefix
+		}
+		if lsn != lastLSN+1 {
+			break // discontinuity: same corruption boundary
+		}
+		if rerr := replay(db, &costs, txn); rerr != nil {
+			return applied, int64(off), lastLSN, rerr
+		}
+		lastLSN = lsn
+		off += n
+		applied++
+	}
+	return applied, int64(off), lastLSN, nil
+}
+
 // Recover replays the durable log into a freshly populated database:
 // re-populate deterministically from cfg, then re-execute every logged
 // command in LSN order. It returns the rebuilt database and the number
-// of transactions replayed. A torn tail (partial last record) ends the
-// replay cleanly at the last complete record.
+// of transactions replayed.
 func Recover(dev Device, cfg tpcc.Config) (*storage.Database, int, error) {
 	cfg = cfg.WithDefaults()
 	db := storage.NewDatabase(cfg.Warehouses, tpcc.Schemas()...)
 	tpcc.Populate(db, cfg)
-
-	r, err := dev.Reader()
+	applied, _, _, err := Replay(dev, db)
 	if err != nil {
-		return nil, 0, err
-	}
-	dec := gob.NewDecoder(r)
-	costs := sim.DefaultCosts()
-	applied := 0
-	lastLSN := uint64(0)
-	for {
-		var rec Record
-		if err := dec.Decode(&rec); err != nil {
-			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
-				break
-			}
-			// A torn tail decodes as garbage; stop at the last
-			// complete record rather than failing recovery.
-			break
-		}
-		if rec.LSN != lastLSN+1 {
-			return nil, applied, fmt.Errorf("wal: LSN gap: %d after %d", rec.LSN, lastLSN)
-		}
-		lastLSN = rec.LSN
-		if err := replay(db, &costs, rec.Txn); err != nil {
-			return nil, applied, err
-		}
-		applied++
+		return nil, applied, err
 	}
 	return db, applied, nil
 }

@@ -37,7 +37,7 @@ func runAndLog(t *testing.T, db *storage.Database, cfg tpcc.Config, log *Logger,
 			continue
 		}
 		undo.Commit()
-		if _, err := log.Append(txn); err != nil {
+		if _, err := log.Append(&txn); err != nil {
 			t.Fatal(err)
 		}
 		committed++

@@ -25,10 +25,14 @@ import (
 )
 
 // dialRetry paces connection attempts while the head is still coming
-// up; dialWindow bounds the total wait.
+// up; dialWindow bounds the total wait. rejoinWindow bounds how long a
+// disconnected member keeps redialing (backoff 50ms doubling to 1s)
+// before giving up — it should comfortably exceed the head's
+// MemberGrace, or a transient drop turns into a permanent eviction.
 const (
-	dialRetry  = 100 * time.Millisecond
-	dialWindow = 30 * time.Second
+	dialRetry    = 100 * time.Millisecond
+	dialWindow   = 30 * time.Second
+	rejoinWindow = 15 * time.Second
 )
 
 // ServeNode joins the head listening on addr as a member process and
@@ -121,41 +125,88 @@ func ServeNode(ctx context.Context, addr string) error {
 		return err
 	}
 
-	serveErr := peer.Serve(
-		func(dst core.ACID, m any) {
-			switch v := m.(type) {
-			case *core.Event:
-				eng.Inject(dst, v)
-			case *core.DataMsg:
-				eng.InjectData(dst, v)
-			}
-		},
-		func(v any) error {
-			switch msg := v.(type) {
-			case *transport.PartReq:
-				// Inside the head's quiet window: nothing local touches
-				// the partition. Barrier extends the executors' last
-				// flush into a happens-before edge for these reads.
-				peer.Barrier()
-				return peer.WriteControl(&transport.PartSnap{
-					Ref: msg.Ref, W: msg.W,
-					Tables: transport.SnapshotPartition(db, msg.W),
-				})
-			case *transport.PartInstall:
-				peer.Barrier()
-				ack := &transport.PartAck{Ref: msg.Ref}
-				if err := transport.InstallPartition(db, msg.W, msg.Tables); err != nil {
-					ack.Err = err.Error()
+	// Liveness: both sides Ping at the Welcome's cadence. The read
+	// watchdog arms lazily on the first inbound Ping — the head starts
+	// its heartbeats only once every member has joined, so arming
+	// earlier would let a sibling's slow populate trip it.
+	hb := time.Duration(w.HeartbeatNs)
+	if hb > 0 {
+		hbStop := make(chan struct{})
+		defer close(hbStop)
+		go func() {
+			t := time.NewTicker(hb)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					_ = peer.WriteControl(&transport.Ping{})
+				case <-hbStop:
+					return
 				}
-				return peer.WriteControl(ack)
-			case *transport.OwnerUpdate:
-				topo.SetOwner(msg.W, core.ACID(msg.AC))
-				db.Partition(msg.W).Handoff(int64(msg.AC))
-			case *transport.Bye:
-				return transport.ErrBye
 			}
-			return nil
-		})
+		}()
+	}
+	sawBye := false
+	onMsg := func(dst core.ACID, m any) {
+		switch v := m.(type) {
+		case *core.Event:
+			eng.Inject(dst, v)
+		case *core.DataMsg:
+			eng.InjectData(dst, v)
+		}
+	}
+	onCtrl := func(v any) error {
+		switch msg := v.(type) {
+		case *transport.PartReq:
+			// Inside the head's quiet window: nothing local touches
+			// the partition. Barrier extends the executors' last
+			// flush into a happens-before edge for these reads.
+			peer.Barrier()
+			return peer.WriteControl(&transport.PartSnap{
+				Ref: msg.Ref, W: msg.W,
+				Tables: transport.SnapshotPartition(db, msg.W),
+			})
+		case *transport.PartInstall:
+			peer.Barrier()
+			ack := &transport.PartAck{Ref: msg.Ref}
+			if err := transport.InstallPartition(db, msg.W, msg.Tables); err != nil {
+				ack.Err = err.Error()
+			}
+			return peer.WriteControl(ack)
+		case *transport.OwnerUpdate:
+			topo.SetOwner(msg.W, core.ACID(msg.AC))
+			db.Partition(msg.W).Handoff(int64(msg.AC))
+		case *transport.Ping:
+			if hb > 0 {
+				// Same goroutine as the read loop, so no race.
+				peer.SetReadTimeout(3 * hb)
+			}
+		case *transport.Bye:
+			sawBye = true
+			return transport.ErrBye
+		}
+		return nil
+	}
+	// Transport fault tolerance: a broken connection is not the end of
+	// the member. Redial with backoff; if the head is still inside its
+	// grace window it splices the fresh connection (RejoinOK) and the
+	// serve loop resumes — work the break interrupted was failed with
+	// typed errors on the head, future traffic flows normally.
+	var serveErr error
+	for {
+		serveErr = peer.Serve(onMsg, onCtrl)
+		if sawBye || ctx.Err() != nil {
+			break
+		}
+		conn, err := redialRejoin(ctx, addr, w.Server)
+		if err != nil {
+			if serveErr == nil {
+				serveErr = err
+			}
+			break
+		}
+		peer.SetConn(conn)
+	}
 	eng.Stop()
 	peer.WaitDrainers()
 	peer.Close()
@@ -163,6 +214,54 @@ func ServeNode(ctx context.Context, addr string) error {
 		return ctx.Err()
 	}
 	return serveErr
+}
+
+// redialRejoin re-establishes a member's head connection after a break:
+// dial, Hello{Rejoin} with the member's assigned server slot, and wait
+// for the head's RejoinOK (it only answers once its serve goroutine
+// committed to the splice). The handshake peer reads exact frames — no
+// buffered lookahead — so the raw connection can be spliced afterwards.
+func redialRejoin(ctx context.Context, addr string, server int) (net.Conn, error) {
+	backoff := 50 * time.Millisecond
+	deadline := time.Now().Add(rejoinWindow)
+	var lastErr error
+	for {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		d := net.Dialer{Timeout: 2 * time.Second}
+		conn, err := d.DialContext(ctx, "tcp", addr)
+		if err == nil {
+			tmp := transport.NewPeer(conn, nil)
+			err = tmp.WriteControl(&transport.Hello{
+				Proto: transport.ProtoVersion, Rejoin: true, Server: server,
+			})
+			if err == nil {
+				conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+				var v any
+				if v, err = tmp.ReadControl(); err == nil {
+					if _, ok := v.(*transport.RejoinOK); ok {
+						conn.SetReadDeadline(time.Time{})
+						return conn, nil
+					}
+					err = fmt.Errorf("anydb: rejoin: unexpected %#v", v)
+				}
+			}
+			conn.Close()
+		}
+		lastErr = err
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("anydb: rejoining head %s: %w", addr, lastErr)
+		}
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if backoff *= 2; backoff > time.Second {
+			backoff = time.Second
+		}
+	}
 }
 
 func dialHead(ctx context.Context, addr string) (net.Conn, error) {
