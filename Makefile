@@ -30,19 +30,21 @@ bench:
 # the moves leave intact (the throughput dip). BenchmarkPaymentDurable
 # documents the group-commit WAL cost next to the Durability=Off
 # baseline (same pipelined shape, Batch mode, one fsync per drain).
+# BenchmarkGroupedAgg compares the dense grouped-aggregate fast path
+# against the hash-map fallback on the same dictionary-encoded query.
 bench-submit:
-	$(GO) test -run '^$$' -bench 'BenchmarkSubmitContention|BenchmarkPaymentPipelined|BenchmarkPaymentDurable|BenchmarkSessionAffinity|BenchmarkRebalance|BenchmarkSharedScanConcurrency' \
+	$(GO) test -run '^$$' -bench 'BenchmarkSubmitContention|BenchmarkPaymentPipelined|BenchmarkPaymentDurable|BenchmarkSessionAffinity|BenchmarkRebalance|BenchmarkSharedScanConcurrency|BenchmarkGroupedAgg' \
 		-benchmem -benchtime 0.3s -cpu 1,4 .
 	$(GO) test -run '^$$' -bench 'BenchmarkTopologyRead' -benchmem -benchtime 0.3s -cpu 1,4 ./internal/core
 	$(GO) test -run '^$$' -bench 'BenchmarkScanFlush' -benchmem -benchtime 0.3s ./internal/olap
 
 # Machine-readable benchmark summary: per-policy + adaptive throughput
-# on the evolving workload. CI uploads BENCH_PR8.json as an artifact,
+# on the evolving workload. CI uploads BENCH_PR10.json as an artifact,
 # and benchdata/ keeps the committed per-PR trajectory points for
 # comparison. Deterministic virtual-time runs — the short phase keeps
 # it a smoke, shapes are scale-invariant.
 bench-json:
-	$(GO) run ./cmd/anydb-bench -phase-ms 6 -json BENCH_PR8.json
+	$(GO) run ./cmd/anydb-bench -phase-ms 6 -json BENCH_PR10.json
 
 # Deterministic allocation gate: the pipelined payment path (with
 # Durability=Off — the default; BenchmarkPaymentPipelined never sets

@@ -18,6 +18,7 @@ import (
 
 	"anydb"
 	"anydb/internal/bench"
+	"anydb/internal/olap"
 	"anydb/internal/sim"
 )
 
@@ -326,10 +327,102 @@ func BenchmarkSharedScanConcurrency(b *testing.B) {
 	}
 }
 
+// BenchmarkGroupedAgg measures grouped-aggregate throughput on a
+// dictionary-encoded group column: Fast uses the dense fast path
+// (packed group codes index a flat accumulator, one bounds-checked
+// array access per row), Map forces the hash-map fallback the fast
+// path replaces. Same query, same data, Conc 1/8/32 — the Fast/Map
+// ratio at equal concurrency is the vectorized path's win, and the
+// queries/s metric is the headline.
+func BenchmarkGroupedAgg(b *testing.B) {
+	const query = "SELECT c_state, COUNT(*) FROM customer GROUP BY c_state"
+	countGroups := func(c *anydb.Cluster, ctx context.Context) (groups int64, total int64, err error) {
+		rows, err := c.Query(ctx, query)
+		if err != nil {
+			return 0, 0, err
+		}
+		defer rows.Close()
+		for rows.Next() {
+			var state string
+			var n int64
+			if err := rows.Scan(&state, &n); err != nil {
+				return 0, 0, err
+			}
+			groups++
+			total += n
+		}
+		return groups, total, nil
+	}
+	for _, fast := range []bool{true, false} {
+		mode := "Fast"
+		if !fast {
+			mode = "Map"
+		}
+		b.Run(mode, func(b *testing.B) {
+			prev := olap.SetGroupedAggFastPath(fast)
+			defer olap.SetGroupedAggFastPath(prev)
+			for _, conc := range []int{1, 8, 32} {
+				b.Run(fmt.Sprintf("Conc%d", conc), func(b *testing.B) {
+					c, err := anydb.Open(scanBenchConfig())
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.Cleanup(c.Close)
+					ctx := context.Background()
+					// Warm-up pass builds the columnar chunks and
+					// dictionaries; the timed region measures steady state.
+					wantGroups, wantTotal, err := countGroups(c, ctx)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if wantGroups == 0 || wantTotal == 0 {
+						b.Fatalf("warm-up returned %d groups / %d rows", wantGroups, wantTotal)
+					}
+					b.ResetTimer()
+					b.ReportAllocs()
+					var next atomic.Int64
+					var wg sync.WaitGroup
+					start := time.Now()
+					for g := 0; g < conc; g++ {
+						wg.Add(1)
+						go func() {
+							defer wg.Done()
+							for next.Add(1) <= int64(b.N) {
+								groups, total, err := countGroups(c, ctx)
+								if err != nil {
+									b.Error(err)
+									return
+								}
+								if groups != wantGroups || total != wantTotal {
+									b.Errorf("got %d groups / %d rows, want %d / %d",
+										groups, total, wantGroups, wantTotal)
+									return
+								}
+							}
+						}()
+					}
+					wg.Wait()
+					if elapsed := time.Since(start); elapsed > 0 {
+						b.ReportMetric(float64(b.N)/elapsed.Seconds(), "queries/s")
+					}
+				})
+			}
+		})
+	}
+}
+
 // TestSharedScanConcurrencySpeedup pins the point of the shared-scan
 // engine: 32 concurrent same-table analytical queries must deliver at
 // least 5× the aggregate throughput of 32 sequential ones. Retried a
 // few times so a noisy scheduler cannot fail a healthy engine.
+//
+// The filter is a LIKE prefix: on the encoded chunks it is a per-row
+// dictionary-bitset probe, which concurrent identical queries share
+// (one evaluation per chunk) and sequential ones each pay — the
+// sharing this test measures. A trivially-satisfiable filter like
+// `c_d_id <> 0` no longer works here: it collapses to a chunk-level
+// match-all, scans become nearly free, and per-query fixed costs
+// dominate both sides.
 func TestSharedScanConcurrencySpeedup(t *testing.T) {
 	c, err := anydb.Open(scanBenchConfig())
 	if err != nil {
@@ -337,7 +430,7 @@ func TestSharedScanConcurrencySpeedup(t *testing.T) {
 	}
 	defer c.Close()
 	ctx := context.Background()
-	const query = "SELECT COUNT(*) FROM customer WHERE c_d_id <> 0"
+	const query = "SELECT COUNT(*) FROM customer WHERE c_state LIKE 'A%'"
 	const n = 32
 	var want int64
 	if err := c.QueryRow(ctx, query).Scan(&want); err != nil {

@@ -2,8 +2,10 @@ package olap
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
+	"sync/atomic"
 
 	"anydb/internal/core"
 	"anydb/internal/sim"
@@ -79,17 +81,24 @@ type AggExpr struct {
 //     cells — AVG carries sum+count) is emitted when the pass
 //     completes. The sink merges partials with MergePartials.
 type SharedScanSpec struct {
-	Query     core.QueryID
-	Table     storage.TableID
-	Part      int
-	Filters   []Predicate // AND-composed
-	Cols      []string    // streaming projection
-	GroupBy   []string    // pushdown grouping
-	Aggs      []AggExpr   // pushdown aggregates
-	Out       core.StreamID
-	To        core.ACID
-	Producers int
-	BatchRows int
+	Query   core.QueryID
+	Table   storage.TableID
+	Part    int
+	Filters []Predicate // AND-composed
+	Cols    []string    // streaming projection
+	GroupBy []string    // pushdown grouping
+	Aggs    []AggExpr   // pushdown aggregates
+	// DictGroups marks the grouping dictionary-eligible (planner hint:
+	// no float group columns), letting the scan fold matched chunks
+	// into a dense accumulator indexed by packed dictionary codes
+	// instead of probing a map per row. The scan still validates per
+	// chunk and falls back to the map path when chunks are not
+	// dictionary-encoded or the code space outgrows the dense table.
+	DictGroups bool
+	Out        core.StreamID
+	To         core.ACID
+	Producers  int
+	BatchRows  int
 }
 
 // sharedKey addresses one shared cursor.
@@ -99,34 +108,223 @@ type sharedKey struct {
 }
 
 // compiledPred is a Predicate with its column resolved to a vector
-// index, evaluated directly against columnar chunks.
+// index, evaluated directly against encoded columnar chunks. Before a
+// chunk is scanned, prepare translates the predicate into the chunk's
+// encoding domain — a dictionary code, a code bitset, or a
+// frame-of-reference delta bound — so the per-row test is an integer
+// compare (or nothing at all, when the chunk-level answer is all/none).
 type compiledPred struct {
 	col    int
 	kind   PredKind
 	prefix string
 	str    string
 	minI   int64
+
+	// Per-chunk prepared state (prepare): mode selects the row test;
+	// code / bits / lo / hi are mode-specific operands.
+	mode    predMode
+	code    uint32        // modeEqCode/NeCode: dict code; modeEq/NeDelta: delta
+	lo, hi  uint32        // modeGEDelta / modeLTDelta thresholds
+	bits    []uint64      // modeBits: per-dictionary-code predicate results
+	bitsFor *storage.Dict // dictionary bits was built against
+	bitsLen int           // dictionary prefix covered by bits
 }
 
-func (p *compiledPred) match(b *storage.Batch, i int) bool {
-	switch p.kind {
-	case PredNone:
-		return true
-	case PredPrefix:
-		v := b.Cols[p.col].Strs[i]
-		return len(v) >= len(p.prefix) && v[:len(p.prefix)] == p.prefix
-	case PredGEInt:
-		return b.Cols[p.col].Ints[i] >= p.minI
-	case PredLTInt:
-		return b.Cols[p.col].Ints[i] < p.minI
-	case PredEqInt:
-		return b.Cols[p.col].Ints[i] == p.minI
-	case PredNeInt:
-		return b.Cols[p.col].Ints[i] != p.minI
-	case PredEqStr:
-		return b.Cols[p.col].Strs[i] == p.str
+// predMode is the prepared per-chunk evaluation strategy.
+type predMode uint8
+
+const (
+	modeAll       predMode = iota // every row matches
+	modeNone                      // no row matches
+	modeEqCode                    // Codes[i] == code (dictionary)
+	modeNeCode                    // Codes[i] != code (dictionary)
+	modeBits                      // bits[Codes[i]] set (dictionary)
+	modeGEDelta                   // Codes[i] >= lo (frame-of-reference)
+	modeLTDelta                   // Codes[i] < hi (frame-of-reference)
+	modeEqDelta                   // Codes[i] == code (frame-of-reference)
+	modeNeDelta                   // Codes[i] != code (frame-of-reference)
+	modeRawGE                     // Ints[i] >= minI
+	modeRawLT                     // Ints[i] < minI
+	modeRawEq                     // Ints[i] == minI
+	modeRawNe                     // Ints[i] != minI
+	modeRawEqStr                  // Strs[i] == str
+	modeRawPrefix                 // Strs[i] starts with prefix
+)
+
+// prepare resolves the predicate against one chunk's column encoding.
+func (p *compiledPred) prepare(c *storage.EncChunk) {
+	if p.kind == PredNone {
+		p.mode = modeAll
+		return
+	}
+	v := &c.Cols[p.col]
+	switch v.Enc {
+	case storage.EncDict:
+		p.prepareDict(v.Dict)
+	case storage.EncFoR:
+		p.prepareFoR(v.Ref)
 	default:
-		panic("olap: unknown predicate kind")
+		switch p.kind {
+		case PredGEInt:
+			p.mode = modeRawGE
+		case PredLTInt:
+			p.mode = modeRawLT
+		case PredEqInt:
+			p.mode = modeRawEq
+		case PredNeInt:
+			p.mode = modeRawNe
+		case PredEqStr:
+			p.mode = modeRawEqStr
+		case PredPrefix:
+			p.mode = modeRawPrefix
+		default:
+			panic("olap: unknown predicate kind")
+		}
+	}
+}
+
+// prepareDict compiles the predicate to dictionary-code membership:
+// equality is one dictionary lookup (a miss means no chunk row can
+// match), and prefix/range predicates become a bitset over the
+// dictionary's codes — built once and extended incrementally as the
+// dictionary grows, so a whole pass pays O(dict) once, not O(rows).
+func (p *compiledPred) prepareDict(d *storage.Dict) {
+	switch p.kind {
+	case PredEqStr:
+		if code, ok := d.LookupStr(p.str); ok {
+			p.code, p.mode = code, modeEqCode
+		} else {
+			p.mode = modeNone
+		}
+	case PredEqInt:
+		if code, ok := d.LookupInt(p.minI); ok {
+			p.code, p.mode = code, modeEqCode
+		} else {
+			p.mode = modeNone
+		}
+	case PredNeInt:
+		if code, ok := d.LookupInt(p.minI); ok {
+			p.code, p.mode = code, modeNeCode
+		} else {
+			p.mode = modeAll
+		}
+	default: // PredPrefix, PredGEInt, PredLTInt
+		p.extendBits(d)
+		p.mode = modeBits
+	}
+}
+
+// extendBits (re)builds the per-code predicate bitset for dictionary d,
+// evaluating only codes assigned since the last call.
+func (p *compiledPred) extendBits(d *storage.Dict) {
+	n := d.Len()
+	if p.bitsFor != d {
+		p.bitsFor, p.bitsLen = d, 0
+		p.bits = p.bits[:0]
+	}
+	for len(p.bits)*64 < n {
+		p.bits = append(p.bits, 0)
+	}
+	for code := p.bitsLen; code < n; code++ {
+		var ok bool
+		switch p.kind {
+		case PredPrefix:
+			s := d.DecodeStr(uint32(code))
+			ok = len(s) >= len(p.prefix) && s[:len(p.prefix)] == p.prefix
+		case PredGEInt:
+			ok = d.DecodeInt(uint32(code)) >= p.minI
+		case PredLTInt:
+			ok = d.DecodeInt(uint32(code)) < p.minI
+		}
+		if ok {
+			p.bits[code>>6] |= 1 << (code & 63)
+		}
+	}
+	p.bitsLen = n
+}
+
+// prepareFoR translates an int predicate into the chunk's delta domain
+// (value = Ref + delta, delta in [0, 2³²)). Out-of-domain constants
+// collapse to all/none at the chunk level.
+func (p *compiledPred) prepareFoR(ref int64) {
+	var diff uint64
+	above := p.minI > ref
+	if above {
+		// Exact under two's-complement wraparound for any int64 pair.
+		diff = uint64(p.minI) - uint64(ref)
+	}
+	switch p.kind {
+	case PredGEInt:
+		switch {
+		case !above:
+			p.mode = modeAll
+		case diff > math.MaxUint32:
+			p.mode = modeNone
+		default:
+			p.lo, p.mode = uint32(diff), modeGEDelta
+		}
+	case PredLTInt:
+		switch {
+		case !above:
+			p.mode = modeNone
+		case diff > math.MaxUint32:
+			p.mode = modeAll
+		default:
+			p.hi, p.mode = uint32(diff), modeLTDelta
+		}
+	default: // PredEqInt, PredNeInt
+		out := p.minI < ref || diff > math.MaxUint32
+		if p.kind == PredEqInt {
+			if out {
+				p.mode = modeNone
+			} else {
+				p.code, p.mode = uint32(diff), modeEqDelta
+			}
+		} else {
+			if out {
+				p.mode = modeAll
+			} else {
+				p.code, p.mode = uint32(diff), modeNeDelta
+			}
+		}
+	}
+}
+
+// matchAt tests row i of the prepared chunk column.
+func (p *compiledPred) matchAt(v *storage.EncVec, i int) bool {
+	switch p.mode {
+	case modeAll:
+		return true
+	case modeNone:
+		return false
+	case modeEqCode:
+		return v.Codes[i] == p.code
+	case modeNeCode:
+		return v.Codes[i] != p.code
+	case modeBits:
+		c := v.Codes[i]
+		return p.bits[c>>6]&(1<<(c&63)) != 0
+	case modeGEDelta:
+		return v.Codes[i] >= p.lo
+	case modeLTDelta:
+		return v.Codes[i] < p.hi
+	case modeEqDelta:
+		return v.Codes[i] == p.code
+	case modeNeDelta:
+		return v.Codes[i] != p.code
+	case modeRawGE:
+		return v.Ints[i] >= p.minI
+	case modeRawLT:
+		return v.Ints[i] < p.minI
+	case modeRawEq:
+		return v.Ints[i] == p.minI
+	case modeRawNe:
+		return v.Ints[i] != p.minI
+	case modeRawEqStr:
+		return v.Strs[i] == p.str
+	default: // modeRawPrefix
+		s := v.Strs[i]
+		return len(s) >= len(p.prefix) && s[:len(p.prefix)] == p.prefix
 	}
 }
 
@@ -198,21 +396,46 @@ type groupAcc struct {
 	cells   []aggCell
 }
 
-// encodeGroupKey appends a canonical byte encoding of the group columns
-// of row i to buf (NUL-separated; kinds are fixed per column so the
-// encoding cannot collide across kinds).
+// appendKeyVal appends one value's canonical group-key encoding to buf
+// (NUL-terminated; kinds are fixed per column so the encoding cannot
+// collide across kinds). Every group-key producer — batch rows at the
+// sink, encoded chunks at the scan, dense-slot migration — goes through
+// this one helper, so their keys merge identically.
+func appendKeyVal(buf []byte, v storage.Value) []byte {
+	switch v.Kind {
+	case storage.KInt:
+		buf = strconv.AppendInt(buf, v.I, 10)
+	case storage.KFloat:
+		buf = strconv.AppendFloat(buf, v.F, 'g', -1, 64)
+	default:
+		buf = append(buf, v.S...)
+	}
+	return append(buf, 0)
+}
+
+// encodeGroupKey appends the canonical encoding of the group columns of
+// batch row i to buf.
 func encodeGroupKey(buf []byte, b *storage.Batch, i int, cols []int) []byte {
 	for _, c := range cols {
-		cv := &b.Cols[c]
-		switch cv.Kind {
-		case storage.KInt:
-			buf = strconv.AppendInt(buf, cv.Ints[i], 10)
-		case storage.KFloat:
-			buf = strconv.AppendFloat(buf, cv.Floats[i], 'g', -1, 64)
-		default:
-			buf = append(buf, cv.Strs[i]...)
-		}
-		buf = append(buf, 0)
+		buf = appendKeyVal(buf, b.Value(i, c))
+	}
+	return buf
+}
+
+// encodeChunkKey is encodeGroupKey over an encoded chunk: values decode
+// per cell, so chunks with different encodings of the same table (a
+// dictionary chunk next to a raw one) produce identical keys.
+func encodeChunkKey(buf []byte, c *storage.EncChunk, i int, cols []int) []byte {
+	for _, col := range cols {
+		buf = appendKeyVal(buf, c.Value(i, col))
+	}
+	return buf
+}
+
+// encodeValsKey is encodeGroupKey over already-materialized values.
+func encodeValsKey(buf []byte, vals []storage.Value) []byte {
+	for _, v := range vals {
+		buf = appendKeyVal(buf, v)
 	}
 	return buf
 }
@@ -241,7 +464,38 @@ type scanReg struct {
 	groups   map[string]*groupAcc
 	order    []string  // insertion-ordered keys, sorted at emit
 	global   *groupAcc // fast path: the single group of a global aggregate
+
+	// Dense grouped-aggregate fast path (spec.DictGroups): group codes
+	// pack into one flat accumulator slot per combination — a
+	// bounds-checked array index per row instead of a key encode + map
+	// probe. Initialized lazily at the first dictionary-encoded chunk;
+	// abandoned (state migrated into groups) if a chunk arrives with a
+	// different encoding or a code outgrows the slack-padded dims.
+	denseOK      bool      // hinted, enabled, and not abandoned
+	denseReady   bool      // dims/strides sized, dense allocated
+	dense        []aggCell // len = slots × len(Aggs)
+	denseSeen    []bool
+	denseTouched []int32 // touched packed slots, first-touch order
+	denseDims    []int
+	denseStride  []int
+	denseDicts   []*storage.Dict
 }
+
+// denseSlotCap bounds the dense accumulator's group-combination space.
+// Past it (high-cardinality or many-column groupings) the map path is
+// the right tool anyway.
+const denseSlotCap = 4096
+
+// groupedFastPath gates the dense grouped-aggregate path globally; the
+// benchmark suite flips it off to measure the map-probe baseline.
+var groupedFastPath atomic.Bool
+
+func init() { groupedFastPath.Store(true) }
+
+// SetGroupedAggFastPath toggles the dense grouped-aggregate fast path
+// for newly registered scans and returns the previous setting. On by
+// default; exists so benchmarks can pin either path.
+func SetGroupedAggFastPath(on bool) bool { return groupedFastPath.Swap(on) }
 
 // matchBuf caches one predicate signature's matched rows for the chunk
 // of the current step (valid while step == sharedScan.steps).
@@ -321,6 +575,7 @@ func (w *Worker) attachShared(ctx core.Context, ev *core.Event, spec *SharedScan
 		}
 		r.partial = storage.NewSchema(t.Schema.Name+"_partial", cols...)
 		r.groups = make(map[string]*groupAcc)
+		r.denseOK = spec.DictGroups && len(spec.GroupBy) > 0 && groupedFastPath.Load()
 	}
 
 	r.total = t.NumColChunks()
@@ -381,7 +636,7 @@ func (ss *sharedScan) step(ctx core.Context, w *Worker) {
 	}
 	ci := ss.cursor
 	costs := ctx.Costs()
-	var chunk *storage.Batch
+	var chunk *storage.EncChunk
 	for i := 0; i < len(ss.regs); {
 		r := ss.regs[i]
 		if r.next != ci {
@@ -460,26 +715,54 @@ func predSignature(preds []compiledPred) string {
 	return string(buf)
 }
 
-// matchChunk returns the row indexes of chunk b passing all preds,
-// reusing buf.
-func matchChunk(b *storage.Batch, preds []compiledPred, buf []int32) []int32 {
+// matchChunk returns the row indexes of chunk c passing all preds,
+// reusing buf. Each predicate prepares against the chunk's encoding
+// first, so chunk-level all/none answers skip row work entirely: the
+// first selective predicate scans the full chunk, later ones filter the
+// survivors in place.
+func matchChunk(c *storage.EncChunk, preds []compiledPred, buf []int32) []int32 {
 	buf = buf[:0]
-	n := b.Len()
-rows:
-	for i := 0; i < n; i++ {
-		for p := range preds {
-			if !preds[p].match(b, i) {
-				continue rows
+	n := c.Len()
+	dense := true // no selective predicate applied yet: buf is implicitly 0..n-1
+	for pi := range preds {
+		p := &preds[pi]
+		p.prepare(c)
+		switch p.mode {
+		case modeAll:
+			continue
+		case modeNone:
+			return buf[:0]
+		}
+		v := &c.Cols[p.col]
+		if dense {
+			for i := 0; i < n; i++ {
+				if p.matchAt(v, i) {
+					buf = append(buf, int32(i))
+				}
+			}
+			dense = false
+			continue
+		}
+		w := 0
+		for _, m := range buf {
+			if p.matchAt(v, int(m)) {
+				buf[w] = m
+				w++
 			}
 		}
-		buf = append(buf, int32(i))
+		buf = buf[:w]
+	}
+	if dense {
+		for i := 0; i < n; i++ {
+			buf = append(buf, int32(i))
+		}
 	}
 	return buf
 }
 
 // foldStream appends the matched rows, projected, to the registration's
 // output batch, flushing at batch granularity.
-func (r *scanReg) foldStream(ctx core.Context, chunk *storage.Batch, match []int32) {
+func (r *scanReg) foldStream(ctx core.Context, chunk *storage.EncChunk, match []int32) {
 	if len(match) == 0 {
 		return
 	}
@@ -499,7 +782,7 @@ func (r *scanReg) foldStream(ctx core.Context, chunk *storage.Batch, match []int
 
 // foldAgg folds the matched rows into the registration's grouped
 // accumulators, returning the (possibly grown) key scratch buffer.
-func (r *scanReg) foldAgg(ctx core.Context, chunk *storage.Batch, match []int32, keyBuf []byte) []byte {
+func (r *scanReg) foldAgg(ctx core.Context, chunk *storage.EncChunk, match []int32, keyBuf []byte) []byte {
 	if len(match) == 0 {
 		return keyBuf
 	}
@@ -526,17 +809,27 @@ func (r *scanReg) foldAgg(ctx core.Context, chunk *storage.Batch, match []int32,
 		}
 		return keyBuf
 	}
+	if r.denseOK {
+		rest, ok := r.tryFoldDense(chunk, match)
+		if ok {
+			return keyBuf
+		}
+		// The fast path bowed out (non-dictionary chunk, dimension
+		// overflow, or too many group combinations — denseOK is now
+		// false): migrate what it accumulated into the map and fold the
+		// remaining rows there.
+		keyBuf = r.abandonDense(keyBuf)
+		match = rest
+	}
 	for _, m := range match {
 		i := int(m)
-		keyBuf = encodeGroupKey(keyBuf[:0], chunk, i, r.groupIdx)
+		keyBuf = encodeChunkKey(keyBuf[:0], chunk, i, r.groupIdx)
 		acc := r.groups[string(keyBuf)]
 		if acc == nil {
 			acc = &groupAcc{cells: make([]aggCell, len(r.spec.Aggs))}
-			if len(r.groupIdx) > 0 {
-				acc.keyVals = make([]storage.Value, len(r.groupIdx))
-				for j, c := range r.groupIdx {
-					acc.keyVals[j] = chunk.Value(i, c)
-				}
+			acc.keyVals = make([]storage.Value, len(r.groupIdx))
+			for j, c := range r.groupIdx {
+				acc.keyVals[j] = chunk.Value(i, c)
 			}
 			key := string(keyBuf)
 			r.groups[key] = acc
@@ -553,6 +846,143 @@ func (r *scanReg) foldAgg(ctx core.Context, chunk *storage.Batch, match []int32,
 	return keyBuf
 }
 
+// initDense sizes the dense accumulator from the group columns'
+// dictionaries, padding each dimension with slack so codes assigned
+// later in the pass (the dictionary grows as dirtied chunks rebuild)
+// still land in range. Reports false when a group column is not
+// dictionary-encoded in this chunk or the combination space exceeds
+// denseSlotCap.
+func (r *scanReg) initDense(c *storage.EncChunk) bool {
+	nG := len(r.groupIdx)
+	dims := make([]int, nG)
+	dicts := make([]*storage.Dict, nG)
+	slots := 1
+	for g, col := range r.groupIdx {
+		v := &c.Cols[col]
+		if v.Enc != storage.EncDict {
+			return false
+		}
+		d := v.Dict
+		dim := d.Len() + d.Len()/2 + 8
+		dims[g], dicts[g] = dim, d
+		slots *= dim
+		if slots > denseSlotCap {
+			return false
+		}
+	}
+	stride := make([]int, nG)
+	s := 1
+	for g := 0; g < nG; g++ {
+		stride[g] = s
+		s *= dims[g]
+	}
+	r.dense = make([]aggCell, slots*len(r.spec.Aggs))
+	r.denseSeen = make([]bool, slots)
+	r.denseDims, r.denseStride, r.denseDicts = dims, stride, dicts
+	r.denseReady = true
+	return true
+}
+
+// tryFoldDense folds the matched rows into the dense accumulator.
+// ok=false means the fast path just died (denseOK cleared); the
+// returned slice is the unfolded tail of match, which the caller folds
+// via the map path after migrating the dense state.
+func (r *scanReg) tryFoldDense(c *storage.EncChunk, match []int32) ([]int32, bool) {
+	if !r.denseReady && !r.initDense(c) {
+		r.denseOK = false
+		return match, false
+	}
+	for g, col := range r.groupIdx {
+		v := &c.Cols[col]
+		if v.Enc != storage.EncDict || v.Dict != r.denseDicts[g] {
+			r.denseOK = false
+			return match, false
+		}
+	}
+	nA := len(r.spec.Aggs)
+	aggs := r.spec.Aggs
+	if len(r.groupIdx) == 1 && nA == 1 && aggs[0].Fn == AggCount {
+		// The headline shape — GROUP BY one dictionary column, COUNT(*):
+		// one bounds-checked array index per row, nothing else.
+		codes := c.Cols[r.groupIdx[0]].Codes
+		dim := r.denseDims[0]
+		for mi, m := range match {
+			code := int(codes[m])
+			if code >= dim {
+				r.denseOK = false
+				return match[mi:], false
+			}
+			if !r.denseSeen[code] {
+				r.denseSeen[code] = true
+				r.denseTouched = append(r.denseTouched, int32(code))
+			}
+			r.dense[code].count++
+		}
+		return nil, true
+	}
+	for mi, m := range match {
+		i := int(m)
+		packed := 0
+		for g, col := range r.groupIdx {
+			code := int(c.Cols[col].Codes[i])
+			if code >= r.denseDims[g] {
+				r.denseOK = false
+				return match[mi:], false
+			}
+			packed += code * r.denseStride[g]
+		}
+		if !r.denseSeen[packed] {
+			r.denseSeen[packed] = true
+			r.denseTouched = append(r.denseTouched, int32(packed))
+		}
+		cells := r.dense[packed*nA : packed*nA+nA]
+		for j := range cells {
+			var v storage.Value
+			if r.aggIdx[j] >= 0 {
+				v = c.Value(i, r.aggIdx[j])
+			}
+			cells[j].addRaw(aggs[j].Fn, v)
+		}
+	}
+	return nil, true
+}
+
+// denseKey decodes a packed slot back into its group values.
+func (r *scanReg) denseKey(packed int) []storage.Value {
+	vals := make([]storage.Value, len(r.groupIdx))
+	for g := len(r.groupIdx) - 1; g >= 0; g-- {
+		code := packed / r.denseStride[g]
+		packed -= code * r.denseStride[g]
+		vals[g] = r.denseDicts[g].DecodeValue(uint32(code))
+	}
+	return vals
+}
+
+// abandonDense migrates the dense accumulator's touched slots into the
+// map representation — keys encoded exactly as the map path encodes
+// them, so both halves of a converted pass merge as one group set.
+func (r *scanReg) abandonDense(keyBuf []byte) []byte {
+	if !r.denseReady {
+		return keyBuf
+	}
+	nA := len(r.spec.Aggs)
+	for _, packed := range r.denseTouched {
+		p := int(packed)
+		acc := &groupAcc{
+			keyVals: r.denseKey(p),
+			cells:   make([]aggCell, nA),
+		}
+		copy(acc.cells, r.dense[p*nA:p*nA+nA])
+		keyBuf = encodeValsKey(keyBuf[:0], acc.keyVals)
+		key := string(keyBuf)
+		r.groups[key] = acc
+		r.order = append(r.order, key)
+	}
+	r.dense, r.denseSeen, r.denseTouched = nil, nil, nil
+	r.denseReady = false
+	return keyBuf
+}
+
 // finish detaches the registration: streaming mode flushes the tail
 // batch with the Last marker; pushdown mode emits the partial-aggregate
 // batch (group-key-sorted for determinism) and Last.
@@ -562,38 +992,60 @@ func (r *scanReg) finish(ctx core.Context) {
 		return
 	}
 	var b *storage.Batch
-	if len(r.order) > 0 {
+	nA := len(r.spec.Aggs)
+	switch {
+	case r.denseReady && len(r.denseTouched) > 0:
+		// Dense fast path: decode packed group codes back to values once
+		// per touched group, in packed-code order (content-deterministic;
+		// the sink re-sorts groups by encoded key before finalizing).
+		sort.Slice(r.denseTouched, func(a, b int) bool { return r.denseTouched[a] < r.denseTouched[b] })
+		b = storage.GetBatch(r.partial)
+		row := make(storage.Row, 0, r.partial.NumCols())
+		for _, packed := range r.denseTouched {
+			p := int(packed)
+			row = r.appendPartialRow(row[:0], r.denseKey(p), r.dense[p*nA:p*nA+nA])
+			b.AppendRow(row)
+		}
+	case len(r.order) > 0:
 		sort.Strings(r.order)
 		b = storage.GetBatch(r.partial)
 		row := make(storage.Row, 0, r.partial.NumCols())
 		for _, k := range r.order {
 			acc := r.groups[k]
-			row = append(row[:0], acc.keyVals...)
-			for j := range acc.cells {
-				cell := &acc.cells[j]
-				switch r.spec.Aggs[j].Fn {
-				case AggCount:
-					row = append(row, storage.Int(cell.count))
-				case AggSum:
-					if r.partial.Cols[len(acc.keyVals)+partialWidth(r.spec.Aggs[:j])].Kind == storage.KInt {
-						row = append(row, storage.Int(cell.sumI))
-					} else {
-						row = append(row, storage.Float(cell.sumF))
-					}
-				case AggAvg:
-					row = append(row, storage.Float(cell.sumF), storage.Int(cell.count))
-				default: // min/max
-					row = append(row, cell.cur)
-				}
-			}
+			row = r.appendPartialRow(row[:0], acc.keyVals, acc.cells)
 			b.AppendRow(row)
 		}
 	}
 	r.groups, r.order, r.global = nil, nil, nil
+	r.dense, r.denseSeen, r.denseTouched, r.denseReady = nil, nil, nil, false
 	msg := core.GetDataMsg()
 	msg.Stream, msg.Query, msg.Last, msg.Producers = r.spec.Out, r.spec.Query, true, r.spec.Producers
 	msg.Batch = b
 	ctx.SendData(r.spec.To, msg)
+}
+
+// appendPartialRow appends one group's partial-layout cells (group
+// values, then per-aggregate accumulator columns) to row.
+func (r *scanReg) appendPartialRow(row storage.Row, keyVals []storage.Value, cells []aggCell) storage.Row {
+	row = append(row, keyVals...)
+	for j := range cells {
+		cell := &cells[j]
+		switch r.spec.Aggs[j].Fn {
+		case AggCount:
+			row = append(row, storage.Int(cell.count))
+		case AggSum:
+			if r.partial.Cols[len(keyVals)+partialWidth(r.spec.Aggs[:j])].Kind == storage.KInt {
+				row = append(row, storage.Int(cell.sumI))
+			} else {
+				row = append(row, storage.Float(cell.sumF))
+			}
+		case AggAvg:
+			row = append(row, storage.Float(cell.sumF), storage.Int(cell.count))
+		default: // min/max
+			row = append(row, cell.cur)
+		}
+	}
+	return row
 }
 
 // partialWidth returns how many partial-layout columns the given

@@ -64,12 +64,23 @@ type sinkState struct {
 	resolved *storage.Schema
 	groupIdx []int
 	aggIdx   []int
+
+	// Partial-merge scratch: the partial layout leads with the group
+	// columns, so the index list is the identity — built once here, not
+	// per incoming batch.
+	partIdx []int
 }
 
 func newSink(ctx core.Context, ac *core.AC, spec *SinkSpec) {
 	s := &sinkState{spec: spec}
 	if len(spec.Aggs) > 0 {
 		s.groups = make(map[string]*groupAcc)
+	}
+	if spec.MergePartials {
+		s.partIdx = make([]int, len(spec.GroupBy))
+		for i := range s.partIdx {
+			s.partIdx[i] = i
+		}
 	}
 	ac.Subscribe(ctx, spec.In, s)
 }
@@ -96,12 +107,8 @@ func (s *sinkState) OnData(ctx core.Context, ac *core.AC, msg *core.DataMsg) {
 // layout) into the sink's accumulators.
 func (s *sinkState) mergePartials(b *storage.Batch) {
 	g := len(s.spec.GroupBy)
-	groupIdx := make([]int, g)
-	for i := range groupIdx {
-		groupIdx[i] = i
-	}
 	for r := 0; r < b.Len(); r++ {
-		acc := s.acc(b, r, groupIdx)
+		acc := s.acc(b, r, s.partIdx)
 		col := g
 		for j, a := range s.spec.Aggs {
 			cell := &acc.cells[j]

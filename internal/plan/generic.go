@@ -42,8 +42,12 @@ type scanTemplate struct {
 	cols    []string       // streaming projection
 	groupBy []string       // aggregate pushdown
 	aggs    []olap.AggExpr // aggregate pushdown
-	out     core.StreamID
-	to      core.ACID
+	// dictGroups marks the grouping dictionary-eligible (no float group
+	// columns): the scan may fold into a dense packed-code accumulator
+	// instead of a per-row map probe.
+	dictGroups bool
+	out        core.StreamID
+	to         core.ACID
 }
 
 // tableInfo is the planner's view of one FROM entry.
@@ -236,10 +240,19 @@ func CompileSQL(cat *storage.Catalog, q *sql.Query, qid core.QueryID,
 		t := chain[0]
 		if len(aggs) > 0 {
 			// Aggregate pushdown: the shared scan folds the grouped
-			// aggregates per partition; the sink merges partials.
+			// aggregates per partition; the sink merges partials. The
+			// grouping is dictionary-eligible when no group column is a
+			// float (ints and strings dictionary-encode in the chunk
+			// cache; floats never do).
+			dict := len(groupCols) > 0
+			for _, g := range groupCols {
+				if infos[t].schema.Cols[infos[t].schema.MustCol(g)].Kind == storage.KFloat {
+					dict = false
+				}
+			}
 			p.scans = append(p.scans, scanTemplate{
 				table: t, tableID: infos[t].schema.ID, filters: infos[t].filters,
-				groupBy: groupCols, aggs: aggs,
+				groupBy: groupCols, aggs: aggs, dictGroups: dict,
 				out: scanStream(0), to: acOf(0),
 			})
 			sink.GroupBy = groupCols
@@ -540,7 +553,7 @@ func (q *QO) onGenericPlan(ctx core.Context, p *GenericPlan) {
 				ev.Payload = &olap.SharedScanSpec{
 					Query: p.Query, Table: sc.tableID, Part: part,
 					Filters: sc.filters, Cols: sc.cols,
-					GroupBy: sc.groupBy, Aggs: sc.aggs,
+					GroupBy: sc.groupBy, Aggs: sc.aggs, DictGroups: sc.dictGroups,
 					Out: sc.out, To: sc.to, Producers: len(p.Parts),
 				}
 				ctx.Send(q.Topo.Owner(part), ev)
@@ -578,7 +591,11 @@ func (p *GenericPlan) Describe() string {
 			fmt.Fprintf(&b, " filters=%d", len(sc.filters))
 		}
 		if len(sc.aggs) > 0 {
-			fmt.Fprintf(&b, " pushdown group=%v aggs=%s", sc.groupBy, aggList(sc.aggs))
+			fmt.Fprintf(&b, " pushdown group=%v", sc.groupBy)
+			if sc.dictGroups {
+				b.WriteString(" dict")
+			}
+			fmt.Fprintf(&b, " aggs=%s", aggList(sc.aggs))
 		} else {
 			fmt.Fprintf(&b, " cols=%v", sc.cols)
 		}

@@ -418,7 +418,7 @@ func TestPlanDescribeGolden(t *testing.T) {
 		"scan orders parts=4 filters=1 cols=[o_c_id o_d_id o_w_id] -> s450@ac4\n" +
 		"join1 build=s449[c_w_id c_d_id c_id] probe=s450[o_w_id o_d_id o_c_id] @ac4 -> s480@ac4\n" +
 		"sink in=s480 fold group=[] aggs=[count] out=[count] @ac4\n"
-	cases[1].want = "scan orders parts=4 pushdown group=[o_d_id] aggs=[count sum(o_ol_cnt)] -> s449@ac4\n" +
+	cases[1].want = "scan orders parts=4 pushdown group=[o_d_id] dict aggs=[count sum(o_ol_cnt)] -> s449@ac4\n" +
 		"sink in=s449 merge group=[o_d_id] aggs=[count sum(o_ol_cnt)] order=[{1 true}] limit=3 out=[o_d_id count sum_o_ol_cnt] @ac4\n"
 	cases[2].want = "scan customer parts=4 filters=1 cols=[c_id c_last] -> s449@ac4\n" +
 		"sink in=s449 collect cols=[c_id c_last] order=[{1 true}] limit=10 out=[c_id c_last] @ac4\n"

@@ -76,9 +76,9 @@ func batchClass(cols int) int {
 
 // Batch-pool leak accounting, mirroring internal/core's event tracking
 // (core.TrackPools toggles both). Off by default: one atomic flag load
-// per Get/Free. The table-owned columnar chunk cache uses the untracked
-// raw accessors below — its cached batches legitimately outlive any
-// query, so they must not read as leaks.
+// per Get/Free. The table-owned columnar chunk cache does not ride this
+// pool at all — chunks are table state (colstore.go EncChunk), not
+// in-flight messages, so only message batches are accounted here.
 var (
 	trackBatches atomic.Bool
 	batchBal     atomic.Int64
@@ -101,12 +101,6 @@ func GetBatch(schema *Schema) *Batch {
 	if trackBatches.Load() {
 		batchBal.Add(1)
 	}
-	return getBatchRaw(schema)
-}
-
-// getBatchRaw is GetBatch without leak accounting — for the colstore
-// chunk cache, whose batches are table state, not in-flight messages.
-func getBatchRaw(schema *Schema) *Batch {
 	v := batchPools[batchClass(schema.NumCols())].Get()
 	if v == nil {
 		return NewBatch(schema)
@@ -143,11 +137,6 @@ func FreeBatch(b *Batch) {
 	if trackBatches.Load() {
 		batchBal.Add(-1)
 	}
-	freeBatchRaw(b)
-}
-
-// freeBatchRaw is FreeBatch without leak accounting (colstore only).
-func freeBatchRaw(b *Batch) {
 	for i := range b.Cols {
 		clear(b.Cols[i].Strs)
 	}

@@ -1,0 +1,125 @@
+package storage
+
+// Per-table column dictionaries (Vertica-style dictionary encoding).
+// A Dict maps column values to dense uint32 codes, assigned in first-seen
+// order and never reassigned: once a value has a code, every chunk built
+// afterwards encodes it identically, so cached chunks from different
+// rebuild generations stay mutually consistent and predicates compiled
+// against the dictionary apply to any chunk of the table.
+//
+// Dictionaries are built incrementally by chunk rebuilds (colstore.go) —
+// never on the OLTP write path, which only bumps chunk versions. They
+// live and die with the table under the same single-ownership rule as
+// the chunk cache, so no locking.
+//
+// Overflow: a column whose distinct-value count passes the cap stops
+// being dictionary-encodable — sealed() flips permanently, future chunk
+// rebuilds fall back to raw (or frame-of-reference for ints), and the
+// decode arrays plus lookup maps are kept so already-built chunks remain
+// decodable and predicate lookups keep working.
+
+// Dictionary capacity caps. Strings get the full uint16-ish range
+// (TPC-C's dictionary-friendly columns — states, credit flags, last
+// names — sit far below it). Ints get a small cap: an int column only
+// benefits from a dictionary when it is low-cardinality enough to drive
+// the dense grouped-aggregate fast path (district ids, years, carrier
+// ids); high-cardinality ints are better served by frame-of-reference.
+const (
+	maxStrDictCodes = 1 << 16
+	maxIntDictCodes = 1 << 10
+)
+
+// Dict is one column's dictionary. Exactly one of the (strs, byStr) /
+// (ints, byInt) pairs is populated, matching the column kind.
+type Dict struct {
+	kind   Kind
+	strs   []string
+	byStr  map[string]uint32
+	ints   []int64
+	byInt  map[int64]uint32
+	sealed bool // cap hit: no new codes, existing ones stay valid
+}
+
+func newDict(kind Kind) *Dict {
+	d := &Dict{kind: kind}
+	switch kind {
+	case KStr:
+		d.byStr = make(map[string]uint32)
+	case KInt:
+		d.byInt = make(map[int64]uint32)
+	default:
+		panic("storage: no dictionary for kind " + kind.String())
+	}
+	return d
+}
+
+// Len returns the number of assigned codes (codes are dense: 0..Len-1).
+func (d *Dict) Len() int {
+	if d.kind == KStr {
+		return len(d.strs)
+	}
+	return len(d.ints)
+}
+
+// Sealed reports whether the dictionary hit its cap: chunks built after
+// sealing are not dictionary-encoded, but existing codes stay decodable.
+func (d *Dict) Sealed() bool { return d.sealed }
+
+// codeStr returns the code for s, assigning the next one if s is new.
+// ok=false means the dictionary is (now) sealed and s has no code.
+func (d *Dict) codeStr(s string) (uint32, bool) {
+	if c, ok := d.byStr[s]; ok {
+		return c, true
+	}
+	if d.sealed || len(d.strs) >= maxStrDictCodes {
+		d.sealed = true
+		return 0, false
+	}
+	c := uint32(len(d.strs))
+	d.strs = append(d.strs, s)
+	d.byStr[s] = c
+	return c, true
+}
+
+// codeInt is codeStr for int columns.
+func (d *Dict) codeInt(v int64) (uint32, bool) {
+	if c, ok := d.byInt[v]; ok {
+		return c, true
+	}
+	if d.sealed || len(d.ints) >= maxIntDictCodes {
+		d.sealed = true
+		return 0, false
+	}
+	c := uint32(len(d.ints))
+	d.ints = append(d.ints, v)
+	d.byInt[v] = c
+	return c, true
+}
+
+// LookupStr resolves a string to its code without assigning one — the
+// predicate-compilation entry point. ok=false means no chunk can contain
+// the value under this dictionary.
+func (d *Dict) LookupStr(s string) (uint32, bool) {
+	c, ok := d.byStr[s]
+	return c, ok
+}
+
+// LookupInt is LookupStr for int columns.
+func (d *Dict) LookupInt(v int64) (uint32, bool) {
+	c, ok := d.byInt[v]
+	return c, ok
+}
+
+// DecodeStr returns the string for a code previously assigned.
+func (d *Dict) DecodeStr(code uint32) string { return d.strs[code] }
+
+// DecodeInt returns the int for a code previously assigned.
+func (d *Dict) DecodeInt(code uint32) int64 { return d.ints[code] }
+
+// DecodeValue materializes a code as a Value of the column kind.
+func (d *Dict) DecodeValue(code uint32) Value {
+	if d.kind == KStr {
+		return Str(d.strs[code])
+	}
+	return Int(d.ints[code])
+}

@@ -153,16 +153,22 @@ func (db *Database) Partition(id int) *Partition {
 // NumPartitions returns the partition count.
 func (db *Database) NumPartitions() int { return len(db.Partitions) }
 
-// Catalog maps table names to schemas and statistics.
+// Catalog maps table names to schemas, statistics, and cardinality
+// hints.
 type Catalog struct {
-	schemas map[string]*Schema
-	byID    []*Schema
-	stats   map[string]*TableStats
+	schemas  map[string]*Schema
+	byID     []*Schema
+	stats    map[string]*TableStats
+	rowHints map[string]int
 }
 
 // NewCatalog returns an empty catalog.
 func NewCatalog() *Catalog {
-	return &Catalog{schemas: make(map[string]*Schema), stats: make(map[string]*TableStats)}
+	return &Catalog{
+		schemas:  make(map[string]*Schema),
+		stats:    make(map[string]*TableStats),
+		rowHints: make(map[string]int),
+	}
 }
 
 // AddSchema registers a schema, assigning its interned TableID (the
@@ -196,6 +202,16 @@ func (c *Catalog) SetStats(table string, st *TableStats) { c.stats[table] = st }
 
 // Stats returns statistics for a table, or nil if never analyzed.
 func (c *Catalog) Stats(table string) *TableStats { return c.stats[table] }
+
+// SetRowHint records the expected steady-state row count per partition
+// for a table. Loaders call Table.Reserve with it so heap growth
+// reallocation never shows up on the ingest path.
+func (c *Catalog) SetRowHint(table string, rowsPerPartition int) {
+	c.rowHints[table] = rowsPerPartition
+}
+
+// RowHint returns the per-partition cardinality hint, or 0 if unset.
+func (c *Catalog) RowHint(table string) int { return c.rowHints[table] }
 
 // Tables lists registered table names (unordered).
 func (c *Catalog) Tables() []string {

@@ -29,9 +29,11 @@ func (t *Table) SnapshotRows() (keys []Key, rows []Row, keyless []Row) {
 }
 
 // ResetRows empties the table in place: row heap, primary and secondary
-// indexes, size accounting and the columnar mirror (cached chunk
-// batches go back to their pool). The schema and index definitions
-// survive, so a snapshot installs into the same table identity.
+// indexes, size accounting, the columnar mirror and its dictionaries.
+// The schema and index definitions survive, so a snapshot installs into
+// the same table identity. Dictionaries reset with the chunks: no chunk
+// survives to reference old codes, and the incoming contents rebuild
+// both from scratch.
 func (t *Table) ResetRows() {
 	t.rows = nil
 	t.pk = NewHashIndex(64)
@@ -40,18 +42,15 @@ func (t *Table) ResetRows() {
 	for _, idx := range t.secondary {
 		idx.tree = NewBTree()
 	}
-	for i := range t.colChunks {
-		if t.colChunks[i].batch != nil {
-			freeBatchRaw(t.colChunks[i].batch)
-		}
-	}
 	t.colChunks = nil
+	t.dicts = nil
 }
 
 // InstallRows replaces the table's contents with a snapshot taken by
 // SnapshotRows on another node.
 func (t *Table) InstallRows(keys []Key, rows []Row, keyless []Row) error {
 	t.ResetRows()
+	t.Reserve(len(keys) + len(keyless))
 	for i, k := range keys {
 		if _, err := t.Insert(k, rows[i]); err != nil {
 			return err

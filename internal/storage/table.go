@@ -26,13 +26,27 @@ type SecondaryIndex struct {
 type Table struct {
 	Schema *Schema
 
-	rows      []Row // slot = position; nil = tombstone
-	pk        *HashIndex
-	secondary []*SecondaryIndex
-	secCols   map[int]bool // columns used by any secondary key
-	live      int
-	bytes     int64
-	colChunks []colChunk // lazily built columnar mirror (colstore.go)
+	rows       []Row // slot = position; nil = tombstone
+	pk         *HashIndex
+	secondary  []*SecondaryIndex
+	secCols    map[int]bool // columns used by any secondary key
+	live       int
+	bytes      int64
+	colChunks  []colChunk // lazily built columnar mirror (colstore.go)
+	dicts      []*Dict    // per-column dictionaries (dict.go), lazy
+	chunkSlots []int32    // chunk-rebuild scratch: live slots of one range
+}
+
+// Reserve pre-sizes the row heap for at least n slots, so steady-state
+// ingest appends land in place instead of growth-reallocating the heap
+// (the catalog's cardinality hints feed this at population time).
+func (t *Table) Reserve(n int) {
+	if n <= cap(t.rows) {
+		return
+	}
+	grown := make([]Row, len(t.rows), n)
+	copy(grown, t.rows)
+	t.rows = grown
 }
 
 // NewTable returns an empty table for schema.

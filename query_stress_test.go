@@ -75,6 +75,57 @@ func TestQueryStressUnderChurn(t *testing.T) {
 		}(g)
 	}
 
+	// Grouped-oracle worker: a dictionary-grouped aggregate (the dense
+	// fast path) must keep returning the exact pre-churn group counts
+	// while partitions move — a scan observing a half-moved partition
+	// would shift counts between groups or lose rows.
+	const groupedQ = "SELECT c_state, COUNT(*) FROM customer GROUP BY c_state"
+	readGroups := func() (map[string]int64, error) {
+		rows, err := c.Query(bg, groupedQ)
+		if err != nil {
+			return nil, err
+		}
+		defer rows.Close()
+		got := make(map[string]int64)
+		for rows.Next() {
+			var state string
+			var n int64
+			if err := rows.Scan(&state, &n); err != nil {
+				return nil, err
+			}
+			got[state] += n
+		}
+		return got, nil
+	}
+	wantGroups, err := readGroups()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wantGroups) < 2 {
+		t.Fatalf("only %d states in seed data", len(wantGroups))
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for time.Now().Before(deadline) {
+			got, err := readGroups()
+			if err != nil {
+				errs <- fmt.Errorf("grouped oracle: %v", err)
+				return
+			}
+			if len(got) != len(wantGroups) {
+				errs <- fmt.Errorf("grouped oracle: %d groups, want %d", len(got), len(wantGroups))
+				return
+			}
+			for state, n := range wantGroups {
+				if got[state] != n {
+					errs <- fmt.Errorf("grouped oracle: %q = %d, want %d", state, got[state], n)
+					return
+				}
+			}
+		}
+	}()
+
 	// Streaming worker: projections iterated partially, then abandoned
 	// via Close — exercising pooled-batch reclamation mid-iteration.
 	wg.Add(1)
